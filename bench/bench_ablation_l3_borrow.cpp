@@ -1,0 +1,59 @@
+// Ablation: lateral cast-out (L3 slice borrowing).  Runs the single-
+// threaded GEMM with the mechanism enabled (POWER9 behaviour: a lone core
+// re-appropriates idle cores' slices) and disabled (hard 5 MB limit).
+// This isolates why the single-threaded GEMM of Figs. 2-4 degrades
+// GRADUALLY past the 5 MB footprint instead of jumping like the batched
+// runs.
+#include "gemm_common.hpp"
+
+using namespace papisim;
+using namespace papisim::benchutil;
+
+namespace {
+
+double measure_reads(std::uint64_t n, bool castout, double retention) {
+  sim::MachineConfig cfg = sim::MachineConfig::summit();
+  cfg.lateral_castout = castout;
+  cfg.castout_retention = retention;
+  sim::Machine m(cfg);
+  m.set_noise_enabled(false);
+  m.set_active_cores(0, 1);
+  const kernels::GemmBuffers buf = kernels::GemmBuffers::allocate(m.address_space(), n);
+  kernels::run_gemm(m, 0, 0, n, buf);
+  m.flush_socket(0);
+  return static_cast<double>(m.memctrl(0).total_bytes(sim::MemDir::Read));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = has_flag(argc, argv, "--csv");
+  print_header("Ablation: L3 lateral cast-out (slice borrowing) on/off",
+               "isolates the no-jump behaviour of paper Figs. 2-4 (a) panels");
+
+  Table t({"N", "exp_read_B", "borrow_on(ratio)", "borrow_off(ratio)",
+           "retention=1.0(ratio)"});
+  for (const std::uint64_t n : {std::uint64_t{256}, std::uint64_t{448},
+                                std::uint64_t{512}, std::uint64_t{640},
+                                std::uint64_t{768}, std::uint64_t{896},
+                                std::uint64_t{1024}}) {
+    const double exp = kernels::gemm_expected(n).read_bytes;
+    const double on = measure_reads(n, true, 0.99);
+    const double off = measure_reads(n, false, 0.99);
+    const double perfect = measure_reads(n, true, 1.0);
+    t.add_row({std::to_string(n), fmt_sci(exp), fmt(on / exp, 2),
+               fmt(off / exp, 2), fmt(perfect / exp, 2)});
+  }
+  if (csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print();
+  }
+
+  std::cout
+      << "\nTakeaway: with borrowing disabled the lone core behaves like the "
+         "batched run (sharp jump once 3N^2*8 exceeds 5 MB); with\n"
+         "perfect retention it would match the expectation exactly; the "
+         "calibrated retention < 1 yields the paper's gradual divergence.\n";
+  return 0;
+}

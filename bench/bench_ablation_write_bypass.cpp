@@ -1,0 +1,71 @@
+// Ablation: the streaming-store cache-bypass policy.  Replays the S1CF /
+// S2CF loop nests on machines with the bypass enabled (POWER9 behaviour)
+// and disabled (plain write-allocate).  This isolates the mechanism behind
+// Figs. 6a/9a: without bypass every nest reads the store target
+// (read-per-write); with bypass the stride-free nests save one read per
+// element.
+#include "bench_util.hpp"
+#include "fft/resort.hpp"
+
+using namespace papisim;
+using namespace papisim::benchutil;
+
+namespace {
+
+struct Row {
+  double reads = 0, writes = 0;
+};
+
+Row replay(bool bypass, const char* nest) {
+  sim::MachineConfig cfg = sim::MachineConfig::summit();
+  cfg.store_bypass = bypass;
+  sim::Machine m(cfg);
+  m.set_noise_enabled(false);
+  m.set_active_cores(0, m.cores_per_socket());
+  const mpi::Grid grid{2, 4};
+  const std::uint64_t n = 512;
+  const fft::RankDims dims = fft::RankDims::of(n, grid);
+  const fft::S2Dims s2 = fft::S2Dims::of(dims, grid);
+  const fft::ResortBuffers buf =
+      fft::ResortBuffers::allocate(m.address_space(), dims.bytes());
+  if (std::string(nest) == "S1CF_nest1") {
+    fft::s1cf_nest1_replay(m, 0, 0, dims, buf, false);
+  } else if (std::string(nest) == "S1CF_combined") {
+    fft::s1cf_combined_replay(m, 0, 0, dims, buf, false);
+  } else {
+    fft::s2cf_replay(m, 0, 0, s2, buf, false);
+  }
+  m.flush_socket(0);
+  const double bytes = static_cast<double>(dims.bytes());
+  Row r;
+  r.reads = m.memctrl(0).total_bytes(sim::MemDir::Read) / bytes;
+  r.writes = m.memctrl(0).total_bytes(sim::MemDir::Write) / bytes;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = has_flag(argc, argv, "--csv");
+  print_header("Ablation: streaming-store cache bypass on/off",
+               "isolates the mechanism behind paper Figs. 6a / 8 / 9a");
+
+  Table t({"loop nest", "bypass", "reads/elem", "writes/elem"});
+  for (const char* nest : {"S1CF_nest1", "S1CF_combined", "S2CF"}) {
+    for (const bool bypass : {true, false}) {
+      const Row r = replay(bypass, nest);
+      t.add_row({nest, bypass ? "on" : "off", fmt(r.reads, 2), fmt(r.writes, 2)});
+    }
+  }
+  if (csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print();
+  }
+
+  std::cout << "\nTakeaway: the bypass eliminates exactly one read per "
+               "element for the stride-free nests (S1CF nest 1, S2CF) and\n"
+               "changes nothing for the strided combined nest, whose stores "
+               "can never stream.\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fig. 2 reproduction: memory traffic of the single-threaded GEMM measured
+// with ONE repetition -- (a) PCP events on Summit, (b) perf_uncore events on
+// Tellico.  Expected shape: noise-dominated at small N (measured >>
+// expected), converging toward the expectation for mid sizes, and a gradual
+// divergence above it at larger sizes; no sharp jump at the cache bound
+// because the lone core borrows idle L3 slices.  Both routes show the same
+// behaviour (PCP is as accurate as direct access).
+#include "gemm_common.hpp"
+
+using namespace papisim;
+using namespace papisim::benchutil;
+
+int main(int argc, char** argv) {
+  const bool csv = has_flag(argc, argv, "--csv");
+  print_header("Fig. 2: single-threaded GEMM, 1 repetition",
+               "paper Fig. 2a (Summit, PCP) and Fig. 2b (Tellico, perf_uncore)");
+
+  std::vector<GemmPoint> summit_points, tellico_points;
+  // The two systems are independent simulations: run them concurrently.
+  std::thread summit_thread([&] {
+    SummitStack summit;
+    summit_points = run_gemm_sweep(summit, "pcp", summit.measure_cpu(),
+                                   RepPolicy::One, /*batched=*/false);
+  });
+  std::thread tellico_thread([&] {
+    TellicoStack tellico;
+    tellico_points = run_gemm_sweep(tellico, "perf_nest", 0, RepPolicy::One,
+                                    /*batched=*/false);
+  });
+  summit_thread.join();
+  tellico_thread.join();
+
+  print_gemm_panel("(a) Summit: pcp:::...PM_MBA[0-7]_{READ,WRITE}_BYTES, 1 rep",
+                   summit_points, 5ull << 20, csv);
+  print_gemm_panel("(b) Tellico: power9_nest_mba[0-7] (perf_uncore), 1 rep",
+                   tellico_points, 5ull << 20, csv);
+
+  std::cout << "Takeaway (paper Sec. III): with a single repetition the "
+               "small-problem measurements are dominated by noise on BOTH\n"
+               "routes; the deviation is not a PCP artifact.\n";
+  return 0;
+}

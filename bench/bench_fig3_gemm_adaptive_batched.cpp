@@ -1,0 +1,46 @@
+// Fig. 3 reproduction: (a) single-threaded GEMM with the adaptive
+// repetition count of Eq. 5, versus (b) the batched GEMM (one independent
+// GEMM per physical core), both measured with PCP events on Summit.
+// Expected shape: (a) low noise and close to the expectation, with a
+// gradual divergence at larger in-cache sizes (lateral cast-out);
+// (b) matches the expectation tightly until each core's matrices exceed its
+// 5 MB L3 share (N ~ 467), where the traffic jumps drastically.
+#include "gemm_common.hpp"
+
+using namespace papisim;
+using namespace papisim::benchutil;
+
+int main(int argc, char** argv) {
+  const bool csv = has_flag(argc, argv, "--csv");
+  print_header("Fig. 3: adaptive repetitions vs batched GEMM (PCP)",
+               "paper Fig. 3a (single-threaded, Eq. 5 repetitions) and "
+               "Fig. 3b (batched, 21 cores)");
+
+  std::vector<GemmPoint> single_points, batched_points;
+  std::thread single_thread([&] {
+    SummitStack stack;
+    single_points = run_gemm_sweep(stack, "pcp", stack.measure_cpu(),
+                                   RepPolicy::Adaptive, /*batched=*/false);
+  });
+  std::thread batched_thread([&] {
+    SummitStack stack;
+    batched_points = run_gemm_sweep(stack, "pcp", stack.measure_cpu(),
+                                    RepPolicy::Adaptive, /*batched=*/true);
+  });
+  single_thread.join();
+  batched_thread.join();
+
+  print_gemm_panel("(a) single-threaded GEMM, repetitions per Eq. 5",
+                   single_points, 5ull << 20, csv);
+  print_gemm_panel("(b) batched GEMM (one per core), repetitions per Eq. 5",
+                   batched_points, 5ull << 20, csv);
+
+  std::cout
+      << "Takeaways (paper Sec. III): averaging over Eq. 5's repetitions "
+         "removes the small-N noise of Fig. 2.  The single-threaded\n"
+         "traffic exceeds the expectation gradually and does NOT jump at the "
+         "cache bound (the lone core borrows idle cores' L3 slices\n"
+         "via lateral cast-out); the batched traffic matches the expectation "
+         "until ~5 MB per core and then jumps sharply.\n";
+  return 0;
+}

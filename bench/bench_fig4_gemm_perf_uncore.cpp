@@ -1,0 +1,40 @@
+// Fig. 4 reproduction: the Fig. 3 experiment repeated on the Tellico testbed
+// with DIRECT perf_uncore access (elevated privileges, no PCP).  The same
+// behaviour appears -- more traffic than expected for the single-threaded
+// kernel, gradual divergence that disappears when all cores are busy --
+// proving the effect is not a PCP artifact.
+#include "gemm_common.hpp"
+
+using namespace papisim;
+using namespace papisim::benchutil;
+
+int main(int argc, char** argv) {
+  const bool csv = has_flag(argc, argv, "--csv");
+  print_header("Fig. 4: adaptive vs batched GEMM via perf_uncore (Tellico)",
+               "paper Fig. 4a (single-threaded) and Fig. 4b (batched, 16 cores)");
+
+  std::vector<GemmPoint> single_points, batched_points;
+  std::thread single_thread([&] {
+    TellicoStack stack;
+    single_points = run_gemm_sweep(stack, "perf_nest", 0, RepPolicy::Adaptive,
+                                   /*batched=*/false);
+  });
+  std::thread batched_thread([&] {
+    TellicoStack stack;
+    batched_points = run_gemm_sweep(stack, "perf_nest", 0, RepPolicy::Adaptive,
+                                    /*batched=*/true);
+  });
+  single_thread.join();
+  batched_thread.join();
+
+  print_gemm_panel("(a) single-threaded GEMM, perf_uncore, Eq. 5 repetitions",
+                   single_points, 5ull << 20, csv);
+  print_gemm_panel("(b) batched GEMM (one per core), perf_uncore",
+                   batched_points, 5ull << 20, csv);
+
+  std::cout << "Takeaway (paper Sec. III): the single-thread divergence and "
+               "the batched jump reproduce WITHOUT PCP -- measurements via\n"
+               "PCP are as accurate as those taken directly from the "
+               "hardware counters.\n";
+  return 0;
+}

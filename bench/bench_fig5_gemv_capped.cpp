@@ -1,0 +1,113 @@
+// Fig. 5 reproduction: the batched, capped GEMV.  For M <= 1280 the matrix
+// is square (M = N = P, plain GEMV); beyond that the matrix is capped at
+// N = P = 1280 (the paper's transition point) and only the output vector y
+// grows.  Expected shape: reading traffic matches the expectation across
+// the whole sweep (square formula below the transition, capped formula
+// above); writing traffic exceeds the expectation until M reaches ~1e4,
+// on BOTH the PCP (Summit) and perf_uncore (Tellico) routes.
+#include <thread>
+
+#include "bench_util.hpp"
+#include "kernels/blas_sim.hpp"
+#include "kernels/expected.hpp"
+
+using namespace papisim;
+using namespace papisim::benchutil;
+
+namespace {
+
+constexpr std::uint64_t kCap = 1280;  // paper: transition at M = N = P = 1280
+
+struct GemvPoint {
+  std::uint64_t m = 0, n = 0, p = 0;
+  std::uint32_t reps = 1;
+  kernels::Measurement meas;
+  kernels::ExpectedTraffic expected;
+};
+
+template <typename Stack>
+std::vector<GemvPoint> run_sweep(Stack& stack, const std::string& route,
+                                 std::uint32_t cpu) {
+  kernels::KernelRunner runner(stack.machine, stack.lib, route, cpu);
+  std::vector<GemvPoint> points;
+  for (const std::uint64_t m :
+       {std::uint64_t{128}, std::uint64_t{256}, std::uint64_t{512},
+        std::uint64_t{896}, std::uint64_t{1280}, std::uint64_t{2048},
+        std::uint64_t{4096}, std::uint64_t{8192}, std::uint64_t{16384},
+        std::uint64_t{32768}, std::uint64_t{65536}, std::uint64_t{131072}}) {
+    GemvPoint pt;
+    pt.m = m;
+    pt.n = std::min(m, kCap);
+    pt.p = pt.n;
+    pt.reps = kernels::repetitions_for(m);
+    const kernels::GemvBuffers buf = kernels::GemvBuffers::allocate(
+        stack.machine.address_space(), m, pt.n, pt.p);
+    kernels::RunnerOptions opt;
+    opt.reps = pt.reps;
+    opt.batched = true;  // the paper's Fig. 5 kernel occupies every core
+    pt.meas = runner.measure(
+        [&](std::uint32_t core) {
+          kernels::run_capped_gemv(stack.machine, 0, core, m, pt.n, pt.p, buf);
+        },
+        opt);
+    pt.expected =
+        kernels::scaled(kernels::gemv_capped_expected(m, pt.n), pt.meas.threads);
+    points.push_back(pt);
+  }
+  return points;
+}
+
+void print_panel(const std::string& title, const std::vector<GemvPoint>& points,
+                 bool csv) {
+  std::cout << title << "\n"
+            << "square GEMV while M <= " << kCap << ", capped (N = P = " << kCap
+            << ") beyond\n";
+  Table t({"M", "N=P", "reps", "thr", "exp_read_B", "meas_read_B", "read_ratio",
+           "exp_write_B", "meas_write_B", "write_ratio"});
+  for (const GemvPoint& p : points) {
+    t.add_row({std::to_string(p.m), std::to_string(p.n), std::to_string(p.reps),
+               std::to_string(p.meas.threads), fmt_sci(p.expected.read_bytes),
+               fmt_sci(p.meas.read_bytes),
+               fmt(p.meas.read_bytes / p.expected.read_bytes, 2),
+               fmt_sci(p.expected.write_bytes), fmt_sci(p.meas.write_bytes),
+               fmt(p.meas.write_bytes / p.expected.write_bytes, 2)});
+  }
+  if (csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print();
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = has_flag(argc, argv, "--csv");
+  print_header("Fig. 5: batched, capped GEMV",
+               "paper Fig. 5a (Summit, PCP) and Fig. 5b (Tellico, perf_uncore)");
+
+  std::vector<GemvPoint> summit_points, tellico_points;
+  std::thread summit_thread([&] {
+    SummitStack summit;
+    summit_points = run_sweep(summit, "pcp", summit.measure_cpu());
+  });
+  std::thread tellico_thread([&] {
+    TellicoStack tellico;
+    tellico_points = run_sweep(tellico, "perf_nest", 0);
+  });
+  summit_thread.join();
+  tellico_thread.join();
+
+  print_panel("(a) Summit via PCP", summit_points, csv);
+  print_panel("(b) Tellico via perf_uncore", tellico_points, csv);
+
+  std::cout
+      << "Takeaways (paper Sec. III): reading traffic matches the "
+         "expectation across the sweep; writing traffic is above the\n"
+         "expectation until M exceeds ~1e4 because the written volume (8*M "
+         "bytes) is small relative to the measurement noise floor --\n"
+         "on both routes, so the effect is neither PCP- nor "
+         "POWER9-specific.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fig. 6 reproduction: memory traffic of S1CF loop nest 1 (Listing 5), a
+// pure sequential copy in -> tmp, per MPI rank of a 2x4 grid.
+// Expected shape: (a) without compiler prefetching the stores BYPASS the
+// cache -- one read and one write per element (not the naive two reads);
+// (b) with -fprefetch-loop-arrays (dcbtst) tmp is prefetched into L3 and is
+// read as well -- two reads and one write per element.
+#include "fft_common.hpp"
+
+using namespace papisim;
+using namespace papisim::benchutil;
+
+namespace {
+
+std::vector<ResortPoint> sweep(bool prefetch) {
+  SummitStack stack;
+  const mpi::Grid grid{2, 4};
+  std::vector<ResortPoint> points;
+  for (const std::uint64_t n : resort_sweep_sizes()) {
+    const fft::RankDims dims = fft::RankDims::of(n, grid);
+    const fft::ResortBuffers buf =
+        fft::ResortBuffers::allocate(stack.machine.address_space(), dims.bytes());
+    ResortPoint pt = measure_resort(stack, n, /*runs=*/5, [&](sim::Machine& m) {
+      return fft::s1cf_nest1_replay(m, 0, 0, dims, buf, prefetch);
+    });
+    pt.elem_bytes = static_cast<double>(dims.bytes());
+    points.push_back(pt);
+  }
+  return points;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = has_flag(argc, argv, "--csv");
+  print_header("Fig. 6: S1CF loop nest 1 (sequential copy)",
+               "paper Fig. 6a (no extra optimization) and Fig. 6b "
+               "(-fprefetch-loop-arrays)");
+
+  const std::vector<ResortPoint> plain = sweep(false);
+  const std::vector<ResortPoint> prefetched = sweep(true);
+
+  print_resort_panel("(a) no additional compiler optimizations "
+                     "(streaming stores bypass the cache)",
+                     plain, 1.0, 1.0, csv);
+  print_resort_panel("(b) with -fprefetch-loop-arrays (dcbtst forces tmp "
+                     "into L3: it is read too)",
+                     prefetched, 2.0, 1.0, csv);
+
+  std::cout
+      << "Takeaway (paper Sec. IV-A): with no strided stream present the "
+         "hardware writes tmp while BYPASSING the cache, so only one read\n"
+         "(for in) is observed; the dcbtst prefetch emitted by "
+         "-fprefetch-loop-arrays turns that into the expected "
+         "read-per-write.\n";
+  return 0;
+}

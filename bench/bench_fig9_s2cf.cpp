@@ -1,0 +1,54 @@
+// Fig. 9 reproduction: S2CF (Listing 9) copies in -> out with permuted
+// outer dimensions but a MATCHING innermost dimension, which amortizes the
+// stride.  Expected shape: (a) exactly one read and one write per element
+// (no strided stream -> the stores bypass the cache); (b) with
+// -fprefetch-loop-arrays the out array is read as well.
+#include "fft_common.hpp"
+
+using namespace papisim;
+using namespace papisim::benchutil;
+
+namespace {
+
+std::vector<ResortPoint> sweep(bool prefetch) {
+  SummitStack stack;
+  const mpi::Grid grid{2, 4};
+  std::vector<ResortPoint> points;
+  for (const std::uint64_t n : resort_sweep_sizes()) {
+    const fft::RankDims dims = fft::RankDims::of(n, grid);
+    const fft::S2Dims s2 = fft::S2Dims::of(dims, grid);
+    const fft::ResortBuffers buf =
+        fft::ResortBuffers::allocate(stack.machine.address_space(), dims.bytes());
+    ResortPoint pt = measure_resort(stack, n, /*runs=*/5, [&](sim::Machine& m) {
+      return fft::s2cf_replay(m, 0, 0, s2, buf, prefetch);
+    });
+    pt.elem_bytes = static_cast<double>(dims.bytes());
+    points.push_back(pt);
+  }
+  return points;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = has_flag(argc, argv, "--csv");
+  print_header("Fig. 9: S2CF (innermost dimensions match)",
+               "paper Fig. 9a (no extra optimization) and Fig. 9b "
+               "(-fprefetch-loop-arrays)");
+
+  const std::vector<ResortPoint> plain = sweep(false);
+  const std::vector<ResortPoint> prefetched = sweep(true);
+
+  print_resort_panel("(a) no additional compiler optimizations (stores "
+                     "bypass the cache)",
+                     plain, 1.0, 1.0, csv);
+  print_resort_panel("(b) with -fprefetch-loop-arrays", prefetched, 2.0, 1.0,
+                     csv);
+
+  std::cout
+      << "Takeaway (paper Sec. IV-B): S2CF is not completely stride-free, "
+         "but because the innermost traversal dimension matches the\n"
+         "innermost layout dimension the stride is amortized: the stores "
+         "bypass the cache and exactly one read per write is observed.\n";
+  return 0;
+}

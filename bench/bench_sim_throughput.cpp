@@ -1,0 +1,119 @@
+// google-benchmark micro-benchmarks of the simulator itself: cache access
+// rates, loop-replay event rates, and the PCP round-trip cost.  These bound
+// the wall-clock cost of the figure benches.
+#include <benchmark/benchmark.h>
+
+#include "fft/resort.hpp"
+#include "kernels/blas_sim.hpp"
+#include "pcp/client.hpp"
+#include "pcp/pmcd.hpp"
+#include "sim/machine.hpp"
+
+using namespace papisim;
+
+static void BM_CacheHit(benchmark::State& state) {
+  sim::CacheLevel cache(5ull << 20, 20, 64, /*hashed_sets=*/true);
+  for (std::uint64_t l = 0; l < 1024; ++l) cache.access(l, false);
+  std::uint64_t l = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(l & 1023, false).hit);
+    ++l;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHit);
+
+static void BM_CacheMissEvict(benchmark::State& state) {
+  sim::CacheLevel cache(1 << 20, 20, 64, /*hashed_sets=*/true);
+  std::uint64_t l = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(l, false).evicted);
+    l += 97;  // never revisit: always a miss
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheMissEvict);
+
+static void BM_SequentialLoopReplay(benchmark::State& state) {
+  sim::Machine m(sim::MachineConfig::summit());
+  m.set_noise_enabled(false);
+  const std::uint64_t elems = 1 << 16;
+  sim::LoopDesc loop;
+  loop.iterations = elems;
+  loop.streams = {{1 << 20, 8, 8, sim::AccessKind::Load},
+                  {1 << 26, 8, 8, sim::AccessKind::Store}};
+  std::uint64_t touches = 0;
+  for (auto _ : state) {
+    const sim::LoopStats st = m.engine(0, 0).execute(loop);
+    touches += st.line_touches;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(touches));
+  state.counters["Mtouches/s"] = benchmark::Counter(
+      static_cast<double>(touches) * 1e-6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SequentialLoopReplay);
+
+static void BM_StridedLoopReplay(benchmark::State& state) {
+  sim::Machine m(sim::MachineConfig::summit());
+  m.set_noise_enabled(false);
+  m.set_active_cores(0, m.cores_per_socket());
+  const std::uint64_t elems = 1 << 14;
+  sim::LoopDesc loop;
+  loop.iterations = elems;
+  loop.streams = {{1 << 20, 64 * 8, 8, sim::AccessKind::Load},
+                  {1 << 30, 8, 8, sim::AccessKind::Store}};
+  std::uint64_t touches = 0;
+  for (auto _ : state) {
+    const sim::LoopStats st = m.engine(0, 0).execute(loop);
+    touches += st.line_touches;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(touches));
+  state.counters["Mtouches/s"] = benchmark::Counter(
+      static_cast<double>(touches) * 1e-6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StridedLoopReplay);
+
+static void BM_GemmReplaySmall(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  sim::Machine m(sim::MachineConfig::summit());
+  m.set_noise_enabled(false);
+  const kernels::GemmBuffers buf = kernels::GemmBuffers::allocate(m.address_space(), n);
+  std::uint64_t touches = 0;
+  for (auto _ : state) {
+    touches += kernels::run_gemm(m, 0, 0, n, buf).line_touches;
+    m.flush_socket(0);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(touches));
+}
+BENCHMARK(BM_GemmReplaySmall)->Arg(64)->Arg(128)->Arg(256);
+
+static void BM_PcpFetchRoundTrip(benchmark::State& state) {
+  sim::Machine m(sim::MachineConfig::summit());
+  m.set_noise_enabled(false);
+  pcp::Pmcd daemon(m);
+  pcp::PcpClient client(daemon, m, m.user_credentials());
+  const std::vector<pcp::PmId> ids{0, 1, 2, 3, 4, 5, 6, 7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.fetch(ids, 0).values.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PcpFetchRoundTrip);
+
+static void BM_ResortReplay(benchmark::State& state) {
+  sim::Machine m(sim::MachineConfig::summit());
+  m.set_noise_enabled(false);
+  m.set_active_cores(0, m.cores_per_socket());
+  const fft::RankDims dims = fft::RankDims::of(128, mpi::Grid{2, 4});
+  const fft::ResortBuffers buf =
+      fft::ResortBuffers::allocate(m.address_space(), dims.bytes());
+  std::uint64_t touches = 0;
+  for (auto _ : state) {
+    touches += fft::s1cf_combined_replay(m, 0, 0, dims, buf, false).line_touches;
+    m.flush_socket(0);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(touches));
+}
+BENCHMARK(BM_ResortReplay);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Table I reproduction: the memory-traffic performance events available on
+// each system, enumerated through the component API.
+#include "bench_util.hpp"
+
+using namespace papisim;
+using namespace papisim::benchutil;
+
+int main(int argc, char** argv) {
+  print_header("Table I: Architectures and Performance Events",
+               "paper Table I (Summit PCP events, Tellico perf_uncore events)");
+
+  SummitStack summit;
+  TellicoStack tellico;
+
+  Table table({"System", "Arch.", "Component", "Performance Event"});
+
+  // Summit: the PCP route (unprivileged users).  The paper lists the events
+  // with the per-socket cpu qualifiers cpu87 / cpu175.
+  // The paper's Table I lists the *_BYTES events (the component also exposes
+  // the *_REQS request counters; see bench_table2 and `component_avail`).
+  const auto pcp_events = summit.lib.component("pcp").events();
+  bool first = true;
+  for (const EventInfo& ev : pcp_events) {
+    if (ev.name.find("_BYTES") == std::string::npos) continue;
+    const std::uint32_t s0 = summit.machine.config().cpus_per_socket() - 1;
+    const std::uint32_t s1 = 2 * summit.machine.config().cpus_per_socket() - 1;
+    table.add_row({first ? "Summit" : "", first ? "IBM POWER9" : "",
+                   first ? "pcp" : "",
+                   ev.name + ":cpu{" + std::to_string(s0) + "|" +
+                       std::to_string(s1) + "}"});
+    first = false;
+  }
+
+  // Tellico: direct perf_uncore access (elevated privileges).
+  const auto nest_events = tellico.lib.component("perf_nest").events();
+  first = true;
+  for (const EventInfo& ev : nest_events) {
+    if (ev.name.find("_BYTES") == std::string::npos) continue;
+    table.add_row({first ? "Tellico" : "", first ? "IBM POWER9" : "",
+                   first ? "perf_nest" : "", ev.name + ":cpu=0"});
+    first = false;
+  }
+
+  if (has_flag(argc, argv, "--csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print();
+  }
+
+  // The privilege asymmetry the paper is built on:
+  std::cout << "\nComponent availability:\n";
+  for (auto* stack_lib : {&summit.lib, &tellico.lib}) {
+    for (Component* c : stack_lib->components()) {
+      std::cout << "  [" << (stack_lib == &summit.lib ? "summit" : "tellico")
+                << "] " << c->name() << ": "
+                << (c->available() ? "available"
+                                   : "DISABLED (" + c->disabled_reason() + ")")
+                << "\n";
+    }
+  }
+  std::cout << "\nOn Summit the ordinary user cannot open the nest PMU "
+               "directly (perf_nest is disabled) and must use PCP --\n"
+               "the situation that motivates the paper.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Table II reproduction: the supplemental performance events used by the
+// multi-component profiles -- NVIDIA GPU power via the nvml component and
+// Mellanox port traffic via the infiniband component.
+#include "bench_util.hpp"
+
+using namespace papisim;
+using namespace papisim::benchutil;
+
+int main(int argc, char** argv) {
+  print_header("Table II: Supplemental Performance Events", "paper Table II");
+
+  SummitStack stack;
+  gpu::GpuDevice gpu0(gpu::GpuConfig{}, stack.machine, 0, 0);
+  net::NicConfig c0, c1;
+  c0.name = "mlx5_0";
+  c1.name = "mlx5_1";
+  net::Nic nic0(c0), nic1(c1);
+  stack.lib.register_component(std::make_unique<components::NvmlComponent>(
+      std::vector<gpu::GpuDevice*>{&gpu0}));
+  stack.lib.register_component(std::make_unique<components::InfinibandComponent>(
+      std::vector<net::Nic*>{&nic0, &nic1}));
+
+  Table t({"Hardware", "PAPI Component", "Performance Event", "Units",
+           "Semantics"});
+  for (const EventInfo& ev : stack.lib.component("nvml").events()) {
+    t.add_row({"NVIDIA Tesla V100 GPU", "nvml", ev.name, ev.units,
+               ev.instantaneous ? "gauge" : "counter"});
+  }
+  for (const EventInfo& ev : stack.lib.component("infiniband").events()) {
+    t.add_row({"Mellanox ConnectX-5 Ex", "infiniband", ev.name, ev.units,
+               ev.instantaneous ? "gauge" : "counter"});
+  }
+  if (has_flag(argc, argv, "--csv")) {
+    t.print_csv(std::cout);
+  } else {
+    t.print();
+  }
+
+  // Smoke-read every listed event through the uniform API.
+  std::cout << "\nLive readings through the uniform API:\n";
+  for (const char* comp : {"nvml", "infiniband"}) {
+    for (const EventInfo& ev : stack.lib.component(comp).events()) {
+      auto es = stack.lib.create_eventset();
+      es->add_event(ev.name);
+      es->start();
+      std::cout << "  " << ev.name << " = " << es->read()[0] << " " << ev.units
+                << "\n";
+      es->stop();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Shared utilities for the figure/table reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "components/infiniband_component.hpp"
+#include "components/nvml_component.hpp"
+#include "components/pcp_component.hpp"
+#include "components/perf_nest_component.hpp"
+#include "core/library.hpp"
+#include "core/sampler.hpp"
+#include "kernels/runner.hpp"
+#include "pcp/client.hpp"
+#include "pcp/pmcd.hpp"
+
+namespace papisim::benchutil {
+
+/// Aligned plain-text table (the benches print the series the paper plots).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& s = c < cells.size() ? cells[c] : std::string{};
+        os << "  " << s << std::string(width[c] - s.size(), ' ');
+      }
+      os << '\n';
+    };
+    line(headers_);
+    std::size_t total = 0;
+    for (const std::size_t w : width) total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) line(row);
+  }
+
+  /// CSV dump (for replotting).
+  void print_csv(std::ostream& os) const {
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (c) os << ',';
+        os << cells[c];
+      }
+      os << '\n';
+    };
+    line(headers_);
+    for (const auto& row : rows_) line(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int prec = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string fmt_sci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3e", v);
+  return buf;
+}
+
+inline std::string human_bytes(double b) {
+  const char* unit[] = {"B", "KB", "MB", "GB", "TB"};
+  int u = 0;
+  while (b >= 1024.0 && u < 4) {
+    b /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", b, unit[u]);
+  return buf;
+}
+
+inline bool has_flag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) return true;
+  }
+  return false;
+}
+
+/// Summit software stack: unprivileged user, PMCD daemon, PCP + (disabled)
+/// perf_nest components.
+struct SummitStack {
+  SummitStack()
+      : machine(sim::MachineConfig::summit()),
+        daemon(machine),
+        client(daemon, machine, machine.user_credentials()) {
+    lib.register_component(std::make_unique<components::PcpComponent>(client));
+    lib.register_component(std::make_unique<components::PerfNestComponent>(
+        machine, machine.user_credentials()));
+  }
+  sim::Machine machine;
+  pcp::Pmcd daemon;
+  pcp::PcpClient client;
+  Library lib;
+
+  /// The paper's event qualifier for socket 0 (last hardware thread).
+  std::uint32_t measure_cpu() const { return machine.config().cpus_per_socket() - 1; }
+};
+
+/// Tellico software stack: privileged user, direct perf_nest access.
+struct TellicoStack {
+  TellicoStack() : machine(sim::MachineConfig::tellico()) {
+    lib.register_component(std::make_unique<components::PerfNestComponent>(
+        machine, machine.user_credentials()));
+  }
+  sim::Machine machine;
+  Library lib;
+};
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n"
+            << "Reproduces: " << paper_ref << "\n\n";
+}
+
+}  // namespace papisim::benchutil

@@ -1,0 +1,81 @@
+// Shared driver for the S1CF/S2CF re-sort benches (Figs. 6-10).
+#pragma once
+
+#include <functional>
+
+#include "bench_util.hpp"
+#include "fft/resort.hpp"
+#include "kernels/expected.hpp"
+
+namespace papisim::benchutil {
+
+/// Per-rank problem sizes for the 2x4-grid re-sort figures.  The Eq. 7
+/// bound (N ~ 724 for 5 MB and 8 ranks) falls inside the sweep.
+inline std::vector<std::uint64_t> resort_sweep_sizes() {
+  return {128, 256, 384, 512, 640, 768, 896, 1024};
+}
+
+struct ResortPoint {
+  std::uint64_t n = 0;
+  double elem_bytes = 0;          ///< bytes of one full pass over the block
+  double read_min = 0, read_max = 0;
+  double write_min = 0, write_max = 0;
+  double time_sec = 0;
+};
+
+/// Measure one re-sort replay through the PCP route, `runs` times (the
+/// paper plots the min-max range of 50 runs; large problems need no
+/// repetitions).  The replay callback runs the loop nest once on core 0.
+inline ResortPoint measure_resort(
+    SummitStack& stack, std::uint64_t n, std::uint32_t runs,
+    const std::function<sim::LoopStats(sim::Machine&)>& replay) {
+  kernels::KernelRunner runner(stack.machine, stack.lib, "pcp",
+                               stack.measure_cpu());
+  ResortPoint pt;
+  pt.n = n;
+  pt.read_min = pt.write_min = 1e300;
+  for (std::uint32_t r = 0; r < runs; ++r) {
+    kernels::RunnerOptions opt;
+    opt.reps = 1;
+    // The re-sort routines are OpenMP-parallel across the socket: every
+    // core is busy and holds its contended 5 MB L3 share (paper Eq. 7).
+    opt.occupy_socket = true;
+    double t = 0;
+    const kernels::Measurement m = runner.measure(
+        [&](std::uint32_t) { t = replay(stack.machine).time_ns * 1e-9; }, opt);
+    pt.read_min = std::min(pt.read_min, m.read_bytes);
+    pt.read_max = std::max(pt.read_max, m.read_bytes);
+    pt.write_min = std::min(pt.write_min, m.write_bytes);
+    pt.write_max = std::max(pt.write_max, m.write_bytes);
+    pt.time_sec = t;
+  }
+  return pt;
+}
+
+/// Print a Figs. 6-9 panel: measured reads/writes per element (in units of
+/// one 16-byte double-complex element) against the paper's expectations.
+inline void print_resort_panel(const std::string& title,
+                               const std::vector<ResortPoint>& points,
+                               double expected_reads_per_elem,
+                               double expected_writes_per_elem, bool csv) {
+  std::cout << title << "\n"
+            << "expected: " << expected_reads_per_elem << " read(s) and "
+            << expected_writes_per_elem << " write(s) per element\n";
+  Table t({"N", "block_B", "reads/elem(min)", "reads/elem(max)",
+           "writes/elem(min)", "writes/elem(max)", "GB/s"});
+  for (const ResortPoint& p : points) {
+    const double e = p.elem_bytes;
+    t.add_row({std::to_string(p.n), fmt_sci(e), fmt(p.read_min / e, 2),
+               fmt(p.read_max / e, 2), fmt(p.write_min / e, 2),
+               fmt(p.write_max / e, 2),
+               fmt(p.time_sec > 0 ? 2.0 * e / p.time_sec / 1e9 : 0.0, 2)});
+  }
+  if (csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print();
+  }
+  std::cout << "\n";
+}
+
+}  // namespace papisim::benchutil

@@ -1,0 +1,96 @@
+// Shared GEMM sweep driver for the Fig. 2/3/4 benches.
+#pragma once
+
+#include <thread>
+
+#include "bench_util.hpp"
+#include "kernels/blas_sim.hpp"
+#include "kernels/expected.hpp"
+
+namespace papisim::benchutil {
+
+/// Problem sizes swept in the GEMM figures.  The cache band of paper
+/// Eqs. 3/4 (N in [467, 809] for the 5 MB slice) falls in the middle.
+inline std::vector<std::uint64_t> gemm_sweep_sizes() {
+  return {64, 96, 128, 192, 256, 320, 384, 448, 512, 576, 640, 768, 896, 1024};
+}
+
+struct GemmPoint {
+  std::uint64_t n = 0;
+  std::uint32_t reps = 1;
+  kernels::Measurement meas;
+  kernels::ExpectedTraffic expected;
+};
+
+enum class RepPolicy : std::uint8_t { One, Adaptive, Fixed10, Fixed512 };
+
+inline std::uint32_t reps_for(RepPolicy policy, std::uint64_t n) {
+  switch (policy) {
+    case RepPolicy::One: return 1;
+    case RepPolicy::Adaptive: return kernels::repetitions_for(n);
+    case RepPolicy::Fixed10: return 10;
+    case RepPolicy::Fixed512: return 512;
+  }
+  return 1;
+}
+
+/// Run the GEMM sweep on one machine stack through the given measurement
+/// route ("pcp" or "perf_nest").
+template <typename Stack>
+std::vector<GemmPoint> run_gemm_sweep(Stack& stack, const std::string& route,
+                                      std::uint32_t measure_cpu, RepPolicy policy,
+                                      bool batched,
+                                      std::vector<std::uint64_t> sizes = {}) {
+  if (sizes.empty()) sizes = gemm_sweep_sizes();
+  kernels::KernelRunner runner(stack.machine, stack.lib, route, measure_cpu);
+  std::vector<GemmPoint> points;
+  points.reserve(sizes.size());
+  for (const std::uint64_t n : sizes) {
+    const kernels::GemmBuffers buf =
+        kernels::GemmBuffers::allocate(stack.machine.address_space(), n);
+    kernels::RunnerOptions opt;
+    opt.reps = reps_for(policy, n);
+    opt.batched = batched;
+    GemmPoint p;
+    p.n = n;
+    p.reps = opt.reps;
+    p.meas = runner.measure(
+        [&](std::uint32_t core) { kernels::run_gemm(stack.machine, 0, core, n, buf); },
+        opt);
+    p.expected = kernels::scaled(kernels::gemm_expected(n), p.meas.threads);
+    points.push_back(p);
+  }
+  return points;
+}
+
+/// Print one panel in the paper's format: expected vs measured read/write
+/// traffic with the cache band annotated.
+inline void print_gemm_panel(const std::string& title,
+                             const std::vector<GemmPoint>& points,
+                             std::uint64_t l3_slice_bytes, bool csv) {
+  const kernels::CacheBand band = kernels::gemm_cache_band(l3_slice_bytes);
+  std::cout << title << "\n"
+            << "cache band (Eqs. 3/4): N in [" << band.lower_n << ", "
+            << band.upper_n << "]\n";
+  Table t({"N", "reps", "thr", "exp_read_B", "meas_read_B", "read_ratio",
+           "exp_write_B", "meas_write_B", "write_ratio", "band"});
+  for (const GemmPoint& p : points) {
+    const char* band_mark = p.n < band.lower_n   ? "below"
+                            : p.n <= band.upper_n ? "inside"
+                                                  : "above";
+    t.add_row({std::to_string(p.n), std::to_string(p.reps),
+               std::to_string(p.meas.threads), fmt_sci(p.expected.read_bytes),
+               fmt_sci(p.meas.read_bytes),
+               fmt(p.meas.read_bytes / p.expected.read_bytes, 2),
+               fmt_sci(p.expected.write_bytes), fmt_sci(p.meas.write_bytes),
+               fmt(p.meas.write_bytes / p.expected.write_bytes, 2), band_mark});
+  }
+  if (csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print();
+  }
+  std::cout << "\n";
+}
+
+}  // namespace papisim::benchutil

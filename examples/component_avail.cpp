@@ -1,0 +1,63 @@
+// component_avail: papisim's analogue of PAPI's `papi_avail` /
+// `papi_native_avail` utilities -- lists every registered component, its
+// availability, and all native events it exposes on this (simulated) system.
+//
+// Build & run:  ./build/examples/component_avail [--summit|--tellico|--power10]
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "components/cpu_component.hpp"
+#include "components/infiniband_component.hpp"
+#include "components/nvml_component.hpp"
+#include "components/pcp_component.hpp"
+#include "components/perf_nest_component.hpp"
+#include "core/library.hpp"
+#include "pcp/client.hpp"
+#include "pcp/pmcd.hpp"
+
+using namespace papisim;
+
+int main(int argc, char** argv) {
+  sim::MachineConfig cfg = sim::MachineConfig::summit();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tellico") == 0) cfg = sim::MachineConfig::tellico();
+    if (std::strcmp(argv[i], "--power10") == 0) {
+      cfg = sim::MachineConfig::power10_preview();
+    }
+  }
+
+  sim::Machine machine(cfg);
+  pcp::Pmcd daemon(machine);
+  pcp::PcpClient client(daemon, machine, machine.user_credentials());
+  gpu::GpuDevice gpu(gpu::GpuConfig{}, machine, 0, 0);
+  net::Nic nic(net::NicConfig{});
+
+  Library lib;
+  lib.register_component(std::make_unique<components::PcpComponent>(client));
+  lib.register_component(std::make_unique<components::PerfNestComponent>(
+      machine, machine.user_credentials()));
+  lib.register_component(std::make_unique<components::NvmlComponent>(
+      std::vector<gpu::GpuDevice*>{&gpu}));
+  lib.register_component(std::make_unique<components::InfinibandComponent>(
+      std::vector<net::Nic*>{&nic}));
+  lib.register_component(std::make_unique<components::CpuComponent>(machine));
+
+  std::printf("Available components on '%s' (user uid %u)\n",
+              cfg.name.c_str(), cfg.user_uid);
+  std::printf("%s\n", std::string(74, '=').c_str());
+  for (Component* c : lib.components()) {
+    std::printf("\n%s -- %s\n", c->name().c_str(), c->description().c_str());
+    if (!c->available()) {
+      std::printf("  DISABLED: %s\n", c->disabled_reason().c_str());
+      continue;
+    }
+    const auto events = c->events();
+    std::printf("  %zu native events:\n", events.size());
+    for (const EventInfo& ev : events) {
+      std::printf("    %-72s [%s%s]\n", ev.name.c_str(), ev.units.c_str(),
+                  ev.instantaneous ? ", gauge" : "");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Multi-component profiling of the GPU-accelerated distributed 3D-FFT: host
+// memory traffic (pcp), GPU power (nvml), and network traffic (infiniband)
+// on one timeline -- a compact version of the paper's Fig. 11 experiment.
+//
+// Build & run:  ./build/examples/multi_component_profile
+#include <cstdio>
+#include <memory>
+
+#include "components/infiniband_component.hpp"
+#include "components/nvml_component.hpp"
+#include "components/pcp_component.hpp"
+#include "core/sampler.hpp"
+#include "fft/fft3d.hpp"
+#include "pcp/client.hpp"
+#include "pcp/pmcd.hpp"
+
+using namespace papisim;
+
+int main() {
+  sim::Machine machine(sim::MachineConfig::summit());
+  pcp::Pmcd daemon(machine);
+  pcp::PcpClient client(daemon, machine, machine.user_credentials());
+  gpu::GpuDevice gpu(gpu::GpuConfig{}, machine, 0, 0);
+  net::Nic nic(net::NicConfig{});
+  mpi::JobComm comm(machine, nic);
+
+  Library lib;
+  lib.register_component(std::make_unique<components::PcpComponent>(client));
+  lib.register_component(std::make_unique<components::NvmlComponent>(
+      std::vector<gpu::GpuDevice*>{&gpu}));
+  lib.register_component(std::make_unique<components::InfinibandComponent>(
+      std::vector<net::Nic*>{&nic}));
+
+  // One event set per component, one sampler for all of them.
+  auto mem = lib.create_eventset();
+  for (int ch = 0; ch < 8; ++ch) {
+    const std::string c = std::to_string(ch);
+    mem->add_event("pcp:::perfevent.hwcounters.nest_mba" + c + "_imc.PM_MBA" +
+                   c + "_READ_BYTES.value:cpu87");
+    mem->add_event("pcp:::perfevent.hwcounters.nest_mba" + c + "_imc.PM_MBA" +
+                   c + "_WRITE_BYTES.value:cpu87");
+  }
+  auto power = lib.create_eventset();
+  power->add_event("nvml:::Tesla_V100-SXM2-16GB:device_0:power");
+  auto network = lib.create_eventset();
+  network->add_event("infiniband:::mlx5_0_1_ext:port_recv_data");
+
+  Sampler sampler(machine.clock());
+  sampler.add_eventset(*mem);
+  sampler.add_eventset(*power);
+  sampler.add_eventset(*network);
+
+  fft::Fft3dConfig cfg;
+  cfg.n = 512;
+  cfg.grid = {8, 8};
+  cfg.use_gpu = true;
+  cfg.ticks_per_phase = 2;
+  fft::DistributedFft3d app(machine, cfg, &gpu, &comm);
+
+  sampler.start_all();
+  sampler.sample();
+  app.run_forward([&] { sampler.sample(); });
+  sampler.stop_all();
+
+  std::printf("%10s %12s %12s %8s %12s\n", "t_ms", "read_GB/s", "write_GB/s",
+              "gpu_W", "recv_MB/s");
+  for (const RateRow& r : sampler.rates()) {
+    double rd = 0, wr = 0;
+    for (int ch = 0; ch < 8; ++ch) {
+      rd += r.values[2 * ch];
+      wr += r.values[2 * ch + 1];
+    }
+    std::printf("%10.3f %12.2f %12.2f %8.0f %12.2f\n",
+                (r.t0_sec + r.t1_sec) * 500.0, rd / 1e9, wr / 1e9,
+                r.values[16] / 1000.0, r.values[17] / 1e6);
+  }
+
+  std::printf("\nPhases executed:\n");
+  for (const fft::PhaseStats& ph : app.phases()) {
+    std::printf("  %-14s %8.3f .. %8.3f ms\n", ph.name.c_str(),
+                ph.t0_sec * 1e3, ph.t1_sec * 1e3);
+  }
+  return 0;
+}

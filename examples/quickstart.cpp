@@ -1,0 +1,71 @@
+// Quickstart: measure the memory traffic of a simple kernel through the
+// papisim multi-component API, exactly the way an unprivileged Summit user
+// would -- via the PCP component backed by the privileged PMCD daemon.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <memory>
+
+#include "components/pcp_component.hpp"
+#include "core/library.hpp"
+#include "pcp/client.hpp"
+#include "pcp/pmcd.hpp"
+#include "sim/machine.hpp"
+
+using namespace papisim;
+
+int main() {
+  // 1. A Summit-like node: 2 x 21-core POWER9, 8 MBA channels per socket.
+  //    Ordinary users (uid != 0) cannot read the nest counters directly.
+  sim::Machine machine(sim::MachineConfig::summit());
+
+  // 2. The PMCD daemon runs with root credentials and exports the nest
+  //    metrics; our client connects with plain user credentials.
+  pcp::Pmcd daemon(machine);
+  pcp::PcpClient client(daemon, machine, machine.user_credentials());
+
+  // 3. Initialize the measurement library and register the PCP component.
+  Library lib;
+  lib.register_component(std::make_unique<components::PcpComponent>(client));
+
+  // 4. Build an event set covering all 8 MBA read channels + 8 write
+  //    channels of socket 0 (qualifier :cpu87 = last thread of socket 0).
+  auto events = lib.create_eventset();
+  for (int ch = 0; ch < 8; ++ch) {
+    const std::string c = std::to_string(ch);
+    events->add_event("pcp:::perfevent.hwcounters.nest_mba" + c +
+                      "_imc.PM_MBA" + c + "_READ_BYTES.value:cpu87");
+    events->add_event("pcp:::perfevent.hwcounters.nest_mba" + c +
+                      "_imc.PM_MBA" + c + "_WRITE_BYTES.value:cpu87");
+  }
+
+  // 5. The workload: a 64 MB array copy (one load + one store stream).
+  const std::uint64_t elems = 8 << 20;
+  const std::uint64_t src = machine.address_space().allocate(elems * 8);
+  const std::uint64_t dst = machine.address_space().allocate(elems * 8);
+  sim::LoopDesc copy;
+  copy.iterations = elems;
+  copy.streams = {{src, 8, 8, sim::AccessKind::Load},
+                  {dst, 8, 8, sim::AccessKind::Store}};
+
+  events->start();
+  machine.engine(/*socket=*/0, /*core=*/0).execute(copy);
+  machine.flush_socket(0);
+  const std::vector<long long> values = events->read();
+  events->stop();
+
+  long long reads = 0, writes = 0;
+  for (int ch = 0; ch < 8; ++ch) {
+    reads += values[2 * ch];
+    writes += values[2 * ch + 1];
+  }
+  std::printf("copied %llu MB\n", static_cast<unsigned long long>(elems * 8 >> 20));
+  std::printf("measured reads : %lld bytes (%.2f per element)\n", reads,
+              static_cast<double>(reads) / (elems * 8));
+  std::printf("measured writes: %lld bytes (%.2f per element)\n", writes,
+              static_cast<double>(writes) / (elems * 8));
+  std::printf("\nNote the single read per element: the dense sequential "
+              "stores bypassed the cache (no read-for-ownership), one of\n"
+              "the POWER9 behaviours the reproduced paper dissects.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Region-based profiling, the instrumentation style of the PAPI-based tools
+// the paper cites (TAU, Score-P, Caliper): annotate code regions and get a
+// per-region breakdown of nest memory traffic and core activity.
+//
+// Build & run:  ./build/examples/region_profile
+#include <cstdio>
+#include <memory>
+
+#include "components/cpu_component.hpp"
+#include "components/pcp_component.hpp"
+#include "core/regions.hpp"
+#include "kernels/blas_sim.hpp"
+#include "pcp/client.hpp"
+#include "pcp/pmcd.hpp"
+
+using namespace papisim;
+
+int main() {
+  sim::Machine machine(sim::MachineConfig::summit());
+  machine.set_noise_enabled(false);
+  pcp::Pmcd daemon(machine);
+  pcp::PcpClient client(daemon, machine, machine.user_credentials());
+
+  Library lib;
+  lib.register_component(std::make_unique<components::PcpComponent>(client));
+  lib.register_component(std::make_unique<components::CpuComponent>(machine));
+
+  RegionProfiler prof(lib, machine.clock());
+  prof.add_events({
+      "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87",
+      "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_WRITE_BYTES.value:cpu87",
+      "cpu:::PAPI_FP_OPS:core=0",
+      "cpu:::PAPI_L3_TCM:core=0",
+  });
+  prof.start();
+  {
+    auto solve = prof.region("solve");
+    {
+      auto setup = prof.region("gemv");
+      const std::uint64_t m = 4096, n = 512;
+      const kernels::GemvBuffers buf =
+          kernels::GemvBuffers::allocate(machine.address_space(), m, n, n);
+      kernels::run_capped_gemv(machine, 0, 0, m, n, n, buf);
+    }
+    for (int iter = 0; iter < 3; ++iter) {
+      auto gemm = prof.region("gemm");
+      const std::uint64_t n = 192;
+      const kernels::GemmBuffers buf =
+          kernels::GemmBuffers::allocate(machine.address_space(), n);
+      kernels::run_gemm(machine, 0, 0, n, buf);
+      machine.flush_socket(0);
+    }
+  }
+  prof.stop();
+
+  std::printf("%-14s %7s %12s %14s %14s %14s %12s\n", "region", "visits",
+              "excl_ms", "ch0_read_B", "ch0_write_B", "flops", "L3_misses");
+  for (const RegionStats& r : prof.report()) {
+    std::printf("%-14s %7llu %12.3f %14.0f %14.0f %14.0f %12.0f\n",
+                r.path.c_str(), static_cast<unsigned long long>(r.visits),
+                r.exclusive_sec * 1e3, r.exclusive[0], r.exclusive[1],
+                r.exclusive[2], r.exclusive[3]);
+  }
+  std::printf("\nExclusive columns attribute each count to the innermost "
+              "open region, exactly as TAU/Caliper-style tools report\n"
+              "PAPI counters per instrumented region.\n");
+  return 0;
+}

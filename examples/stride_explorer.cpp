@@ -1,0 +1,102 @@
+// Stride explorer: the micro-architectural behaviours the paper dissects,
+// on one screen.  Replays copy-like loops under different access patterns
+// and prints the resulting memory traffic per 8-byte element:
+//
+//   * sequential copy                -> stores bypass the cache: 1 read, 1 write
+//   * copy with a strided load       -> the detected Stride-N stream defeats
+//     the bypass AND each strided element drags in a full 64 B line:
+//     8 (load lines) + 1 (write-allocate) reads
+//   * strided stores                 -> write-allocate a full line per
+//     element: 9 reads, 8 writes (the cost Listing 8 pays on its out array)
+//   * sequential + dcbtst prefetch   -> the store target is read too: 2 reads
+//   * sparse stores (3 loads/store)  -> density too low to stream: 4 reads
+//
+// Build & run:  ./build/examples/stride_explorer
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+using namespace papisim;
+
+namespace {
+
+struct Scenario {
+  std::string name;
+  sim::LoopDesc loop;
+  std::uint64_t payload_bytes;
+};
+
+void run(const Scenario& s) {
+  sim::Machine machine(sim::MachineConfig::summit());
+  machine.set_noise_enabled(false);
+  machine.set_active_cores(0, machine.cores_per_socket());
+  machine.engine(0, 0).execute(s.loop);
+  machine.flush_socket(0);
+  const double reads =
+      static_cast<double>(machine.memctrl(0).total_bytes(sim::MemDir::Read));
+  const double writes =
+      static_cast<double>(machine.memctrl(0).total_bytes(sim::MemDir::Write));
+  std::printf("%-34s %12.2f %12.2f\n", s.name.c_str(),
+              reads / s.payload_bytes, writes / s.payload_bytes);
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kElems = 1 << 21;  // 16 MB payload per stream
+  constexpr std::uint64_t kBytes = kElems * 8;
+  // Fixed simulated addresses; each scenario uses a fresh machine.
+  constexpr std::uint64_t a = 1ull << 24, b = 1ull << 28;
+
+  std::vector<Scenario> scenarios;
+
+  scenarios.push_back({"sequential copy (bypass)",
+                       {{{a, 8, 8, sim::AccessKind::Load},
+                         {b, 8, 8, sim::AccessKind::Store}},
+                        kElems, 0.0, false},
+                       kBytes});
+
+  scenarios.push_back({"copy + strided load (no bypass)",
+                       {{{a, 512, 8, sim::AccessKind::Load},
+                         {b, 8, 8, sim::AccessKind::Store}},
+                        kElems, 0.0, false},
+                       kBytes});
+
+  scenarios.push_back({"strided stores (write-allocate)",
+                       {{{a, 8, 8, sim::AccessKind::Load},
+                         {b, 512, 8, sim::AccessKind::Store}},
+                        kElems, 0.0, false},
+                       kBytes});
+
+  scenarios.push_back({"sequential copy + dcbtst prefetch",
+                       {{{a, 8, 8, sim::AccessKind::Load},
+                         {b, 8, 8, sim::AccessKind::Store}},
+                        kElems, 0.0, true},
+                       kBytes});
+
+  {
+    // 16 load streams per store stream: density too low to stream.
+    sim::LoopDesc loop;
+    for (std::uint64_t k = 0; k < 3; ++k) {
+      loop.streams.push_back({a + k * (1ull << 30), 8, 8, sim::AccessKind::Load});
+    }
+    loop.streams.push_back({b, 8, 8, sim::AccessKind::Store});
+    loop.iterations = kElems;
+    scenarios.push_back({"sparse stores (3 loads per store)", loop, kBytes});
+  }
+
+  std::printf("replaying %llu-element loops on a busy POWER9 socket\n\n",
+              static_cast<unsigned long long>(kElems));
+  std::printf("%-34s %12s %12s\n", "scenario", "reads/elem", "writes/elem");
+  std::printf("%s\n", std::string(60, '-').c_str());
+  for (const Scenario& s : scenarios) run(s);
+
+  std::printf(
+      "\nReads/elem > 1 means the store target was read from memory first\n"
+      "(write-allocate or software prefetch); exactly 1 means the streaming\n"
+      "stores bypassed the cache -- the behaviours behind Figs. 6-9 of the\n"
+      "reproduced paper.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+#include "components/cpu_component.hpp"
+
+#include <charconv>
+
+namespace papisim::components {
+
+namespace {
+
+struct PresetName {
+  const char* name;
+  const char* description;
+  const char* units;
+};
+
+constexpr PresetName kPresets[] = {
+    {"PAPI_TOT_CYC", "Busy cycles of the core", "cycles"},
+    {"PAPI_TOT_INS", "Instructions completed (synthetic estimate)", "instructions"},
+    {"PAPI_FP_OPS", "Floating-point operations retired", "flops"},
+    {"PAPI_L3_TCA", "L3 total accesses (line touches)", "accesses"},
+    {"PAPI_L3_TCH", "L3 total hits (slice or lateral cast-out)", "hits"},
+    {"PAPI_L3_TCM", "L3 total misses (to memory)", "misses"},
+};
+
+bool parse_u32_qualifier(std::string_view& native, std::string_view key,
+                         std::uint32_t& out) {
+  const std::size_t pos = native.rfind(key);
+  if (pos == std::string_view::npos) return true;  // absent: keep default
+  const std::string_view num = native.substr(pos + key.size());
+  const char* end = num.data() + num.size();
+  auto [p, ec] = std::from_chars(num.data(), end, out);
+  if (ec != std::errc{} || p != end) return false;
+  native = native.substr(0, pos);
+  return true;
+}
+
+}  // namespace
+
+struct CpuComponent::State : ControlState {
+  std::vector<Resolved> events;
+  std::vector<std::uint64_t> start_snapshot;
+};
+
+std::vector<EventInfo> CpuComponent::events() const {
+  std::vector<EventInfo> out;
+  for (const PresetName& p : kPresets) {
+    EventInfo info;
+    info.name = std::string("cpu:::") + p.name;
+    info.description = std::string(p.description) +
+                       " (qualifiers :socket=<s>, :core=<c>; default 0/0)";
+    info.units = p.units;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::optional<CpuComponent::Resolved> CpuComponent::resolve(
+    std::string_view native) const {
+  Resolved r;
+  // Qualifiers may appear in either order; core= must be stripped first
+  // because "socket=" is a suffix-match too.
+  if (!parse_u32_qualifier(native, ":core=", r.core)) return std::nullopt;
+  if (!parse_u32_qualifier(native, ":socket=", r.socket)) return std::nullopt;
+  if (r.socket >= machine_.sockets() || r.core >= machine_.cores_per_socket()) {
+    return std::nullopt;
+  }
+  for (std::size_t i = 0; i < std::size(kPresets); ++i) {
+    if (native == kPresets[i].name) {
+      r.preset = static_cast<Preset>(i);
+      return r;
+    }
+  }
+  return std::nullopt;
+}
+
+bool CpuComponent::knows_event(std::string_view native) const {
+  return resolve(native).has_value();
+}
+
+std::uint64_t CpuComponent::read_counter(const Resolved& r) const {
+  const sim::CoreCounters& c = machine_.engine(r.socket, r.core).counters();
+  switch (r.preset) {
+    case Preset::TotCyc:
+      return static_cast<std::uint64_t>(c.busy_ns * 1e-9 *
+                                        machine_.config().core_freq_hz);
+    case Preset::TotIns: return c.instructions();
+    case Preset::FpOps: return c.flops;
+    case Preset::L3Tca: return c.line_touches;
+    case Preset::L3Tch: return c.l3_hits + c.victim_hits;
+    case Preset::L3Tcm: return c.l3_misses();
+  }
+  return 0;
+}
+
+std::unique_ptr<ControlState> CpuComponent::create_state() {
+  return std::make_unique<State>();
+}
+
+void CpuComponent::add_event(ControlState& state, std::string_view native) {
+  const auto r = resolve(native);
+  if (!r) {
+    throw Error(Status::NoEvent, "cpu: unknown event '" + std::string(native) + "'");
+  }
+  auto& st = static_cast<State&>(state);
+  st.events.push_back(*r);
+  st.start_snapshot.push_back(0);
+}
+
+std::size_t CpuComponent::num_events(const ControlState& state) const {
+  return static_cast<const State&>(state).events.size();
+}
+
+void CpuComponent::start(ControlState& state) {
+  auto& st = static_cast<State&>(state);
+  for (std::size_t i = 0; i < st.events.size(); ++i) {
+    st.start_snapshot[i] = read_counter(st.events[i]);
+  }
+}
+
+void CpuComponent::stop(ControlState& /*state*/) {}
+
+void CpuComponent::read(ControlState& state, std::span<long long> out) {
+  auto& st = static_cast<State&>(state);
+  for (std::size_t i = 0; i < st.events.size(); ++i) {
+    out[i] = static_cast<long long>(read_counter(st.events[i]) -
+                                    st.start_snapshot[i]);
+  }
+}
+
+void CpuComponent::reset(ControlState& state) { start(state); }
+
+}  // namespace papisim::components

@@ -1,0 +1,64 @@
+// CPU component: per-core activity counters (cycles, instructions, flops,
+// L3 behaviour) in PAPI preset-event style.  An extension beyond the paper's
+// nest focus, supporting its future-work goal of monitoring additional
+// event categories through the same API.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/component.hpp"
+#include "sim/machine.hpp"
+
+namespace papisim::components {
+
+/// Event name grammar (PAPI preset names with socket/core qualifiers):
+///   cpu:::PAPI_TOT_CYC[:socket=<s>][:core=<c>]
+///   cpu:::PAPI_TOT_INS / PAPI_FP_OPS / PAPI_L3_TCA / PAPI_L3_TCH /
+///   PAPI_L3_TCM
+/// Unqualified names default to socket 0, core 0.
+class CpuComponent : public Component {
+ public:
+  explicit CpuComponent(sim::Machine& machine) : machine_(machine) {}
+
+  std::string name() const override { return "cpu"; }
+  std::string description() const override {
+    return "Per-core activity counters (cycles, instructions, flops, L3 "
+           "accesses/hits/misses)";
+  }
+
+  std::vector<EventInfo> events() const override;
+  bool knows_event(std::string_view native) const override;
+
+  std::unique_ptr<ControlState> create_state() override;
+  void add_event(ControlState& state, std::string_view native) override;
+  std::size_t num_events(const ControlState& state) const override;
+  void start(ControlState& state) override;
+  void stop(ControlState& state) override;
+  void read(ControlState& state, std::span<long long> out) override;
+  void reset(ControlState& state) override;
+
+ private:
+  enum class Preset : std::uint8_t {
+    TotCyc,
+    TotIns,
+    FpOps,
+    L3Tca,  ///< total L3 accesses (line touches)
+    L3Tch,  ///< L3 hits (local slice or lateral cast-out recovery)
+    L3Tcm,  ///< L3 misses (to memory)
+  };
+  struct Resolved {
+    Preset preset = Preset::TotCyc;
+    std::uint32_t socket = 0;
+    std::uint32_t core = 0;
+  };
+  struct State;
+
+  std::optional<Resolved> resolve(std::string_view native) const;
+  std::uint64_t read_counter(const Resolved& r) const;
+
+  sim::Machine& machine_;
+};
+
+}  // namespace papisim::components

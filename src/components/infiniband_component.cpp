@@ -1,0 +1,113 @@
+#include "components/infiniband_component.hpp"
+
+#include <charconv>
+
+namespace papisim::components {
+
+struct InfinibandComponent::State : ControlState {
+  std::vector<Resolved> events;
+  std::vector<std::uint64_t> start_snapshot;
+};
+
+std::vector<EventInfo> InfinibandComponent::events() const {
+  std::vector<EventInfo> out;
+  for (const net::Nic* nic : nics_) {
+    for (std::uint32_t port = 1; port <= nic->ports(); ++port) {
+      for (const char* dir : {"recv", "xmit"}) {
+        EventInfo info;
+        info.name = "infiniband:::" + nic->name() + "_" + std::to_string(port) +
+                    "_ext:port_" + dir + "_data";
+        info.description = std::string("Bytes ") +
+                           (dir[0] == 'r' ? "received" : "transmitted") +
+                           " on the port (extended counter)";
+        info.units = "bytes";
+        out.push_back(std::move(info));
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<InfinibandComponent::Resolved> InfinibandComponent::resolve(
+    std::string_view native) const {
+  // "<hca>_<port>_ext:port_<recv|xmit>_data"
+  Resolved r;
+  if (native.ends_with(":port_recv_data")) {
+    r.recv = true;
+    native.remove_suffix(15);
+  } else if (native.ends_with(":port_xmit_data")) {
+    r.recv = false;
+    native.remove_suffix(15);
+  } else {
+    return std::nullopt;
+  }
+  if (!native.ends_with("_ext")) return std::nullopt;
+  native.remove_suffix(4);
+  const std::size_t us = native.rfind('_');
+  if (us == std::string_view::npos || us + 1 >= native.size()) return std::nullopt;
+  const std::string_view port_str = native.substr(us + 1);
+  const char* end = port_str.data() + port_str.size();
+  auto [p, ec] = std::from_chars(port_str.data(), end, r.port);
+  if (ec != std::errc{} || p != end || r.port == 0) return std::nullopt;
+  const std::string_view hca = native.substr(0, us);
+  for (const net::Nic* nic : nics_) {
+    if (nic->name() == hca && r.port <= nic->ports()) {
+      r.nic = nic;
+      return r;
+    }
+  }
+  return std::nullopt;
+}
+
+bool InfinibandComponent::knows_event(std::string_view native) const {
+  return resolve(native).has_value();
+}
+
+std::unique_ptr<ControlState> InfinibandComponent::create_state() {
+  return std::make_unique<State>();
+}
+
+void InfinibandComponent::add_event(ControlState& state, std::string_view native) {
+  const auto r = resolve(native);
+  if (!r) {
+    throw Error(Status::NoEvent,
+                "infiniband: unknown event '" + std::string(native) + "'");
+  }
+  auto& st = static_cast<State&>(state);
+  st.events.push_back(*r);
+  st.start_snapshot.push_back(0);
+}
+
+std::size_t InfinibandComponent::num_events(const ControlState& state) const {
+  return static_cast<const State&>(state).events.size();
+}
+
+void InfinibandComponent::start(ControlState& state) {
+  auto& st = static_cast<State&>(state);
+  for (std::size_t i = 0; i < st.events.size(); ++i) {
+    const Resolved& r = st.events[i];
+    st.start_snapshot[i] = r.recv ? r.nic->recv_bytes(r.port) : r.nic->xmit_bytes(r.port);
+  }
+}
+
+void InfinibandComponent::stop(ControlState& /*state*/) {}
+
+void InfinibandComponent::read(ControlState& state, std::span<long long> out) {
+  auto& st = static_cast<State&>(state);
+  for (std::size_t i = 0; i < st.events.size(); ++i) {
+    const Resolved& r = st.events[i];
+    const std::uint64_t now =
+        r.recv ? r.nic->recv_bytes(r.port) : r.nic->xmit_bytes(r.port);
+    out[i] = static_cast<long long>(now - st.start_snapshot[i]);
+  }
+}
+
+void InfinibandComponent::reset(ControlState& state) {
+  auto& st = static_cast<State&>(state);
+  for (std::size_t i = 0; i < st.events.size(); ++i) {
+    const Resolved& r = st.events[i];
+    st.start_snapshot[i] = r.recv ? r.nic->recv_bytes(r.port) : r.nic->xmit_bytes(r.port);
+  }
+}
+
+}  // namespace papisim::components

@@ -1,0 +1,50 @@
+// Infiniband component: extended port byte counters of the HCAs.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/component.hpp"
+#include "net/nic.hpp"
+
+namespace papisim::components {
+
+/// Event name grammar (as PAPI's infiniband component forms it):
+///   infiniband:::<hca>_<port>_ext:port_recv_data
+///   infiniband:::<hca>_<port>_ext:port_xmit_data
+/// e.g. "infiniband:::mlx5_0_1_ext:port_recv_data".
+class InfinibandComponent : public Component {
+ public:
+  explicit InfinibandComponent(std::vector<net::Nic*> nics) : nics_(std::move(nics)) {}
+
+  std::string name() const override { return "infiniband"; }
+  std::string description() const override {
+    return "Mellanox HCA extended port counters (bytes received/transmitted)";
+  }
+
+  std::vector<EventInfo> events() const override;
+  bool knows_event(std::string_view native) const override;
+
+  std::unique_ptr<ControlState> create_state() override;
+  void add_event(ControlState& state, std::string_view native) override;
+  std::size_t num_events(const ControlState& state) const override;
+  void start(ControlState& state) override;
+  void stop(ControlState& state) override;
+  void read(ControlState& state, std::span<long long> out) override;
+  void reset(ControlState& state) override;
+
+ private:
+  struct Resolved {
+    const net::Nic* nic = nullptr;
+    std::uint32_t port = 1;
+    bool recv = true;
+  };
+  struct State;
+
+  std::optional<Resolved> resolve(std::string_view native) const;
+
+  std::vector<net::Nic*> nics_;
+};
+
+}  // namespace papisim::components

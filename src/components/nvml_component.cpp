@@ -1,0 +1,69 @@
+#include "components/nvml_component.hpp"
+
+namespace papisim::components {
+
+struct NvmlComponent::State : ControlState {
+  std::vector<const gpu::GpuDevice*> devices;
+};
+
+std::string NvmlComponent::event_name_for(const gpu::GpuDevice& d) const {
+  return d.model() + ":device_" + std::to_string(d.id()) + ":power";
+}
+
+const gpu::GpuDevice* NvmlComponent::device_for(std::string_view native) const {
+  for (const gpu::GpuDevice* d : devices_) {
+    if (event_name_for(*d) == native) return d;
+  }
+  return nullptr;
+}
+
+std::vector<EventInfo> NvmlComponent::events() const {
+  std::vector<EventInfo> out;
+  out.reserve(devices_.size());
+  for (const gpu::GpuDevice* d : devices_) {
+    EventInfo info;
+    info.name = "nvml:::" + event_name_for(*d);
+    info.description = "Instantaneous board power draw";
+    info.units = "mW";
+    info.instantaneous = true;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+bool NvmlComponent::knows_event(std::string_view native) const {
+  return device_for(native) != nullptr;
+}
+
+bool NvmlComponent::is_instantaneous(std::string_view native) const {
+  return knows_event(native);
+}
+
+std::unique_ptr<ControlState> NvmlComponent::create_state() {
+  return std::make_unique<State>();
+}
+
+void NvmlComponent::add_event(ControlState& state, std::string_view native) {
+  const gpu::GpuDevice* d = device_for(native);
+  if (d == nullptr) {
+    throw Error(Status::NoEvent, "nvml: unknown event '" + std::string(native) + "'");
+  }
+  static_cast<State&>(state).devices.push_back(d);
+}
+
+std::size_t NvmlComponent::num_events(const ControlState& state) const {
+  return static_cast<const State&>(state).devices.size();
+}
+
+void NvmlComponent::start(ControlState& /*state*/) {}
+void NvmlComponent::stop(ControlState& /*state*/) {}
+void NvmlComponent::reset(ControlState& /*state*/) {}
+
+void NvmlComponent::read(ControlState& state, std::span<long long> out) {
+  auto& st = static_cast<State&>(state);
+  for (std::size_t i = 0; i < st.devices.size(); ++i) {
+    out[i] = static_cast<long long>(st.devices[i]->power_mw());
+  }
+}
+
+}  // namespace papisim::components

@@ -1,0 +1,46 @@
+// NVML component: instantaneous GPU board power (gauge, milliwatts).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/component.hpp"
+#include "gpu/gpu_device.hpp"
+
+namespace papisim::components {
+
+/// Event name grammar (as PAPI's nvml component forms it):
+///   nvml:::<model>:device_<i>:power        e.g.
+///   nvml:::Tesla_V100-SXM2-16GB:device_0:power
+class NvmlComponent : public Component {
+ public:
+  explicit NvmlComponent(std::vector<gpu::GpuDevice*> devices)
+      : devices_(std::move(devices)) {}
+
+  std::string name() const override { return "nvml"; }
+  std::string description() const override {
+    return "NVIDIA Management Library: GPU power (mW), instantaneous";
+  }
+
+  std::vector<EventInfo> events() const override;
+  bool knows_event(std::string_view native) const override;
+  bool is_instantaneous(std::string_view native) const override;
+
+  std::unique_ptr<ControlState> create_state() override;
+  void add_event(ControlState& state, std::string_view native) override;
+  std::size_t num_events(const ControlState& state) const override;
+  void start(ControlState& state) override;
+  void stop(ControlState& state) override;
+  void read(ControlState& state, std::span<long long> out) override;
+  void reset(ControlState& state) override;
+
+ private:
+  struct State;
+
+  std::string event_name_for(const gpu::GpuDevice& d) const;
+  const gpu::GpuDevice* device_for(std::string_view native) const;
+
+  std::vector<gpu::GpuDevice*> devices_;
+};
+
+}  // namespace papisim::components

@@ -1,0 +1,129 @@
+#include "components/pcp_component.hpp"
+
+#include <charconv>
+
+namespace papisim::components {
+
+struct PcpComponent::State : ControlState {
+  std::vector<Resolved> events;
+  std::vector<std::uint64_t> start_snapshot;
+};
+
+PcpComponent::PcpComponent(pcp::PcpClient& client)
+    : client_(client), max_cpu_(client.machine().config().usable_cpus()) {
+  // Traverse the PMNS once and cache name -> pmid (pmLookupName round trips).
+  for (const std::string& name : client_.names_under("")) {
+    if (const auto pmid = client_.lookup(name)) metrics_.emplace(name, *pmid);
+  }
+}
+
+std::vector<EventInfo> PcpComponent::events() const {
+  std::vector<EventInfo> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, pmid] : metrics_) {
+    EventInfo info;
+    info.name = "pcp:::" + name + ".value";
+    info.description =
+        "PCP metric via PMCD (append :cpu<N> to select the socket instance)";
+    info.units = name.find("_REQS") != std::string::npos ? "count" : "bytes";
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::optional<PcpComponent::Resolved> PcpComponent::resolve(
+    std::string_view native) const {
+  Resolved r;
+  // Optional trailing ":cpu<N>" instance qualifier.
+  const std::size_t colon = native.rfind(":cpu");
+  if (colon != std::string_view::npos) {
+    const std::string_view num = native.substr(colon + 4);
+    const char* end = num.data() + num.size();
+    auto [p, ec] = std::from_chars(num.data(), end, r.cpu);
+    if (ec != std::errc{} || p != end) return std::nullopt;
+    if (r.cpu >= max_cpu_) return std::nullopt;
+    native = native.substr(0, colon);
+  }
+  // Mandatory ".value" leaf.
+  constexpr std::string_view kLeaf = ".value";
+  if (native.size() <= kLeaf.size() || !native.ends_with(kLeaf)) return std::nullopt;
+  native.remove_suffix(kLeaf.size());
+
+  const auto it = metrics_.find(native);
+  if (it == metrics_.end()) return std::nullopt;
+  r.pmid = it->second;
+  return r;
+}
+
+bool PcpComponent::knows_event(std::string_view native) const {
+  return resolve(native).has_value();
+}
+
+std::unique_ptr<ControlState> PcpComponent::create_state() {
+  return std::make_unique<State>();
+}
+
+void PcpComponent::add_event(ControlState& state, std::string_view native) {
+  const auto r = resolve(native);
+  if (!r) {
+    throw Error(Status::NoEvent, "pcp: unknown event '" + std::string(native) + "'");
+  }
+  auto& st = static_cast<State&>(state);
+  st.events.push_back(*r);
+  st.start_snapshot.push_back(0);
+}
+
+std::size_t PcpComponent::num_events(const ControlState& state) const {
+  return static_cast<const State&>(state).events.size();
+}
+
+void PcpComponent::fetch_all(State& st, std::vector<std::uint64_t>& out) {
+  out.assign(st.events.size(), 0);
+  // Group events by cpu instance: one pmFetch round trip per distinct cpu.
+  std::vector<bool> done(st.events.size(), false);
+  for (std::size_t i = 0; i < st.events.size(); ++i) {
+    if (done[i]) continue;
+    const std::uint32_t cpu = st.events[i].cpu;
+    std::vector<pcp::PmId> ids;
+    std::vector<std::size_t> slots;
+    for (std::size_t j = i; j < st.events.size(); ++j) {
+      if (!done[j] && st.events[j].cpu == cpu) {
+        ids.push_back(st.events[j].pmid);
+        slots.push_back(j);
+        done[j] = true;
+      }
+    }
+    ++fetches_;
+    const pcp::FetchReply reply = client_.fetch(ids, cpu);
+    if (!reply.ok) {
+      throw Error(Status::Internal, "pcp: pmFetch failed: " + reply.error);
+    }
+    for (std::size_t k = 0; k < slots.size(); ++k) out[slots[k]] = reply.values[k];
+  }
+}
+
+void PcpComponent::start(ControlState& state) {
+  auto& st = static_cast<State&>(state);
+  fetch_all(st, st.start_snapshot);
+  for (std::uint32_t s = 0; s < client_.machine().sockets(); ++s) {
+    client_.machine().noise(s).measurement_overhead();
+  }
+}
+
+void PcpComponent::stop(ControlState& /*state*/) {}
+
+void PcpComponent::read(ControlState& state, std::span<long long> out) {
+  auto& st = static_cast<State&>(state);
+  std::vector<std::uint64_t> now;
+  fetch_all(st, now);
+  for (std::size_t i = 0; i < st.events.size(); ++i) {
+    out[i] = static_cast<long long>(now[i] - st.start_snapshot[i]);
+  }
+}
+
+void PcpComponent::reset(ControlState& state) {
+  auto& st = static_cast<State&>(state);
+  fetch_all(st, st.start_snapshot);
+}
+
+}  // namespace papisim::components

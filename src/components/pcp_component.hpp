@@ -1,0 +1,62 @@
+// PCP component: nest memory-traffic events for unprivileged users, fetched
+// through the PMCD daemon (the paper's central subject).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/component.hpp"
+#include "pcp/client.hpp"
+
+namespace papisim::components {
+
+/// Event name grammar (as on Summit):
+///   pcp:::perfevent.hwcounters.nest_mba<ch>_imc.PM_MBA<ch>_<READ|WRITE>_BYTES
+///        .value:cpu<N>
+/// The ":cpu<N>" instance qualifier picks the hardware thread whose socket's
+/// nest is read (the paper uses cpu87 / cpu175 for sockets 0 / 1).
+class PcpComponent : public Component {
+ public:
+  explicit PcpComponent(pcp::PcpClient& client);
+
+  std::string name() const override { return "pcp"; }
+  std::string description() const override {
+    return "Performance Co-Pilot metrics via the PMCD daemon; exposes nest "
+           "memory-traffic counters to unprivileged users";
+  }
+
+  std::vector<EventInfo> events() const override;
+  bool knows_event(std::string_view native) const override;
+
+  std::unique_ptr<ControlState> create_state() override;
+  void add_event(ControlState& state, std::string_view native) override;
+  std::size_t num_events(const ControlState& state) const override;
+  void start(ControlState& state) override;
+  void stop(ControlState& state) override;
+  void read(ControlState& state, std::span<long long> out) override;
+  void reset(ControlState& state) override;
+
+  std::uint64_t fetches() const { return fetches_; }
+
+ private:
+  struct State;
+  struct Resolved {
+    pcp::PmId pmid = 0;
+    std::uint32_t cpu = 0;
+  };
+
+  /// Parse "<metric>.value:cpu<N>"; nullopt if malformed or unknown.
+  std::optional<Resolved> resolve(std::string_view native) const;
+
+  /// One pmFetch round-trip per distinct cpu instance in the state.
+  void fetch_all(State& st, std::vector<std::uint64_t>& out);
+
+  pcp::PcpClient& client_;
+  std::map<std::string, pcp::PmId, std::less<>> metrics_;  ///< PMNS cache
+  std::uint32_t max_cpu_;
+  std::uint64_t fetches_ = 0;
+};
+
+}  // namespace papisim::components

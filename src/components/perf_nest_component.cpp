@@ -1,0 +1,89 @@
+#include "components/perf_nest_component.hpp"
+
+namespace papisim::components {
+
+struct PerfNestComponent::State : ControlState {
+  std::vector<nest::NestEventId> events;
+  std::vector<std::uint64_t> start_snapshot;
+  bool running = false;
+};
+
+PerfNestComponent::PerfNestComponent(sim::Machine& machine, sim::Credentials creds)
+    : machine_(machine) {
+  try {
+    pmu_.emplace(machine, creds);
+  } catch (const nest::PermissionError& e) {
+    disabled_reason_ = e.what();
+  }
+}
+
+std::vector<EventInfo> PerfNestComponent::events() const {
+  std::vector<EventInfo> out;
+  for (const std::string& n : nest::NestPmu::enumerate(machine_.config())) {
+    EventInfo info;
+    info.name = n;  // bare perf-style names, as PAPI shows them
+    info.description = "Nest MBA channel memory traffic (qualifier :cpu=N "
+                       "selects the socket of hardware thread N)";
+    info.units = n.find("_REQS") != std::string::npos ? "count" : "bytes";
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+bool PerfNestComponent::knows_event(std::string_view native) const {
+  return nest::NestPmu::parse_perf_event(native, machine_.config()).has_value();
+}
+
+std::unique_ptr<ControlState> PerfNestComponent::create_state() {
+  return std::make_unique<State>();
+}
+
+void PerfNestComponent::add_event(ControlState& state, std::string_view native) {
+  if (!available()) {
+    throw Error(Status::ComponentDisabled, "perf_nest: " + disabled_reason_);
+  }
+  const auto id = nest::NestPmu::parse_perf_event(native, machine_.config());
+  if (!id) {
+    throw Error(Status::NoEvent, "perf_nest: unknown event '" + std::string(native) + "'");
+  }
+  auto& st = static_cast<State&>(state);
+  st.events.push_back(*id);
+  st.start_snapshot.push_back(0);
+}
+
+std::size_t PerfNestComponent::num_events(const ControlState& state) const {
+  return static_cast<const State&>(state).events.size();
+}
+
+void PerfNestComponent::start(ControlState& state) {
+  auto& st = static_cast<State&>(state);
+  st.running = true;
+  for (std::size_t i = 0; i < st.events.size(); ++i) {
+    st.start_snapshot[i] = pmu_->read(st.events[i]);
+  }
+  // Instrumentation around the start itself perturbs the counters; the
+  // sockets being measured observe it (amortized by repetitions, Eq. 5).
+  for (std::uint32_t s = 0; s < machine_.sockets(); ++s) {
+    machine_.noise(s).measurement_overhead();
+  }
+}
+
+void PerfNestComponent::stop(ControlState& state) {
+  static_cast<State&>(state).running = false;
+}
+
+void PerfNestComponent::read(ControlState& state, std::span<long long> out) {
+  auto& st = static_cast<State&>(state);
+  for (std::size_t i = 0; i < st.events.size(); ++i) {
+    out[i] = static_cast<long long>(pmu_->read(st.events[i]) - st.start_snapshot[i]);
+  }
+}
+
+void PerfNestComponent::reset(ControlState& state) {
+  auto& st = static_cast<State&>(state);
+  for (std::size_t i = 0; i < st.events.size(); ++i) {
+    st.start_snapshot[i] = pmu_->read(st.events[i]);
+  }
+}
+
+}  // namespace papisim::components

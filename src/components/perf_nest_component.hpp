@@ -1,0 +1,49 @@
+// Direct (privileged) nest-counter component: the "perf_uncore" path used on
+// the Tellico testbed, where elevated privileges allow PAPI to read the nest
+// IMC counters without PCP.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/component.hpp"
+#include "nest/nest_pmu.hpp"
+#include "sim/machine.hpp"
+
+namespace papisim::components {
+
+class PerfNestComponent : public Component {
+ public:
+  /// Attempts to open the nest PMU with `creds`.  Without privileges the
+  /// component registers in the DISABLED state (as real PAPI does when
+  /// perf_event returns EPERM for uncore PMUs) rather than failing init.
+  PerfNestComponent(sim::Machine& machine, sim::Credentials creds);
+
+  std::string name() const override { return "perf_nest"; }
+  std::string description() const override {
+    return "IBM POWER9 nest (uncore) memory-traffic counters via direct "
+           "perf_event access; requires elevated privileges";
+  }
+  std::string disabled_reason() const override { return disabled_reason_; }
+
+  std::vector<EventInfo> events() const override;
+  bool knows_event(std::string_view native) const override;
+
+  std::unique_ptr<ControlState> create_state() override;
+  void add_event(ControlState& state, std::string_view native) override;
+  std::size_t num_events(const ControlState& state) const override;
+  void start(ControlState& state) override;
+  void stop(ControlState& state) override;
+  void read(ControlState& state, std::span<long long> out) override;
+  void reset(ControlState& state) override;
+
+ private:
+  struct State;
+
+  sim::Machine& machine_;
+  std::optional<nest::NestPmu> pmu_;
+  std::string disabled_reason_;
+};
+
+}  // namespace papisim::components

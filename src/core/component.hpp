@@ -1,0 +1,77 @@
+// The component interface of the multi-component measurement library.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace papisim {
+
+/// Description of one native event exposed by a component.
+struct EventInfo {
+  std::string name;         ///< fully qualified, e.g. "pcp:::perfevent...value"
+  std::string description;
+  std::string units;
+  bool instantaneous = false;  ///< gauge (e.g. power) rather than counter
+};
+
+/// Per-event-set component state.  Components subclass this to keep resolved
+/// event codes and start snapshots; the core never looks inside.
+class ControlState {
+ public:
+  virtual ~ControlState() = default;
+};
+
+/// A measurement backend: one hardware domain exposed through the uniform
+/// API (PAPI's "component" concept).  Implementations in src/components:
+/// perf_nest (direct privileged counters), pcp (via PMCD), nvml (GPU power),
+/// infiniband (NIC port traffic), cpu (core activity).
+class Component {
+ public:
+  virtual ~Component() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::string description() const = 0;
+
+  /// Empty when usable; otherwise the reason the component is disabled
+  /// (e.g. "insufficient privileges"), mirroring PAPI's disabled_reason.
+  virtual std::string disabled_reason() const { return {}; }
+  bool available() const { return disabled_reason().empty(); }
+
+  /// Enumerate native events (names are component-qualified).
+  virtual std::vector<EventInfo> events() const = 0;
+
+  /// True if `native` (without the component prefix) resolves.
+  virtual bool knows_event(std::string_view native) const = 0;
+
+  /// True if `native` is a gauge (instantaneous reading, e.g. power in mW)
+  /// rather than a monotonically accumulating counter.
+  virtual bool is_instantaneous(std::string_view native) const {
+    (void)native;
+    return false;
+  }
+
+  virtual std::unique_ptr<ControlState> create_state() = 0;
+
+  /// Add a native event to the state.  @throws Error(Status::NoEvent).
+  virtual void add_event(ControlState& state, std::string_view native) = 0;
+
+  virtual std::size_t num_events(const ControlState& state) const = 0;
+
+  /// Start counting: zero the virtual counters (snapshot semantics).
+  virtual void start(ControlState& state) = 0;
+  virtual void stop(ControlState& state) = 0;
+
+  /// Read values accumulated since start (or instantaneous values for
+  /// gauges).  `out.size()` must equal num_events(state).
+  virtual void read(ControlState& state, std::span<long long> out) = 0;
+
+  /// Re-zero the counters without stopping.
+  virtual void reset(ControlState& state) = 0;
+};
+
+}  // namespace papisim

@@ -1,0 +1,37 @@
+// Status codes and error type of the papisim measurement library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace papisim {
+
+/// Result statuses, mirroring the PAPI error-code vocabulary.
+enum class Status {
+  Ok,
+  NoComponent,       ///< no component of that name is registered
+  NoEvent,           ///< event name did not resolve in the component
+  ComponentDisabled, ///< component registered but unusable (e.g. EPERM)
+  AlreadyRunning,    ///< start() on a running event set
+  NotRunning,        ///< stop()/read() on a stopped event set
+  InvalidArgument,
+  PermissionDenied,
+  Internal,
+};
+
+const char* to_string(Status s);
+
+/// Exception carrying a Status; thrown by the public API on misuse and by
+/// components on resolution/permission failures.
+class Error : public std::runtime_error {
+ public:
+  Error(Status status, const std::string& what)
+      : std::runtime_error(what), status_(status) {}
+
+  Status status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace papisim

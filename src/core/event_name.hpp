@@ -1,0 +1,39 @@
+// Parsing of fully qualified event names ("component:::native[:qualifiers]").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace papisim {
+
+/// A split event name.  "pcp:::perfevent.foo.value:cpu87" splits into
+/// component "pcp" and native "perfevent.foo.value:cpu87"; names without a
+/// ":::" separator have an empty component and are resolved by probing every
+/// registered component (PAPI's behaviour for bare native names such as
+/// "power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0").
+struct ParsedEventName {
+  std::string component;
+  std::string native;
+};
+
+inline ParsedEventName parse_event_name(std::string_view full) {
+  const std::size_t pos = full.find(":::");
+  if (pos == std::string_view::npos) {
+    return {std::string{}, std::string(full)};
+  }
+  return {std::string(full.substr(0, pos)), std::string(full.substr(pos + 3))};
+}
+
+/// Strips a trailing ":key..." qualifier (used by components with simple
+/// suffix qualifiers).  Returns the qualifier without the colon, or nullopt.
+inline std::optional<std::string_view> split_suffix_qualifier(
+    std::string_view& native, std::string_view key) {
+  const std::size_t pos = native.rfind(key);
+  if (pos == std::string_view::npos) return std::nullopt;
+  std::string_view qual = native.substr(pos + key.size());
+  native = native.substr(0, pos);
+  return qual;
+}
+
+}  // namespace papisim

@@ -1,0 +1,146 @@
+#include "core/library.hpp"
+
+#include "core/event_name.hpp"
+
+namespace papisim {
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::Ok: return "Ok";
+    case Status::NoComponent: return "NoComponent";
+    case Status::NoEvent: return "NoEvent";
+    case Status::ComponentDisabled: return "ComponentDisabled";
+    case Status::AlreadyRunning: return "AlreadyRunning";
+    case Status::NotRunning: return "NotRunning";
+    case Status::InvalidArgument: return "InvalidArgument";
+    case Status::PermissionDenied: return "PermissionDenied";
+    case Status::Internal: return "Internal";
+  }
+  return "Unknown";
+}
+
+Component& Library::register_component(std::unique_ptr<Component> component) {
+  if (component == nullptr) {
+    throw Error(Status::InvalidArgument, "register_component: null component");
+  }
+  if (find_component(component->name()) != nullptr) {
+    throw Error(Status::InvalidArgument,
+                "component '" + component->name() + "' already registered");
+  }
+  components_.push_back(std::move(component));
+  return *components_.back();
+}
+
+Component* Library::find_component(std::string_view name) {
+  for (auto& c : components_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+Component& Library::component(std::string_view name) {
+  Component* c = find_component(name);
+  if (c == nullptr) {
+    throw Error(Status::NoComponent, "no component named '" + std::string(name) + "'");
+  }
+  return *c;
+}
+
+std::vector<Component*> Library::components() {
+  std::vector<Component*> out;
+  out.reserve(components_.size());
+  for (auto& c : components_) out.push_back(c.get());
+  return out;
+}
+
+Component& Library::route_event(std::string_view full_name, std::string& native_out) {
+  const ParsedEventName parsed = parse_event_name(full_name);
+  if (!parsed.component.empty()) {
+    Component& c = component(parsed.component);
+    if (!c.available()) {
+      throw Error(Status::ComponentDisabled,
+                  "component '" + parsed.component + "' is disabled: " +
+                      c.disabled_reason());
+    }
+    if (!c.knows_event(parsed.native)) {
+      throw Error(Status::NoEvent, "component '" + parsed.component +
+                                       "' has no event '" + parsed.native + "'");
+    }
+    native_out = parsed.native;
+    return c;
+  }
+  // Bare native name: probe every available component (PAPI behaviour).
+  for (auto& c : components_) {
+    if (c->available() && c->knows_event(parsed.native)) {
+      native_out = parsed.native;
+      return *c;
+    }
+  }
+  throw Error(Status::NoEvent,
+              "event '" + std::string(full_name) + "' not found in any component");
+}
+
+std::unique_ptr<EventSet> Library::create_eventset() {
+  return std::make_unique<EventSet>(*this);
+}
+
+void EventSet::add_event(std::string_view full_name) {
+  if (running_) {
+    throw Error(Status::AlreadyRunning, "cannot add events to a running event set");
+  }
+  std::string native;
+  Component& c = lib_.route_event(full_name, native);
+  if (component_ != nullptr && component_ != &c) {
+    throw Error(Status::InvalidArgument,
+                "event set is bound to component '" + component_->name() +
+                    "'; cannot add event from '" + c.name() + "'");
+  }
+  if (component_ == nullptr) {
+    component_ = &c;
+    state_ = c.create_state();
+  }
+  component_->add_event(*state_, native);
+  names_.emplace_back(full_name);
+}
+
+void EventSet::require_bound() const {
+  if (component_ == nullptr) {
+    throw Error(Status::InvalidArgument, "event set has no events");
+  }
+}
+
+void EventSet::start() {
+  require_bound();
+  if (running_) throw Error(Status::AlreadyRunning, "event set already running");
+  component_->start(*state_);
+  running_ = true;
+}
+
+void EventSet::stop() {
+  require_bound();
+  if (!running_) throw Error(Status::NotRunning, "event set not running");
+  component_->stop(*state_);
+  running_ = false;
+}
+
+void EventSet::reset() {
+  require_bound();
+  component_->reset(*state_);
+}
+
+std::vector<long long> EventSet::read() {
+  std::vector<long long> out(names_.size());
+  read(out);
+  return out;
+}
+
+void EventSet::read(std::span<long long> out) {
+  require_bound();
+  if (!running_) throw Error(Status::NotRunning, "event set not running");
+  if (out.size() != names_.size()) {
+    throw Error(Status::InvalidArgument, "read: output span size mismatch");
+  }
+  component_->read(*state_, out);
+}
+
+}  // namespace papisim

@@ -1,0 +1,92 @@
+// Library: component registry and event-set factory (the PAPI_library_init /
+// PAPI_create_eventset surface of papisim).
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/component.hpp"
+#include "core/error.hpp"
+
+namespace papisim {
+
+class EventSet;
+
+/// The measurement library instance.
+///
+/// Usage mirrors PAPI:
+///
+///   papisim::Library lib;
+///   lib.register_component(std::make_unique<PcpComponent>(client));
+///   auto es = lib.create_eventset();
+///   es->add_event("pcp:::perfevent.hwcounters.nest_mba0_imc."
+///                 "PM_MBA0_READ_BYTES.value:cpu87");
+///   es->start();  ... workload ...  es->stop();
+///   auto values = es->read();
+class Library {
+ public:
+  Library() = default;
+  Library(const Library&) = delete;
+  Library& operator=(const Library&) = delete;
+
+  /// Registers a component; rejects duplicate names.
+  Component& register_component(std::unique_ptr<Component> component);
+
+  /// Lookup by name; nullptr when absent.
+  Component* find_component(std::string_view name);
+
+  /// Lookup by name; @throws Error(Status::NoComponent) when absent.
+  Component& component(std::string_view name);
+
+  std::vector<Component*> components();
+
+  /// Resolve a fully qualified or bare native event name to its component.
+  /// @throws Error(Status::NoComponent / Status::NoEvent).
+  Component& route_event(std::string_view full_name, std::string& native_out);
+
+  /// New empty event set (bound to a component by its first add_event).
+  std::unique_ptr<EventSet> create_eventset();
+
+ private:
+  std::vector<std::unique_ptr<Component>> components_;
+};
+
+/// A set of events from ONE component, measured together (PAPI semantics:
+/// event sets cannot mix components; multi-component profiling uses several
+/// event sets, see Sampler).
+class EventSet {
+ public:
+  explicit EventSet(Library& lib) : lib_(lib) {}
+
+  /// Adds a fully qualified ("comp:::native") or bare native event.
+  /// The first event binds the set to its component.
+  /// @throws Error on unknown events, mixed components, or while running.
+  void add_event(std::string_view full_name);
+
+  const std::vector<std::string>& event_names() const { return names_; }
+  std::size_t size() const { return names_.size(); }
+  bool running() const { return running_; }
+
+  /// Component this set is bound to (nullptr before the first add_event).
+  Component* component() const { return component_; }
+
+  void start();
+  void stop();
+  void reset();
+
+  /// Values since start() (gauges read instantaneously).
+  std::vector<long long> read();
+  void read(std::span<long long> out);
+
+ private:
+  void require_bound() const;
+
+  Library& lib_;
+  Component* component_ = nullptr;
+  std::unique_ptr<ControlState> state_;
+  std::vector<std::string> names_;
+  bool running_ = false;
+};
+
+}  // namespace papisim

@@ -1,0 +1,75 @@
+#include "core/profiler.hpp"
+
+#include <algorithm>
+
+namespace papisim {
+
+void Profiler::add_events(const std::vector<std::string>& names) {
+  if (running_ || built_) {
+    throw Error(Status::AlreadyRunning,
+                "Profiler: cannot add events after start()");
+  }
+  for (const std::string& name : names) {
+    std::string native;
+    Component& comp = lib_.route_event(name, native);  // validates eagerly
+    pending_.emplace_back(comp.name(), name);
+  }
+}
+
+void Profiler::start() {
+  if (running_) throw Error(Status::AlreadyRunning, "Profiler already running");
+  if (!built_) {
+    if (pending_.empty()) {
+      throw Error(Status::InvalidArgument, "Profiler: no events added");
+    }
+    // Group by component, preserving insertion order within each group and
+    // the order of first appearance across groups.
+    std::vector<std::string> component_order;
+    for (const auto& [comp, name] : pending_) {
+      if (std::find(component_order.begin(), component_order.end(), comp) ==
+          component_order.end()) {
+        component_order.push_back(comp);
+      }
+    }
+    for (const std::string& comp : component_order) {
+      auto es = lib_.create_eventset();
+      for (const auto& [c, name] : pending_) {
+        if (c == comp) es->add_event(name);
+      }
+      sampler_.add_eventset(*es);
+      sets_.push_back(std::move(es));
+    }
+    built_ = true;
+  }
+  sampler_.start_all();
+  running_ = true;
+}
+
+void Profiler::stop() {
+  if (!running_) throw Error(Status::NotRunning, "Profiler not running");
+  sampler_.stop_all();
+  running_ = false;
+}
+
+std::vector<long long> Profiler::read_now() {
+  if (!running_) throw Error(Status::NotRunning, "Profiler not running");
+  std::vector<long long> out;
+  for (auto& es : sets_) {
+    const std::vector<long long> v = es->read();
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+void Profiler::write_csv(std::ostream& os) const {
+  os << "t_sec";
+  for (const std::string& c : sampler_.columns()) os << ',' << c;
+  os << '\n';
+  for (const TimelineRow& row : sampler_.rows()) {
+    os << row.t_sec;
+    for (const long long v : row.values) os << ',' << v;
+    os << '\n';
+  }
+}
+
+}  // namespace papisim

@@ -1,0 +1,63 @@
+// High-level profiling convenience API (PAPI's high-level interface
+// analogue): give it a flat list of event names from ANY mix of components
+// and it builds the per-component event sets (event sets cannot span
+// components), wires them to a Sampler, and manages the lifecycle.
+#pragma once
+
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/library.hpp"
+#include "core/sampler.hpp"
+
+namespace papisim {
+
+class Profiler {
+ public:
+  Profiler(Library& lib, const sim::SimClock& clock)
+      : lib_(lib), sampler_(clock) {}
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Add events (fully qualified or bare native names); events are grouped
+  /// into one event set per component, preserving no particular column
+  /// order guarantee beyond "grouped by component, in insertion order".
+  /// @throws Error if any name fails to resolve or the profiler is running.
+  void add_events(const std::vector<std::string>& names);
+  void add_events(std::initializer_list<std::string> names) {
+    add_events(std::vector<std::string>(names));
+  }
+
+  /// Column names in sampler order (available after start()).
+  const std::vector<std::string>& columns() const { return sampler_.columns(); }
+
+  void start();
+  void sample() { sampler_.sample(); }
+  void stop();
+  bool running() const { return running_; }
+
+  const Sampler& sampler() const { return sampler_; }
+  const std::vector<TimelineRow>& rows() const { return sampler_.rows(); }
+
+  /// Read the current value of every column without recording a row.
+  std::vector<long long> read_now();
+
+  /// Dump the recorded timeline as CSV ("t_sec,<col>,<col>,...").
+  void write_csv(std::ostream& os) const;
+
+ private:
+  Library& lib_;
+  Sampler sampler_;
+  // Component name -> pending event names (before start builds the sets).
+  std::vector<std::pair<std::string, std::string>> pending_;  ///< (component, full name)
+  std::vector<std::unique_ptr<EventSet>> sets_;
+  bool running_ = false;
+  bool built_ = false;
+};
+
+}  // namespace papisim

@@ -1,0 +1,81 @@
+#include "core/regions.hpp"
+
+namespace papisim {
+
+void RegionProfiler::start() { prof_.start(); }
+
+void RegionProfiler::stop() {
+  if (!stack_.empty()) {
+    throw Error(Status::InvalidArgument,
+                "RegionProfiler: stop() inside an open region ('" +
+                    stack_.back().path + "')");
+  }
+  prof_.stop();
+}
+
+RegionProfiler::Scope RegionProfiler::region(const std::string& name) {
+  if (!prof_.running()) {
+    throw Error(Status::NotRunning, "RegionProfiler: not running");
+  }
+  if (name.empty() || name.find('/') != std::string::npos) {
+    throw Error(Status::InvalidArgument,
+                "RegionProfiler: region names must be non-empty and without '/'");
+  }
+  Frame frame;
+  frame.path = stack_.empty() ? name : stack_.back().path + "/" + name;
+  frame.entry_values = prof_.read_now();
+  frame.entry_sec = clock_.now_sec();
+  frame.child_values.assign(columns().size(), 0.0);
+  stack_.push_back(std::move(frame));
+  return Scope(this);
+}
+
+void RegionProfiler::pop() {
+  Frame frame = std::move(stack_.back());
+  stack_.pop_back();
+
+  const std::vector<long long> now = prof_.read_now();
+  const double now_sec = clock_.now_sec();
+
+  RegionStats& st = stats_for(frame.path);
+  ++st.visits;
+  const double dt = now_sec - frame.entry_sec;
+  st.inclusive_sec += dt;
+  st.exclusive_sec += dt - frame.child_sec;
+  for (std::size_t c = 0; c < now.size(); ++c) {
+    const double delta =
+        static_cast<double>(now[c] - frame.entry_values[c]);
+    st.inclusive[c] += delta;
+    st.exclusive[c] += delta - frame.child_values[c];
+  }
+
+  if (!stack_.empty()) {
+    Frame& parent = stack_.back();
+    parent.child_sec += dt;
+    for (std::size_t c = 0; c < now.size(); ++c) {
+      parent.child_values[c] +=
+          static_cast<double>(now[c] - frame.entry_values[c]);
+    }
+  }
+}
+
+RegionStats& RegionProfiler::stats_for(const std::string& path) {
+  auto it = totals_.find(path);
+  if (it == totals_.end()) {
+    RegionStats st;
+    st.path = path;
+    st.inclusive.assign(columns().size(), 0.0);
+    st.exclusive.assign(columns().size(), 0.0);
+    it = totals_.emplace(path, std::move(st)).first;
+  }
+  return it->second;
+}
+
+std::vector<RegionStats> RegionProfiler::report() const {
+  std::vector<RegionStats> out;
+  out.reserve(totals_.size());
+  for (const auto& [path, st] : totals_) out.push_back(st);
+  return out;
+}
+
+}  // namespace papisim

@@ -1,0 +1,98 @@
+// Region-based instrumentation on top of event sets: the annotation style
+// of the third-party tools the paper names as PAPI consumers (TAU, Score-P,
+// Caliper).  Applications mark code regions with RAII scopes; the profiler
+// attributes every column's counts to the region stack, keeping inclusive
+// and exclusive totals per unique region path.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/profiler.hpp"
+
+namespace papisim {
+
+/// Aggregated measurements of one region path (e.g. "app/solver/fft").
+struct RegionStats {
+  std::string path;
+  std::uint64_t visits = 0;
+  std::vector<double> inclusive;  ///< per column: deltas including children
+  std::vector<double> exclusive;  ///< per column: deltas minus children
+  double inclusive_sec = 0;
+  double exclusive_sec = 0;
+};
+
+/// Hierarchical region profiler.
+///
+///   RegionProfiler prof(lib, clock);
+///   prof.add_events({...});
+///   prof.start();
+///   {
+///     auto app = prof.region("app");
+///     { auto fft = prof.region("fft");  run_fft(); }
+///     { auto a2a = prof.region("all2all"); exchange(); }
+///   }
+///   prof.stop();
+///   for (const RegionStats& r : prof.report()) ...
+class RegionProfiler {
+ public:
+  RegionProfiler(Library& lib, const sim::SimClock& clock)
+      : clock_(clock), prof_(lib, clock) {}
+
+  void add_events(const std::vector<std::string>& names) {
+    prof_.add_events(names);
+  }
+  void add_events(std::initializer_list<std::string> names) {
+    prof_.add_events(std::vector<std::string>(names));
+  }
+
+  void start();
+  void stop();
+  bool running() const { return prof_.running(); }
+
+  const std::vector<std::string>& columns() const { return prof_.columns(); }
+
+  /// RAII scope: attribution begins at construction, ends at destruction.
+  class Scope {
+   public:
+    Scope(Scope&& other) noexcept : prof_(other.prof_) { other.prof_ = nullptr; }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    Scope& operator=(Scope&&) = delete;
+    ~Scope() {
+      if (prof_ != nullptr) prof_->pop();
+    }
+
+   private:
+    friend class RegionProfiler;
+    explicit Scope(RegionProfiler* prof) : prof_(prof) {}
+    RegionProfiler* prof_;
+  };
+
+  /// Enter a (possibly nested) region.  @throws Error if not running.
+  [[nodiscard]] Scope region(const std::string& name);
+
+  /// Per-region-path statistics, sorted by path.
+  std::vector<RegionStats> report() const;
+
+ private:
+  struct Frame {
+    std::string path;
+    std::vector<long long> entry_values;
+    double entry_sec = 0;
+    std::vector<double> child_values;  ///< accumulated inclusive of children
+    double child_sec = 0;
+  };
+
+  void pop();
+  RegionStats& stats_for(const std::string& path);
+
+  const sim::SimClock& clock_;
+  Profiler prof_;
+  std::vector<Frame> stack_;
+  std::map<std::string, RegionStats> totals_;
+};
+
+}  // namespace papisim

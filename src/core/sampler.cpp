@@ -1,0 +1,68 @@
+#include "core/sampler.hpp"
+
+#include "core/event_name.hpp"
+
+namespace papisim {
+
+void Sampler::add_eventset(EventSet& es) {
+  if (es.component() == nullptr) {
+    throw Error(Status::InvalidArgument, "Sampler: event set has no events");
+  }
+  sets_.push_back(&es);
+  for (const std::string& full : es.event_names()) {
+    columns_.push_back(full);
+    const ParsedEventName p = parse_event_name(full);
+    gauge_.push_back(es.component()->is_instantaneous(p.native));
+  }
+}
+
+void Sampler::start_all() {
+  for (EventSet* es : sets_) {
+    if (!es->running()) es->start();
+  }
+}
+
+void Sampler::stop_all() {
+  for (EventSet* es : sets_) {
+    if (es->running()) es->stop();
+  }
+}
+
+void Sampler::sample() {
+  TimelineRow row;
+  row.t_sec = clock_.now_sec();
+  row.values.reserve(columns_.size());
+  for (EventSet* es : sets_) {
+    const std::vector<long long> v = es->read();
+    row.values.insert(row.values.end(), v.begin(), v.end());
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::vector<RateRow> Sampler::rates() const {
+  std::vector<RateRow> out;
+  if (rows_.size() < 2) return out;
+  out.reserve(rows_.size() - 1);
+  for (std::size_t i = 1; i < rows_.size(); ++i) {
+    const TimelineRow& a = rows_[i - 1];
+    const TimelineRow& b = rows_[i];
+    RateRow r;
+    r.t0_sec = a.t_sec;
+    r.t1_sec = b.t_sec;
+    const double dt = b.t_sec - a.t_sec;
+    r.values.reserve(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (gauge_[c]) {
+        r.values.push_back(static_cast<double>(b.values[c]));
+      } else if (dt > 0) {
+        r.values.push_back(static_cast<double>(b.values[c] - a.values[c]) / dt);
+      } else {
+        r.values.push_back(0.0);
+      }
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace papisim

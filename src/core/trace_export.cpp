@@ -1,0 +1,74 @@
+#include "core/trace_export.hpp"
+
+namespace papisim {
+
+namespace {
+
+/// Minimal JSON string escaping (names are ASCII event identifiers).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const Sampler& sampler,
+                        std::span<const TraceSpan> spans,
+                        const std::string& process_name) {
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  auto emit = [&](const std::string& json) {
+    if (!first) os << ",\n";
+    first = false;
+    os << json;
+  };
+
+  emit("{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"" +
+       json_escape(process_name) + "\"}}");
+
+  // Spans: pid 1, one tid per distinct track (thread names as metadata).
+  std::vector<std::string> tracks;
+  auto tid_of = [&](const std::string& track) {
+    for (std::size_t i = 0; i < tracks.size(); ++i) {
+      if (tracks[i] == track) return i + 1;
+    }
+    tracks.push_back(track);
+    emit("{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(tracks.size()) +
+         ",\"name\":\"thread_name\",\"args\":{\"name\":\"" + json_escape(track) +
+         "\"}}");
+    return tracks.size();
+  };
+  for (const TraceSpan& span : spans) {
+    const std::size_t tid = tid_of(span.track);
+    const double us = span.t0_sec * 1e6;
+    const double dur = (span.t1_sec - span.t0_sec) * 1e6;
+    emit("{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+         ",\"name\":\"" + json_escape(span.name) + "\",\"ts\":" +
+         std::to_string(us) + ",\"dur\":" + std::to_string(dur) + "}");
+  }
+
+  // Counter tracks: rates for counters, raw values for gauges.
+  const std::vector<RateRow> rates = sampler.rates();
+  for (const RateRow& r : rates) {
+    for (std::size_t c = 0; c < sampler.columns().size(); ++c) {
+      emit("{\"ph\":\"C\",\"pid\":1,\"name\":\"" +
+           json_escape(sampler.columns()[c]) + "\",\"ts\":" +
+           std::to_string(r.t0_sec * 1e6) + ",\"args\":{\"value\":" +
+           std::to_string(r.values[c]) + "}}");
+    }
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace papisim

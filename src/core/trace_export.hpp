@@ -1,0 +1,31 @@
+// Timeline export in the Chrome trace-event JSON format (load the file at
+// chrome://tracing or in Perfetto) -- the role Vampir plays for the
+// PAPI-based toolchain the paper describes: phases as spans, every sampled
+// counter as a counter track.
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <string>
+
+#include "core/sampler.hpp"
+
+namespace papisim {
+
+/// A named interval on the timeline (an application phase).
+struct TraceSpan {
+  std::string name;
+  double t0_sec = 0;
+  double t1_sec = 0;
+  std::string track = "phases";  ///< thread-name the span is drawn on
+};
+
+/// Writes a complete trace: one "X" (complete) event per span and one "C"
+/// (counter) event per sampler row and column.  Counter columns use the
+/// sampler's per-interval rates for counters and raw values for gauges, so
+/// the tracks look like the paper's Fig. 11/12 curves.
+void write_chrome_trace(std::ostream& os, const Sampler& sampler,
+                        std::span<const TraceSpan> spans,
+                        const std::string& process_name = "papisim");
+
+}  // namespace papisim

@@ -1,0 +1,23 @@
+#include "fft/cufft_sim.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace papisim::fft {
+
+double CufftPlan::flop_count() const {
+  return 5.0 * static_cast<double>(n_) * std::log2(static_cast<double>(n_)) *
+         static_cast<double>(batch_);
+}
+
+void CufftPlan::execute(std::span<cplx> data, bool inverse) {
+  if (data.size() < n_ * batch_) {
+    throw std::invalid_argument("CufftPlan::execute: buffer too small");
+  }
+  fft1d_batch(data, n_, batch_, inverse);
+  device_.run_kernel(flop_count());
+}
+
+void CufftPlan::execute_sim_only() { device_.run_kernel(flop_count()); }
+
+}  // namespace papisim::fft

@@ -1,0 +1,39 @@
+// cuFFT-style batched 1D-FFT plans executing on the simulated GPU.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "fft/fft1d.hpp"
+#include "gpu/gpu_device.hpp"
+
+namespace papisim::fft {
+
+/// A plan for `batch` transforms of length `n` (cufftPlan1d analogue).
+/// execute() performs the *real* math on the given host-visible buffer while
+/// charging the device's kernel-time/power model, so applications get both
+/// correct numerics and a faithful Fig.-11-style power profile.
+class CufftPlan {
+ public:
+  CufftPlan(gpu::GpuDevice& device, std::size_t n, std::size_t batch)
+      : device_(device), n_(n), batch_(batch) {}
+
+  std::size_t n() const { return n_; }
+  std::size_t batch() const { return batch_; }
+
+  /// ~5 N log2 N flops per transform (standard FFT cost model).
+  double flop_count() const;
+
+  /// Numeric batched transform + device-side timing/power accounting.
+  void execute(std::span<cplx> data, bool inverse = false);
+
+  /// Device-side accounting only (for trace-driven runs without data).
+  void execute_sim_only();
+
+ private:
+  gpu::GpuDevice& device_;
+  std::size_t n_;
+  std::size_t batch_;
+};
+
+}  // namespace papisim::fft

@@ -1,0 +1,116 @@
+#include "fft/fft1d.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace papisim::fft {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+namespace {
+
+/// Iterative radix-2 Cooley-Tukey, n a power of two, no normalization.
+void fft_pow2(std::span<cplx> a, bool inverse) {
+  const std::size_t n = a.size();
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const cplx wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx u = a[i + k];
+        const cplx v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+/// Bluestein's algorithm: DFT of arbitrary length via a pow2 convolution.
+void fft_bluestein(std::span<cplx> a, bool inverse) {
+  const std::size_t n = a.size();
+  // Chirp: w_k = exp(+-i * pi * k^2 / n).
+  std::vector<cplx> w(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n avoids precision loss for large k.
+    const std::uint64_t k2 = (static_cast<std::uint64_t>(k) * k) % (2 * n);
+    const double ang = (inverse ? 1.0 : -1.0) * std::numbers::pi *
+                       static_cast<double>(k2) / static_cast<double>(n);
+    w[k] = cplx(std::cos(ang), std::sin(ang));
+  }
+  std::size_t m = 1;
+  while (m < 2 * n - 1) m <<= 1;
+  std::vector<cplx> x(m, cplx{}), y(m, cplx{});
+  for (std::size_t k = 0; k < n; ++k) x[k] = a[k] * w[k];
+  y[0] = std::conj(w[0]);
+  for (std::size_t k = 1; k < n; ++k) y[k] = y[m - k] = std::conj(w[k]);
+  fft_pow2(x, false);
+  fft_pow2(y, false);
+  for (std::size_t k = 0; k < m; ++k) x[k] *= y[k];
+  fft_pow2(x, true);
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * inv_m * w[k];
+}
+
+}  // namespace
+
+void fft1d(std::span<cplx> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  if (is_power_of_two(n)) {
+    fft_pow2(data, inverse);
+  } else {
+    fft_bluestein(data, inverse);
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (cplx& v : data) v *= inv_n;
+  }
+}
+
+std::vector<cplx> fft1d_copy(std::span<const cplx> data, bool inverse) {
+  std::vector<cplx> out(data.begin(), data.end());
+  fft1d(out, inverse);
+  return out;
+}
+
+std::vector<cplx> dft_naive(std::span<const cplx> data, bool inverse) {
+  const std::size_t n = data.size();
+  std::vector<cplx> out(n, cplx{});
+  const double sign = inverse ? 2.0 : -2.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = sign * std::numbers::pi * static_cast<double>(k) *
+                         static_cast<double>(j) / static_cast<double>(n);
+      out[k] += data[j] * cplx(std::cos(ang), std::sin(ang));
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (cplx& v : out) v *= inv_n;
+  }
+  return out;
+}
+
+void fft1d_batch(std::span<cplx> data, std::size_t n, std::size_t batch,
+                 bool inverse) {
+  if (data.size() < n * batch) {
+    throw std::invalid_argument("fft1d_batch: buffer too small");
+  }
+  for (std::size_t b = 0; b < batch; ++b) {
+    fft1d(data.subspan(b * n, n), inverse);
+  }
+}
+
+}  // namespace papisim::fft

@@ -1,0 +1,32 @@
+// Numeric 1D complex FFT (radix-2 iterative + Bluestein for arbitrary
+// lengths).  This is the computational payload of the 3D-FFT mini-app and
+// the reference against which the cuFFT-like device API is validated.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace papisim::fft {
+
+using cplx = std::complex<double>;
+
+/// In-place forward (`inverse=false`) or inverse DFT of arbitrary length.
+/// The inverse is unscaled-inverse *with* 1/N normalization, i.e.
+/// ifft(fft(x)) == x.
+void fft1d(std::span<cplx> data, bool inverse = false);
+
+/// Out-of-place convenience wrapper.
+std::vector<cplx> fft1d_copy(std::span<const cplx> data, bool inverse = false);
+
+/// O(N^2) reference DFT for validation.
+std::vector<cplx> dft_naive(std::span<const cplx> data, bool inverse = false);
+
+/// Batched in-place transform of `batch` contiguous rows of length `n`.
+void fft1d_batch(std::span<cplx> data, std::size_t n, std::size_t batch,
+                 bool inverse = false);
+
+bool is_power_of_two(std::size_t n);
+
+}  // namespace papisim::fft

@@ -1,0 +1,246 @@
+#include "fft/fft3d.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace papisim::fft {
+
+void fft3d_local(std::vector<cplx>& data, std::size_t n, bool inverse) {
+  if (data.size() != n * n * n) {
+    throw std::invalid_argument("fft3d_local: data must be n^3");
+  }
+  // Three stages of (batched 1D FFT along the contiguous axis, then the
+  // S1CF permutation): [x][y][z] -> [z][x][y] -> [y][z][x] -> [x][y][z].
+  std::vector<cplx> scratch(data.size());
+  RankDims d{n, n, n};
+  for (int stage = 0; stage < 3; ++stage) {
+    fft1d_batch(data, n, n * n, inverse);
+    s1cf_combined_numeric(data, scratch, d);
+    data.swap(scratch);
+  }
+}
+
+std::vector<cplx> dft3_naive(const std::vector<cplx>& data, std::size_t n,
+                             bool inverse) {
+  if (data.size() != n * n * n) {
+    throw std::invalid_argument("dft3_naive: data must be n^3");
+  }
+  const double sign = inverse ? 2.0 : -2.0;
+  const double norm = inverse ? 1.0 / static_cast<double>(n * n * n) : 1.0;
+  std::vector<cplx> out(data.size(), cplx{});
+  auto tw = [&](std::size_t a, std::size_t b) {
+    const double ang = sign * std::numbers::pi * static_cast<double>(a) *
+                       static_cast<double>(b) / static_cast<double>(n);
+    return cplx(std::cos(ang), std::sin(ang));
+  };
+  for (std::size_t u = 0; u < n; ++u)
+    for (std::size_t v = 0; v < n; ++v)
+      for (std::size_t w = 0; w < n; ++w) {
+        cplx sum{};
+        for (std::size_t x = 0; x < n; ++x)
+          for (std::size_t y = 0; y < n; ++y)
+            for (std::size_t z = 0; z < n; ++z) {
+              sum += data[(x * n + y) * n + z] * tw(u, x) * tw(v, y) * tw(w, z);
+            }
+        out[(u * n + v) * n + w] = sum * norm;
+      }
+  return out;
+}
+
+// --------------------------------------------------------------- simulated
+
+DistributedFft3d::DistributedFft3d(sim::Machine& machine, Fft3dConfig cfg,
+                                   gpu::GpuDevice* gpu, mpi::JobComm* comm)
+    : machine_(machine),
+      cfg_(cfg),
+      dims_(RankDims::of(cfg.n, cfg.grid)),
+      s2dims_(S2Dims::of(dims_, cfg.grid)),
+      buf_(ResortBuffers::allocate(machine.address_space(), dims_.bytes())),
+      gpu_(gpu),
+      comm_(comm) {
+  if (cfg_.use_gpu && gpu_ == nullptr) {
+    throw std::invalid_argument("DistributedFft3d: GPU offload requested without a device");
+  }
+  if (cfg_.ticks_per_phase == 0) cfg_.ticks_per_phase = 1;
+  // The rank is OpenMP-parallel across the socket in the real mini-app, so
+  // every core is busy and each gets its contended 5 MB L3 share (the
+  // assumption behind paper Eq. 7).  The replay walks the statically
+  // partitioned loops on one engine; totals are equivalent because the
+  // per-rank block far exceeds any single share.
+  machine_.set_active_cores(cfg_.socket, machine_.cores_per_socket());
+}
+
+PhaseStats& DistributedFft3d::begin_phase(const std::string& name) {
+  PhaseStats ph;
+  ph.name = name;
+  ph.t0_sec = machine_.clock().now_sec();
+  phases_.push_back(std::move(ph));
+  return phases_.back();
+}
+
+void DistributedFft3d::end_phase(PhaseStats& ph) {
+  ph.t1_sec = machine_.clock().now_sec();
+}
+
+void DistributedFft3d::phase_resort_strided(const std::string& name,
+                                            const std::function<void()>& tick,
+                                            bool planewise) {
+  PhaseStats& ph = begin_phase(name);
+  // Chunk the combined S1CF nest over planes so the sampler sees the phase
+  // evolve.
+  const std::uint64_t chunks =
+      std::min<std::uint64_t>(cfg_.ticks_per_phase, dims_.planes);
+  sim::AccessEngine& eng = machine_.engine(cfg_.socket, cfg_.core);
+  sim::LoopDesc inner;
+  inner.iterations = dims_.cols;
+  inner.sw_prefetch = cfg_.prefetch;
+  inner.streams = {
+      {0, 16, 16, sim::AccessKind::Load},
+      {0, static_cast<std::int64_t>(dims_.planes * dims_.rows * 16), 16,
+       sim::AccessKind::Store},
+  };
+  std::uint64_t done = 0;
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    const std::uint64_t end = dims_.planes * (c + 1) / chunks;
+    for (std::uint64_t plane = done; plane < end; ++plane) {
+      for (std::uint64_t row = 0; row < dims_.rows; ++row) {
+        inner.streams[0].base =
+            buf_.in + (plane * dims_.rows + row) * dims_.cols * 16;
+        // Colwise (S1CF) and planewise (S1PF) differ only in which output
+        // dimension is fastest; the store stride magnitude is the same.
+        inner.streams[1].base =
+            buf_.out + (planewise ? (row * dims_.planes + plane)
+                                  : (plane * dims_.rows + row)) *
+                           16;
+        ph.loop += eng.execute(inner);
+      }
+    }
+    done = end;
+    if (tick) tick();
+  }
+  end_phase(ph);
+}
+
+void DistributedFft3d::phase_resort_sequential(const std::string& name,
+                                               const std::function<void()>& tick,
+                                               bool planewise) {
+  PhaseStats& ph = begin_phase(name);
+  const std::uint64_t chunks =
+      std::min<std::uint64_t>(cfg_.ticks_per_phase, s2dims_.planes);
+  sim::AccessEngine& eng = machine_.engine(cfg_.socket, cfg_.core);
+  sim::LoopDesc inner;
+  inner.iterations = s2dims_.rows;
+  inner.sw_prefetch = cfg_.prefetch;
+  inner.streams = {
+      {0, 16, 16, sim::AccessKind::Load},
+      {0, 16, 16, sim::AccessKind::Store},
+  };
+  std::uint64_t done = 0;
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    const std::uint64_t end = s2dims_.planes * (c + 1) / chunks;
+    for (std::uint64_t plane = done; plane < end; ++plane) {
+      for (std::uint64_t xx = 0; xx < s2dims_.x; ++xx) {
+        for (std::uint64_t yy = 0; yy < s2dims_.y; ++yy) {
+          inner.streams[0].base =
+              buf_.in +
+              (((yy * s2dims_.planes + plane) * s2dims_.x + xx) * s2dims_.rows) * 16;
+          // Colwise (S2CF) vs planewise (S2PF) output ordering; both keep
+          // the innermost dimension contiguous.
+          inner.streams[1].base =
+              buf_.out +
+              (planewise
+                   ? (((xx * s2dims_.y + yy) * s2dims_.planes + plane) *
+                      s2dims_.rows)
+                   : (((plane * s2dims_.x + xx) * s2dims_.y + yy) *
+                      s2dims_.rows)) *
+                  16;
+          ph.loop += eng.execute(inner);
+        }
+      }
+    }
+    done = end;
+    if (tick) tick();
+  }
+  end_phase(ph);
+}
+
+void DistributedFft3d::phase_fft(const std::string& name,
+                                 const std::function<void()>& tick) {
+  PhaseStats& ph = begin_phase(name);
+  const std::uint64_t bytes = dims_.bytes();
+  const double flops = 5.0 * static_cast<double>(dims_.elems()) *
+                       std::log2(static_cast<double>(cfg_.n));
+  const std::uint32_t chunks = cfg_.ticks_per_phase;
+  if (cfg_.use_gpu) {
+    // cuFFT offload: copy the pencils to the device, transform, copy back.
+    // The H2D copy reads host memory; the D2H copy writes it -- the Fig. 11
+    // read-spike / power-spike / write-spike progression.
+    for (std::uint32_t c = 0; c < chunks; ++c) {
+      gpu_->memcpy_h2d(bytes / chunks);
+      if (tick) tick();
+    }
+    for (std::uint32_t c = 0; c < chunks; ++c) {
+      gpu_->run_kernel(flops / chunks);
+      if (tick) tick();
+    }
+    for (std::uint32_t c = 0; c < chunks; ++c) {
+      gpu_->memcpy_d2h(bytes / chunks);
+      if (tick) tick();
+    }
+  } else {
+    // Host FFT: one streaming pass over the pencils (read + write).
+    sim::AccessEngine& eng = machine_.engine(cfg_.socket, cfg_.core);
+    const std::uint64_t elems = dims_.elems();
+    sim::LoopDesc pass;
+    pass.flops_per_iter = 5.0 * std::log2(static_cast<double>(cfg_.n));
+    for (std::uint32_t c = 0; c < chunks; ++c) {
+      const std::uint64_t lo = elems * c / chunks, hi = elems * (c + 1) / chunks;
+      pass.iterations = hi - lo;
+      pass.streams = {
+          {buf_.out + lo * 16, 16, 16, sim::AccessKind::Load},
+          {buf_.in + lo * 16, 16, 16, sim::AccessKind::Store},
+      };
+      ph.loop += eng.execute(pass);
+      if (tick) tick();
+    }
+  }
+  end_phase(ph);
+}
+
+void DistributedFft3d::phase_alltoall(const std::string& name,
+                                      std::uint32_t participants,
+                                      const std::function<void()>& tick) {
+  PhaseStats& ph = begin_phase(name);
+  if (comm_ != nullptr && participants > 1) {
+    const std::uint64_t bytes = dims_.bytes();
+    const std::uint32_t chunks = cfg_.ticks_per_phase;
+    for (std::uint32_t c = 0; c < chunks; ++c) {
+      comm_->alltoall(participants, bytes / chunks);
+      if (tick) tick();
+    }
+    ph.net_bytes = bytes / participants * (participants - 1);
+  } else if (tick) {
+    tick();
+  }
+  end_phase(ph);
+}
+
+void DistributedFft3d::run_forward(const std::function<void()>& tick) {
+  phases_.clear();
+  // The paper's pipeline (Fig. 11): four re-sorting phases interleaved with
+  // three 1D-FFT batches and two All2All exchanges.  The 1st and 3rd
+  // re-sorts are strided (two reads per write); the 2nd and 4th have
+  // matching innermost dimensions (one read per write).
+  phase_resort_strided("resort1_S1CF", tick);
+  phase_fft("fft_z", tick);
+  phase_alltoall("all2all_1", cfg_.grid.cols, tick);
+  phase_resort_sequential("resort2_S2CF", tick);
+  phase_fft("fft_y", tick);
+  phase_alltoall("all2all_2", cfg_.grid.rows, tick);
+  phase_resort_strided("resort3_S1PF", tick, /*planewise=*/true);
+  phase_fft("fft_x", tick);
+  phase_resort_sequential("resort4_S2PF", tick, /*planewise=*/true);
+}
+
+}  // namespace papisim::fft

@@ -1,0 +1,287 @@
+#include "fft/resort.hpp"
+
+#include <stdexcept>
+
+namespace papisim::fft {
+
+RankDims RankDims::of(std::uint64_t n, const mpi::Grid& grid) {
+  if (n % grid.rows != 0 || n % grid.cols != 0) {
+    throw std::invalid_argument("RankDims: N must be divisible by both grid dims");
+  }
+  return {n / grid.rows, n / grid.cols, n};
+}
+
+S2Dims S2Dims::of(const RankDims& d, const mpi::Grid& grid) {
+  // After the first all-to-all among the c row partners, each rank's block
+  // is re-sorted from [Y][PLANES][X][ROWS] to [PLANES][X][Y][ROWS] order,
+  // with X = c partners and Y*ROWS = the former COLS pencil split.
+  if (d.cols % grid.cols != 0) {
+    throw std::invalid_argument("S2Dims: cols must be divisible by grid cols");
+  }
+  S2Dims s;
+  s.planes = d.planes;
+  s.x = grid.cols;
+  s.y = d.rows;
+  s.rows = d.cols / grid.cols;
+  return s;
+}
+
+// ------------------------------------------------------------------ numeric
+
+void s1cf_nest1_numeric(std::span<const std::complex<double>> in,
+                        std::span<std::complex<double>> tmp, const RankDims& d) {
+  if (in.size() < d.elems() || tmp.size() < d.elems()) {
+    throw std::invalid_argument("s1cf_nest1_numeric: buffer too small");
+  }
+  for (std::uint64_t plane = 0; plane < d.planes; ++plane) {
+    for (std::uint64_t row = 0; row < d.rows; ++row) {
+      for (std::uint64_t col = 0; col < d.cols; ++col) {
+        tmp[(plane * d.rows + row) * d.cols + col] =
+            in[plane * d.rows * d.cols + row * d.cols + col];
+      }
+    }
+  }
+}
+
+void s1cf_nest2_numeric(std::span<const std::complex<double>> tmp,
+                        std::span<std::complex<double>> out, const RankDims& d) {
+  if (tmp.size() < d.elems() || out.size() < d.elems()) {
+    throw std::invalid_argument("s1cf_nest2_numeric: buffer too small");
+  }
+  for (std::uint64_t col = 0; col < d.cols; ++col) {
+    for (std::uint64_t plane = 0; plane < d.planes; ++plane) {
+      for (std::uint64_t row = 0; row < d.rows; ++row) {
+        out[col * d.planes * d.rows + plane * d.rows + row] =
+            tmp[(plane * d.rows + row) * d.cols + col];
+      }
+    }
+  }
+}
+
+void s1cf_combined_numeric(std::span<const std::complex<double>> in,
+                           std::span<std::complex<double>> out, const RankDims& d) {
+  if (in.size() < d.elems() || out.size() < d.elems()) {
+    throw std::invalid_argument("s1cf_combined_numeric: buffer too small");
+  }
+  for (std::uint64_t plane = 0; plane < d.planes; ++plane) {
+    for (std::uint64_t row = 0; row < d.rows; ++row) {
+      for (std::uint64_t col = 0; col < d.cols; ++col) {
+        out[col * d.planes * d.rows + plane * d.rows + row] =
+            in[plane * d.rows * d.cols + row * d.cols + col];
+      }
+    }
+  }
+}
+
+void s1pf_combined_numeric(std::span<const std::complex<double>> in,
+                           std::span<std::complex<double>> out, const RankDims& d) {
+  if (in.size() < d.elems() || out.size() < d.elems()) {
+    throw std::invalid_argument("s1pf_combined_numeric: buffer too small");
+  }
+  // Planewise: plane becomes the fastest-varying output dimension.
+  for (std::uint64_t plane = 0; plane < d.planes; ++plane) {
+    for (std::uint64_t row = 0; row < d.rows; ++row) {
+      for (std::uint64_t col = 0; col < d.cols; ++col) {
+        out[(col * d.rows + row) * d.planes + plane] =
+            in[plane * d.rows * d.cols + row * d.cols + col];
+      }
+    }
+  }
+}
+
+void s2cf_numeric(std::span<const std::complex<double>> in,
+                  std::span<std::complex<double>> out, const S2Dims& d) {
+  if (in.size() < d.elems() || out.size() < d.elems()) {
+    throw std::invalid_argument("s2cf_numeric: buffer too small");
+  }
+  // in ordered [Y][PLANES][X][ROWS], traversed PLANES, X, Y, ROWS.
+  for (std::uint64_t plane = 0; plane < d.planes; ++plane) {
+    for (std::uint64_t xx = 0; xx < d.x; ++xx) {
+      for (std::uint64_t yy = 0; yy < d.y; ++yy) {
+        for (std::uint64_t row = 0; row < d.rows; ++row) {
+          out[((plane * d.x + xx) * d.y + yy) * d.rows + row] =
+              in[((yy * d.planes + plane) * d.x + xx) * d.rows + row];
+        }
+      }
+    }
+  }
+}
+
+void s2pf_numeric(std::span<const std::complex<double>> in,
+                  std::span<std::complex<double>> out, const S2Dims& d) {
+  if (in.size() < d.elems() || out.size() < d.elems()) {
+    throw std::invalid_argument("s2pf_numeric: buffer too small");
+  }
+  // Planewise variant: output ordered [X][Y][PLANES][ROWS].
+  for (std::uint64_t plane = 0; plane < d.planes; ++plane) {
+    for (std::uint64_t xx = 0; xx < d.x; ++xx) {
+      for (std::uint64_t yy = 0; yy < d.y; ++yy) {
+        for (std::uint64_t row = 0; row < d.rows; ++row) {
+          out[((xx * d.y + yy) * d.planes + plane) * d.rows + row] =
+              in[((yy * d.planes + plane) * d.x + xx) * d.rows + row];
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- simulated
+
+ResortBuffers ResortBuffers::allocate(sim::AddressSpace& as, std::uint64_t bytes) {
+  ResortBuffers buf;
+  buf.in = as.allocate(bytes);
+  buf.tmp = as.allocate(bytes);
+  buf.out = as.allocate(bytes);
+  return buf;
+}
+
+sim::LoopStats s1cf_nest1_replay(sim::Machine& m, std::uint32_t socket,
+                                 std::uint32_t core, const RankDims& d,
+                                 const ResortBuffers& buf, bool prefetch) {
+  // Listing 5: both sides are one long sequential stream; replay the whole
+  // nest as a single flattened inner loop (index algebra is the identity).
+  sim::LoopDesc loop;
+  loop.iterations = d.elems();
+  loop.sw_prefetch = prefetch;
+  loop.streams = {
+      {buf.in, 16, 16, sim::AccessKind::Load},
+      {buf.tmp, 16, 16, sim::AccessKind::Store},
+  };
+  return m.engine(socket, core).execute(loop);
+}
+
+sim::LoopStats s1cf_nest2_replay(sim::Machine& m, std::uint32_t socket,
+                                 std::uint32_t core, const RankDims& d,
+                                 const ResortBuffers& buf, bool prefetch) {
+  // Listing 7: for col / plane { inner loop over row }:
+  //   load  tmp[(plane*rows + row)*cols + col]   (stride cols*16, strided)
+  //   store out[col*planes*rows + plane*rows + row]  (stride 16, sequential)
+  sim::AccessEngine& eng = m.engine(socket, core);
+  sim::LoopStats total;
+  sim::LoopDesc inner;
+  inner.iterations = d.rows;
+  inner.sw_prefetch = prefetch;
+  inner.streams = {
+      {0, static_cast<std::int64_t>(d.cols * 16), 16, sim::AccessKind::Load},
+      {0, 16, 16, sim::AccessKind::Store},
+  };
+  for (std::uint64_t col = 0; col < d.cols; ++col) {
+    for (std::uint64_t plane = 0; plane < d.planes; ++plane) {
+      inner.streams[0].base = buf.tmp + (plane * d.rows * d.cols + col) * 16;
+      inner.streams[1].base =
+          buf.out + (col * d.planes * d.rows + plane * d.rows) * 16;
+      total += eng.execute(inner);
+    }
+  }
+  return total;
+}
+
+sim::LoopStats s1cf_combined_replay(sim::Machine& m, std::uint32_t socket,
+                                    std::uint32_t core, const RankDims& d,
+                                    const ResortBuffers& buf, bool prefetch) {
+  // Listing 8: for plane / row { inner loop over col }:
+  //   load  in  (stride 16, sequential)
+  //   store out (stride planes*rows*16, strided)
+  sim::AccessEngine& eng = m.engine(socket, core);
+  sim::LoopStats total;
+  sim::LoopDesc inner;
+  inner.iterations = d.cols;
+  inner.sw_prefetch = prefetch;
+  inner.streams = {
+      {0, 16, 16, sim::AccessKind::Load},
+      {0, static_cast<std::int64_t>(d.planes * d.rows * 16), 16,
+       sim::AccessKind::Store},
+  };
+  for (std::uint64_t plane = 0; plane < d.planes; ++plane) {
+    for (std::uint64_t row = 0; row < d.rows; ++row) {
+      inner.streams[0].base = buf.in + (plane * d.rows + row) * d.cols * 16;
+      inner.streams[1].base = buf.out + (plane * d.rows + row) * 16;
+      total += eng.execute(inner);
+    }
+  }
+  return total;
+}
+
+sim::LoopStats s2cf_replay(sim::Machine& m, std::uint32_t socket,
+                           std::uint32_t core, const S2Dims& d,
+                           const ResortBuffers& buf, bool prefetch) {
+  // Listing 9: for plane / x / y { inner loop over row }: both streams are
+  // sequential within the inner loop (the stride is amortized).
+  sim::AccessEngine& eng = m.engine(socket, core);
+  sim::LoopStats total;
+  sim::LoopDesc inner;
+  inner.iterations = d.rows;
+  inner.sw_prefetch = prefetch;
+  inner.streams = {
+      {0, 16, 16, sim::AccessKind::Load},
+      {0, 16, 16, sim::AccessKind::Store},
+  };
+  for (std::uint64_t plane = 0; plane < d.planes; ++plane) {
+    for (std::uint64_t xx = 0; xx < d.x; ++xx) {
+      for (std::uint64_t yy = 0; yy < d.y; ++yy) {
+        inner.streams[0].base =
+            buf.in + (((yy * d.planes + plane) * d.x + xx) * d.rows) * 16;
+        inner.streams[1].base =
+            buf.out + (((plane * d.x + xx) * d.y + yy) * d.rows) * 16;
+        total += eng.execute(inner);
+      }
+    }
+  }
+  return total;
+}
+
+sim::LoopStats s1pf_combined_replay(sim::Machine& m, std::uint32_t socket,
+                                    std::uint32_t core, const RankDims& d,
+                                    const ResortBuffers& buf, bool prefetch) {
+  // for plane / row { inner loop over col }:
+  //   load  in[(plane*rows + row)*cols + col]            (stride 16, sequential)
+  //   store out[(col*rows + row)*planes + plane]         (stride rows*planes*16)
+  sim::AccessEngine& eng = m.engine(socket, core);
+  sim::LoopStats total;
+  sim::LoopDesc inner;
+  inner.iterations = d.cols;
+  inner.sw_prefetch = prefetch;
+  inner.streams = {
+      {0, 16, 16, sim::AccessKind::Load},
+      {0, static_cast<std::int64_t>(d.rows * d.planes * 16), 16,
+       sim::AccessKind::Store},
+  };
+  for (std::uint64_t plane = 0; plane < d.planes; ++plane) {
+    for (std::uint64_t row = 0; row < d.rows; ++row) {
+      inner.streams[0].base = buf.in + (plane * d.rows + row) * d.cols * 16;
+      inner.streams[1].base = buf.out + (row * d.planes + plane) * 16;
+      total += eng.execute(inner);
+    }
+  }
+  return total;
+}
+
+sim::LoopStats s2pf_replay(sim::Machine& m, std::uint32_t socket,
+                           std::uint32_t core, const S2Dims& d,
+                           const ResortBuffers& buf, bool prefetch) {
+  // Output ordered [X][Y][PLANES][ROWS]; inner loop over row is sequential
+  // on both sides, amortizing the outer-dimension stride (like S2CF).
+  sim::AccessEngine& eng = m.engine(socket, core);
+  sim::LoopStats total;
+  sim::LoopDesc inner;
+  inner.iterations = d.rows;
+  inner.sw_prefetch = prefetch;
+  inner.streams = {
+      {0, 16, 16, sim::AccessKind::Load},
+      {0, 16, 16, sim::AccessKind::Store},
+  };
+  for (std::uint64_t plane = 0; plane < d.planes; ++plane) {
+    for (std::uint64_t xx = 0; xx < d.x; ++xx) {
+      for (std::uint64_t yy = 0; yy < d.y; ++yy) {
+        inner.streams[0].base =
+            buf.in + (((yy * d.planes + plane) * d.x + xx) * d.rows) * 16;
+        inner.streams[1].base =
+            buf.out + (((xx * d.y + yy) * d.planes + plane) * d.rows) * 16;
+        total += eng.execute(inner);
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace papisim::fft

@@ -1,0 +1,57 @@
+#include "gpu/gpu_device.hpp"
+
+#include <cmath>
+
+namespace papisim::gpu {
+
+GpuDevice::GpuDevice(GpuConfig cfg, sim::Machine& machine, std::uint32_t socket,
+                     int device_id)
+    : cfg_(std::move(cfg)),
+      machine_(machine),
+      socket_(socket),
+      id_(device_id),
+      power_w_(cfg_.idle_power_w),
+      last_update_ns_(machine.clock().now_ns()) {}
+
+void GpuDevice::settle(double now_ns, double target_w) const {
+  const double dt = now_ns - last_update_ns_;
+  if (dt > 0) {
+    power_w_ = target_w + (power_w_ - target_w) * std::exp(-dt / cfg_.power_tau_ns);
+    last_update_ns_ = now_ns;
+  }
+}
+
+void GpuDevice::memcpy_h2d(std::uint64_t bytes) {
+  settle(machine_.clock().now_ns(), cfg_.idle_power_w);
+  const double t_ns = static_cast<double>(bytes) / cfg_.pcie_bw_bytes_per_sec * 1e9;
+  // The DMA engine reads host DRAM through the nest.
+  machine_.memctrl(socket_).add_spread(bytes, sim::MemDir::Read);
+  machine_.advance(t_ns);
+  busy_ns_ += t_ns;
+  settle(machine_.clock().now_ns(), cfg_.dma_power_w);
+}
+
+void GpuDevice::memcpy_d2h(std::uint64_t bytes) {
+  settle(machine_.clock().now_ns(), cfg_.idle_power_w);
+  const double t_ns = static_cast<double>(bytes) / cfg_.pcie_bw_bytes_per_sec * 1e9;
+  machine_.memctrl(socket_).add_spread(bytes, sim::MemDir::Write);
+  machine_.advance(t_ns);
+  busy_ns_ += t_ns;
+  settle(machine_.clock().now_ns(), cfg_.dma_power_w);
+}
+
+void GpuDevice::run_kernel(double flop_count) {
+  settle(machine_.clock().now_ns(), cfg_.idle_power_w);
+  const double t_ns =
+      flop_count / (cfg_.flops * cfg_.kernel_efficiency) * 1e9;
+  machine_.advance(t_ns);
+  busy_ns_ += t_ns;
+  settle(machine_.clock().now_ns(), cfg_.busy_power_w);
+}
+
+std::uint64_t GpuDevice::power_mw() const {
+  settle(machine_.clock().now_ns(), cfg_.idle_power_w);
+  return static_cast<std::uint64_t>(power_w_ * 1000.0);
+}
+
+}  // namespace papisim::gpu

@@ -1,0 +1,66 @@
+// V100-class GPU device model: DMA copies that drive *host* memory traffic,
+// kernel execution, and a continuous power model (NVML substrate).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/machine.hpp"
+
+namespace papisim::gpu {
+
+struct GpuConfig {
+  std::string model = "Tesla_V100-SXM2-16GB";
+  double idle_power_w = 52.0;
+  double busy_power_w = 249.0;   ///< sustained kernel power
+  double dma_power_w = 95.0;     ///< power level during DMA copies
+  double power_tau_ns = 1e6;     ///< exponential rise/decay time constant
+  double pcie_bw_bytes_per_sec = 11.5e9;  ///< effective H2D/D2H bandwidth
+  double flops = 7.0e12;         ///< fp64 peak
+  double kernel_efficiency = 0.35;  ///< achieved fraction for library kernels
+  std::uint64_t mem_bytes = 16ull << 30;
+};
+
+/// One GPU attached to a socket.  Every host<->device copy reads or writes
+/// host DRAM through the socket's nest -- this is exactly the coupling that
+/// makes the paper's Fig. 11 legible (host-read spike, power spike,
+/// host-write spike per 1D-FFT phase).
+class GpuDevice {
+ public:
+  GpuDevice(GpuConfig cfg, sim::Machine& machine, std::uint32_t socket, int device_id);
+
+  const GpuConfig& config() const { return cfg_; }
+  int id() const { return id_; }
+  const std::string& model() const { return cfg_.model; }
+
+  /// Host-to-device copy: reads `bytes` of host memory (nest READ traffic),
+  /// advances the clock by the PCIe transfer time.
+  void memcpy_h2d(std::uint64_t bytes);
+
+  /// Device-to-host copy: writes host memory (nest WRITE traffic).
+  void memcpy_d2h(std::uint64_t bytes);
+
+  /// Execute a kernel of `flop_count` floating-point operations on-device.
+  /// No host traffic; clock advances; power rises toward the busy level.
+  void run_kernel(double flop_count);
+
+  /// Instantaneous board power in milliwatts at the current virtual time
+  /// (NVML reports mW).  Decays toward idle when the device is inactive.
+  std::uint64_t power_mw() const;
+
+  double busy_seconds() const { return busy_ns_ * 1e-9; }
+
+ private:
+  /// Evolve the power state from last_update_ns_ to `now` at `target_w`.
+  void settle(double now_ns, double target_w) const;
+
+  GpuConfig cfg_;
+  sim::Machine& machine_;
+  std::uint32_t socket_;
+  int id_;
+  mutable double power_w_;
+  mutable double last_update_ns_ = 0.0;
+  double busy_ns_ = 0.0;
+};
+
+}  // namespace papisim::gpu

@@ -1,0 +1,51 @@
+#include "kernels/blas_numeric.hpp"
+
+#include <stdexcept>
+
+namespace papisim::kernels {
+
+void gemm_reference(std::span<const double> a, std::span<const double> b,
+                    std::span<double> c, std::size_t n) {
+  if (a.size() < n * n || b.size() < n * n || c.size() < n * n) {
+    throw std::invalid_argument("gemm_reference: buffer too small");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        sum += a[i * n + k] * b[k * n + j];
+      }
+      c[i * n + j] = sum;
+    }
+  }
+}
+
+void gemv_capped_reference(std::span<const double> a, std::span<const double> x,
+                           std::span<double> y, std::size_t m, std::size_t n,
+                           std::size_t p) {
+  if (p == 0 || a.size() < p * n || x.size() < n || y.size() < m) {
+    throw std::invalid_argument("gemv_capped_reference: buffer too small");
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    double sum = 0.0;
+    const double* row = &a[(i % p) * n];
+    for (std::size_t k = 0; k < n; ++k) sum += row[k] * x[k];
+    y[i] = sum;
+  }
+}
+
+void gemv_reference(std::span<const double> a, std::span<const double> x,
+                    std::span<double> y, std::size_t m, std::size_t n) {
+  gemv_capped_reference(a, x, y, m, n, m);
+}
+
+double dot_reference(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("dot_reference: size mismatch");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+}  // namespace papisim::kernels

@@ -1,0 +1,26 @@
+// Numeric reference implementations of the benchmark kernels (the actual
+// math of paper Listings 1-4), used to validate the kernel definitions and
+// as the computational payload of examples.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace papisim::kernels {
+
+/// C = A * B for square row-major N x N matrices (Listing 3).
+void gemm_reference(std::span<const double> a, std::span<const double> b,
+                    std::span<double> c, std::size_t n);
+
+/// Capped GEMV (Listing 2, one batch element): y_i = sum_k A[i%P][k] * x[k].
+void gemv_capped_reference(std::span<const double> a, std::span<const double> x,
+                           std::span<double> y, std::size_t m, std::size_t n,
+                           std::size_t p);
+
+/// Plain GEMV y = A x with A of size M x N (Listing 1).
+void gemv_reference(std::span<const double> a, std::span<const double> x,
+                    std::span<double> y, std::size_t m, std::size_t n);
+
+double dot_reference(std::span<const double> x, std::span<const double> y);
+
+}  // namespace papisim::kernels

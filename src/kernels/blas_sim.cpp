@@ -1,0 +1,91 @@
+#include "kernels/blas_sim.hpp"
+
+namespace papisim::kernels {
+
+GemmBuffers GemmBuffers::allocate(sim::AddressSpace& as, std::uint64_t n) {
+  GemmBuffers buf;
+  const std::uint64_t bytes = n * n * 8;
+  buf.a = as.allocate(bytes);
+  buf.b = as.allocate(bytes);
+  buf.c = as.allocate(bytes);
+  return buf;
+}
+
+GemvBuffers GemvBuffers::allocate(sim::AddressSpace& as, std::uint64_t m,
+                                  std::uint64_t n, std::uint64_t p) {
+  GemvBuffers buf;
+  buf.a = as.allocate(p * n * 8);
+  buf.x = as.allocate(n * 8);
+  buf.y = as.allocate(m * 8);
+  return buf;
+}
+
+sim::LoopStats run_gemm(sim::Machine& machine, std::uint32_t socket,
+                        std::uint32_t core, std::uint64_t n,
+                        const GemmBuffers& buf) {
+  sim::AccessEngine& eng = machine.engine(socket, core);
+  sim::LoopStats total;
+
+  sim::LoopDesc inner;
+  inner.iterations = n;
+  inner.flops_per_iter = 2.0;  // multiply + add
+  inner.streams = {
+      {buf.a, 8, 8, sim::AccessKind::Load},                             // A[i][k]
+      {buf.b, static_cast<std::int64_t>(8 * n), 8, sim::AccessKind::Load},  // B[k][j]
+  };
+
+  for (std::uint64_t i = 0; i < n; ++i) {
+    inner.streams[0].base = buf.a + i * n * 8;  // row i of A
+    for (std::uint64_t j = 0; j < n; ++j) {
+      inner.streams[1].base = buf.b + j * 8;  // column j of B
+      total += eng.execute(inner);
+      eng.store(buf.c + (i * n + j) * 8, 8);  // C[i][j]: sparse scalar store
+    }
+  }
+  const sim::LoopStats scalar = eng.take_scalar_stats();
+  machine.advance(scalar.time_ns);
+  total += scalar;
+  return total;
+}
+
+sim::LoopStats run_capped_gemv(sim::Machine& machine, std::uint32_t socket,
+                               std::uint32_t core, std::uint64_t m,
+                               std::uint64_t n, std::uint64_t p,
+                               const GemvBuffers& buf) {
+  sim::AccessEngine& eng = machine.engine(socket, core);
+  sim::LoopStats total;
+
+  sim::LoopDesc inner;
+  inner.iterations = n;
+  inner.flops_per_iter = 2.0;
+  inner.streams = {
+      {buf.a, 8, 8, sim::AccessKind::Load},  // A[i % P][k]
+      {buf.x, 8, 8, sim::AccessKind::Load},  // x[k]
+  };
+
+  for (std::uint64_t i = 0; i < m; ++i) {
+    inner.streams[0].base = buf.a + (i % p) * n * 8;
+    total += eng.execute(inner);
+    eng.store(buf.y + i * 8, 8);  // y[i]: sparse scalar store
+  }
+  const sim::LoopStats scalar = eng.take_scalar_stats();
+  machine.advance(scalar.time_ns);
+  total += scalar;
+  return total;
+}
+
+sim::LoopStats run_dot(sim::Machine& machine, std::uint32_t socket,
+                       std::uint32_t core, std::uint64_t n, std::uint64_t x_addr,
+                       std::uint64_t y_addr) {
+  sim::AccessEngine& eng = machine.engine(socket, core);
+  sim::LoopDesc loop;
+  loop.iterations = n;
+  loop.flops_per_iter = 2.0;
+  loop.streams = {
+      {x_addr, 8, 8, sim::AccessKind::Load},
+      {y_addr, 8, 8, sim::AccessKind::Load},
+  };
+  return eng.execute(loop);
+}
+
+}  // namespace papisim::kernels

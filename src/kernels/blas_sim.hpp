@@ -1,0 +1,45 @@
+// Simulated BLAS kernels: the paper's reference loop nests (Listings 1-4)
+// replayed through the access engine.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/machine.hpp"
+
+namespace papisim::kernels {
+
+/// Simulated working set of one GEMM: three N x N matrices.
+struct GemmBuffers {
+  std::uint64_t a = 0, b = 0, c = 0;
+  static GemmBuffers allocate(sim::AddressSpace& as, std::uint64_t n);
+};
+
+/// Simulated working set of one capped GEMV: A (P x N), x (N), y (M).
+struct GemvBuffers {
+  std::uint64_t a = 0, x = 0, y = 0;
+  static GemvBuffers allocate(sim::AddressSpace& as, std::uint64_t m,
+                              std::uint64_t n, std::uint64_t p);
+};
+
+/// Replays the reference GEMM of Listing 3 on one core:
+///   for i: for j: { sum = dot(A[i][*], B[*][j]); C[i][j] = sum; }
+/// A's row is a sequential stream, B's column a stride-8N stream (which the
+/// hardware detects as a Stride-N stream), C a sparse scalar store that
+/// write-allocates -- together producing the 3N^2-reads behaviour.
+sim::LoopStats run_gemm(sim::Machine& machine, std::uint32_t socket,
+                        std::uint32_t core, std::uint64_t n,
+                        const GemmBuffers& buf);
+
+/// Replays the capped GEMV of Listing 2 (one thread of the batch):
+///   for i in [0,M): { sum = dot(A[i%P][*], x); y[i] = sum; }
+sim::LoopStats run_capped_gemv(sim::Machine& machine, std::uint32_t socket,
+                               std::uint32_t core, std::uint64_t m,
+                               std::uint64_t n, std::uint64_t p,
+                               const GemvBuffers& buf);
+
+/// DOT product x.y (the kernel of the authors' earlier study [9]).
+sim::LoopStats run_dot(sim::Machine& machine, std::uint32_t socket,
+                       std::uint32_t core, std::uint64_t n, std::uint64_t x_addr,
+                       std::uint64_t y_addr);
+
+}  // namespace papisim::kernels

@@ -1,0 +1,192 @@
+#include "kernels/cat.hpp"
+
+#include <cmath>
+
+#include "kernels/runner.hpp"
+#include "nest/nest_pmu.hpp"
+#include "pcp/pmns.hpp"
+
+namespace papisim::kernels {
+
+namespace {
+
+/// Event-name builder matching the runner's grammar for both routes.
+std::string event_name(const std::string& route, std::uint32_t channel,
+                       nest::NestEventKind kind, std::uint32_t cpu) {
+  if (route == "pcp") {
+    return "pcp:::" + pcp::Pmns::metric_name(channel, kind) +
+           ".value:cpu" + std::to_string(cpu);
+  }
+  return "perf_nest:::" + nest::NestPmu::perf_event_name(channel, kind) +
+         ":cpu=" + std::to_string(cpu);
+}
+
+struct Totals {
+  double read_bytes = 0, write_bytes = 0, read_reqs = 0, write_reqs = 0;
+  std::vector<double> read_bytes_per_channel;
+};
+
+/// Measure one kernel closure over every channel and kind.
+Totals measure(sim::Machine& machine, Library& lib, const std::string& route,
+               std::uint32_t cpu, const std::function<void()>& kernel) {
+  auto es = lib.create_eventset();
+  const std::uint32_t channels = machine.config().mem_channels;
+  for (const nest::NestEventKind kind : nest::kAllNestEventKinds) {
+    for (std::uint32_t ch = 0; ch < channels; ++ch) {
+      es->add_event(event_name(route, ch, kind, cpu));
+    }
+  }
+  es->start();
+  kernel();
+  const std::vector<long long> v = es->read();
+  es->stop();
+
+  Totals t;
+  t.read_bytes_per_channel.resize(channels);
+  for (std::uint32_t ch = 0; ch < channels; ++ch) {
+    t.read_bytes += static_cast<double>(v[ch]);
+    t.read_bytes_per_channel[ch] = static_cast<double>(v[ch]);
+    t.write_bytes += static_cast<double>(v[channels + ch]);
+    t.read_reqs += static_cast<double>(v[2 * channels + ch]);
+    t.write_reqs += static_cast<double>(v[3 * channels + ch]);
+  }
+  return t;
+}
+
+CatCheck make_check(std::string name, std::string event, double expected,
+                    double measured, double tolerance = 0.02) {
+  CatCheck c;
+  c.name = std::move(name);
+  c.event = std::move(event);
+  c.expected = expected;
+  c.measured = measured;
+  c.tolerance = tolerance;
+  c.passed = expected == 0
+                 ? measured == 0
+                 : std::abs(measured - expected) <= tolerance * std::abs(expected);
+  return c;
+}
+
+}  // namespace
+
+CatReport run_counter_analysis(sim::Machine& machine, Library& lib,
+                               const std::string& route,
+                               std::uint32_t measure_cpu) {
+  CatReport report;
+  const std::uint32_t socket = machine.socket_of_cpu(measure_cpu);
+  const bool noise_was_on = machine.noise(socket).enabled();
+  machine.set_noise_enabled(false);
+  machine.set_active_cores(socket, machine.cores_per_socket());
+
+  sim::AccessEngine& eng = machine.engine(socket, 0);
+  const std::uint64_t n = 1 << 18;  // 2 MB per stream
+
+  // 1. READ_BYTES identity: DOT reads two arrays once.
+  {
+    const std::uint64_t x = machine.address_space().allocate(n * 8);
+    const std::uint64_t y = machine.address_space().allocate(n * 8);
+    const Totals t = measure(machine, lib, route, measure_cpu, [&] {
+      sim::LoopDesc loop;
+      loop.iterations = n;
+      loop.streams = {{x, 8, 8, sim::AccessKind::Load},
+                      {y, 8, 8, sim::AccessKind::Load}};
+      eng.execute(loop);
+    });
+    report.checks.push_back(make_check("READ_BYTES identity (DOT kernel)",
+                                       "PM_MBA*_READ_BYTES",
+                                       2.0 * n * 8, t.read_bytes));
+    report.checks.push_back(make_check("no writes from a read-only kernel",
+                                       "PM_MBA*_WRITE_BYTES", 0.0, t.write_bytes));
+  }
+
+  // 2. WRITE_BYTES identity: streaming copy writes each element once.
+  {
+    const std::uint64_t src = machine.address_space().allocate(n * 8);
+    const std::uint64_t dst = machine.address_space().allocate(n * 8);
+    const Totals t = measure(machine, lib, route, measure_cpu, [&] {
+      sim::LoopDesc loop;
+      loop.iterations = n;
+      loop.streams = {{src, 8, 8, sim::AccessKind::Load},
+                      {dst, 8, 8, sim::AccessKind::Store}};
+      eng.execute(loop);
+      machine.flush_socket(socket);
+    });
+    report.checks.push_back(make_check("WRITE_BYTES identity (streaming copy)",
+                                       "PM_MBA*_WRITE_BYTES",
+                                       static_cast<double>(n) * 8, t.write_bytes));
+  }
+
+  // 3. Read-per-write of allocating stores: strided stores read one full
+  //    line per written line.
+  {
+    const std::uint64_t elems = 1 << 15;
+    const std::uint64_t dst = machine.address_space().allocate(elems * 128);
+    const Totals t = measure(machine, lib, route, measure_cpu, [&] {
+      sim::LoopDesc loop;
+      loop.iterations = elems;
+      loop.streams = {{dst, 128, 8, sim::AccessKind::Store}};
+      eng.execute(loop);
+      machine.flush_socket(socket);
+    });
+    report.checks.push_back(make_check(
+        "read-per-write of allocating stores", "READ_BYTES vs WRITE_BYTES",
+        t.write_bytes, t.read_bytes));
+  }
+
+  // 4. REQS/BYTES consistency: every transaction is one 64-byte line.
+  {
+    const std::uint64_t buf = machine.address_space().allocate(n * 8);
+    const Totals t = measure(machine, lib, route, measure_cpu, [&] {
+      sim::LoopDesc loop;
+      loop.iterations = n;
+      loop.streams = {{buf, 8, 8, sim::AccessKind::Load}};
+      eng.execute(loop);
+    });
+    report.checks.push_back(make_check("REQS * 64 == BYTES (reads)",
+                                       "PM_MBA*_READ_REQS",
+                                       t.read_bytes, 64.0 * t.read_reqs, 1e-9));
+  }
+
+  // 5. Channel interleave uniformity over a long sequential stream.
+  {
+    const std::uint64_t buf = machine.address_space().allocate(n * 8);
+    const Totals t = measure(machine, lib, route, measure_cpu, [&] {
+      sim::LoopDesc loop;
+      loop.iterations = n;
+      loop.streams = {{buf, 8, 8, sim::AccessKind::Load}};
+      eng.execute(loop);
+    });
+    double lo = 1e300, hi = 0;
+    for (const double b : t.read_bytes_per_channel) {
+      lo = std::min(lo, b);
+      hi = std::max(hi, b);
+    }
+    report.checks.push_back(make_check("channel interleave uniformity",
+                                       "per-channel READ_BYTES", hi, lo, 0.05));
+  }
+
+  // 6. Socket isolation: the other socket's counters stay untouched.
+  if (machine.sockets() > 1) {
+    const std::uint32_t other_socket = 1 - socket;
+    const std::uint32_t other_cpu =
+        other_socket * machine.config().cpus_per_socket();
+    auto es = lib.create_eventset();
+    es->add_event(event_name(route, 0, nest::NestEventKind::ReadBytes, other_cpu));
+    es->start();
+    const std::uint64_t buf = machine.address_space().allocate(n * 8);
+    sim::LoopDesc loop;
+    loop.iterations = n;
+    loop.streams = {{buf, 8, 8, sim::AccessKind::Load}};
+    eng.execute(loop);
+    const long long leaked = es->read()[0];
+    es->stop();
+    report.checks.push_back(make_check("socket isolation",
+                                       "other socket PM_MBA0_READ_BYTES", 0.0,
+                                       static_cast<double>(leaked)));
+  }
+
+  machine.set_noise_enabled(noise_was_on);
+  return report;
+}
+
+}  // namespace papisim::kernels

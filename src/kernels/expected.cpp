@@ -1,0 +1,27 @@
+#include "kernels/expected.hpp"
+
+#include <cmath>
+
+namespace papisim::kernels {
+
+CacheBand gemm_cache_band(std::uint64_t l3_bytes) {
+  CacheBand band;
+  const double l3 = static_cast<double>(l3_bytes);
+  band.lower_n = static_cast<std::uint64_t>(std::sqrt(l3 / (3.0 * kElem)));
+  band.upper_n = static_cast<std::uint64_t>(std::sqrt(l3 / kElem));
+  return band;
+}
+
+std::uint32_t repetitions_for(std::uint64_t n) {
+  if (n >= 2048) return 10;
+  const double r = std::floor(514.0 - 0.246 * static_cast<double>(n));
+  return r < 1.0 ? 1u : static_cast<std::uint32_t>(r);
+}
+
+std::uint64_t s1cf_ln2_cache_bound(std::uint64_t l3_bytes, std::uint32_t ranks) {
+  // 4 * 16N^2/ranks + 16N^2/ranks = L3  =>  N = sqrt(L3 * ranks / 80).
+  const double n2 = static_cast<double>(l3_bytes) * ranks / 80.0;
+  return static_cast<std::uint64_t>(std::sqrt(n2));
+}
+
+}  // namespace papisim::kernels

@@ -1,0 +1,70 @@
+// Analytic expected memory traffic of the BLAS benchmarks (paper Section II)
+// and the adaptive repetition policy (paper Eq. 5).
+#pragma once
+
+#include <cstdint>
+
+namespace papisim::kernels {
+
+/// Expected bytes moved between the cores and main memory for one kernel
+/// execution, under the paper's caching assumptions.
+struct ExpectedTraffic {
+  double read_bytes = 0;
+  double write_bytes = 0;
+};
+
+inline constexpr double kElem = 8.0;  ///< double-precision element size
+
+/// Reference GEMM C = A*B with square N x N matrices, all three fitting in
+/// cache: 3*N^2 elements read (A once, B once, and a read-per-write for C),
+/// N^2 elements written.
+inline ExpectedTraffic gemm_expected(std::uint64_t n) {
+  const double n2 = static_cast<double>(n) * static_cast<double>(n);
+  return {3.0 * n2 * kElem, n2 * kElem};
+}
+
+/// Capped GEMV y = A x with A capped to P x N (paper Eq. 1):
+/// M*N + M + N elements read (A rows re-read logically but the cap keeps the
+/// matrix cache-resident, x once, read-per-write for y), M written.
+inline ExpectedTraffic gemv_capped_expected(std::uint64_t m, std::uint64_t n) {
+  const double md = static_cast<double>(m), nd = static_cast<double>(n);
+  return {(md * nd + md + nd) * kElem, md * kElem};
+}
+
+/// Square (uncapped) GEMV, M = N: M^2 + 2M reads, M writes.
+inline ExpectedTraffic gemv_square_expected(std::uint64_t m) {
+  const double md = static_cast<double>(m);
+  return {(md * md + 2.0 * md) * kElem, md * kElem};
+}
+
+/// DOT x.y: 2N reads, no writes (scalar result).
+inline ExpectedTraffic dot_expected(std::uint64_t n) {
+  return {2.0 * static_cast<double>(n) * kElem, 0.0};
+}
+
+/// Batched variants scale by the thread count (one independent kernel per
+/// physical core, no sharing).
+inline ExpectedTraffic scaled(ExpectedTraffic t, std::uint32_t threads) {
+  return {t.read_bytes * threads, t.write_bytes * threads};
+}
+
+/// The shaded divergence band of the GEMM figures: between the size at which
+/// all three matrices fill the per-core L3 share (paper Eq. 3) and the size
+/// at which a single matrix does (paper Eq. 4).  For 5 MB: N in [467, 809].
+struct CacheBand {
+  std::uint64_t lower_n = 0;  ///< 8 * 3N^2 = L3
+  std::uint64_t upper_n = 0;  ///< 8 * N^2  = L3
+};
+
+CacheBand gemm_cache_band(std::uint64_t l3_bytes);
+
+/// Adaptive repetition count, paper Eq. 5:
+///   reps(N) = floor(514 - 0.246*N)  for N < 2048, else 10.
+std::uint32_t repetitions_for(std::uint64_t n);
+
+/// S1CF loop-nest-2 L3-exhaustion bound (paper Eq. 7): the N beyond which a
+/// full cache line must be re-read per element of the strided tmp traversal.
+/// For 5 MB and 8 ranks: N ~ 724.
+std::uint64_t s1cf_ln2_cache_bound(std::uint64_t l3_bytes, std::uint32_t ranks);
+
+}  // namespace papisim::kernels

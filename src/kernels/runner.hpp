@@ -1,0 +1,70 @@
+// Measured-kernel runner: the paper's benchmark methodology.
+//
+// A kernel is executed `reps` times inside one PAPI measurement window (all
+// 8 MBA read channels + all 8 write channels in one event set); the averaged
+// aggregate traffic amortizes the per-repetition noise, exactly as in paper
+// Section III.  Caches are cold at the start of each repetition (the paper
+// uses a fresh matrix per repetition; we flush, which is traffic-equivalent
+// and keeps dirty writebacks inside the measurement window).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/library.hpp"
+#include "sim/machine.hpp"
+
+namespace papisim::kernels {
+
+struct RunnerOptions {
+  std::uint32_t socket = 0;
+  std::uint32_t reps = 1;
+  /// Batched mode: one independent kernel per physical core (paper
+  /// Listings 2/4).  The representative core is simulated in full under a
+  /// contended 5 MB L3 share and its traffic scaled by the thread count
+  /// (symmetric-batch optimization, DESIGN.md §3, validated in tests).
+  bool batched = false;
+  std::uint32_t threads = 0;  ///< 0 = all usable cores when batched
+  /// Declare the whole socket busy without scaling traffic: the kernel is a
+  /// single OpenMP-parallel computation (e.g. one 3D-FFT rank) whose total
+  /// traffic the replay already produces, but whose threads contend for
+  /// their 5 MB L3 shares (paper Eq. 7's assumption).
+  bool occupy_socket = false;
+  /// Re-simulate every repetition instead of replaying the recorded
+  /// first-repetition traffic (slow; used to validate the fast path).
+  bool literal_reps = false;
+};
+
+struct Measurement {
+  double read_bytes = 0;   ///< average aggregate reads per repetition
+  double write_bytes = 0;  ///< average aggregate writes per repetition
+  double elapsed_sec = 0;  ///< virtual time of the whole measurement window
+  std::uint32_t reps = 1;
+  std::uint32_t threads = 1;
+};
+
+/// Runs kernels under a chosen measurement route ("pcp" on Summit,
+/// "perf_nest" on Tellico) through the real component API.
+class KernelRunner {
+ public:
+  /// `measure_cpu` is the hardware thread named in the event qualifier
+  /// (cpu87 for Summit socket 0 in the paper; cpu=0 on Tellico).
+  KernelRunner(sim::Machine& machine, Library& lib, std::string component,
+               std::uint32_t measure_cpu);
+
+  /// Measure `kernel(core)` (which must run on the given socket's core 0).
+  Measurement measure(const std::function<void(std::uint32_t core)>& kernel,
+                      const RunnerOptions& opt);
+
+  /// Event names used by the measurement (8 reads then 8 writes), for
+  /// printing Table I.
+  std::vector<std::string> event_names() const;
+
+ private:
+  sim::Machine& machine_;
+  Library& lib_;
+  std::string component_;
+  std::uint32_t measure_cpu_;
+};
+
+}  // namespace papisim::kernels

@@ -1,0 +1,32 @@
+// Virtual processor grid of the distributed 3D-FFT (r x c ranks).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace papisim::mpi {
+
+/// r-by-c virtual processor grid; rank = row * cols + col (row-major).
+struct Grid {
+  std::uint32_t rows = 1;
+  std::uint32_t cols = 1;
+
+  std::uint32_t size() const { return rows * cols; }
+
+  std::uint32_t rank_of(std::uint32_t row, std::uint32_t col) const {
+    if (row >= rows || col >= cols) throw std::out_of_range("Grid: coords out of range");
+    return row * cols + col;
+  }
+
+  struct Coords {
+    std::uint32_t row;
+    std::uint32_t col;
+  };
+
+  Coords coords_of(std::uint32_t rank) const {
+    if (rank >= size()) throw std::out_of_range("Grid: rank out of range");
+    return {rank / cols, rank % cols};
+  }
+};
+
+}  // namespace papisim::mpi

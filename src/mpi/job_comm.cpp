@@ -1,0 +1,35 @@
+#include "mpi/job_comm.hpp"
+
+#include <cmath>
+
+namespace papisim::mpi {
+
+void JobComm::alltoall(std::uint32_t participants, std::uint64_t local_bytes) {
+  ++alltoall_calls_;
+  if (participants <= 1 || local_bytes == 0) return;
+  // Each rank keeps 1/P locally and exchanges the rest over the wire.
+  const std::uint64_t wire_bytes =
+      local_bytes / participants * (participants - 1);
+  nic_.on_xmit(wire_bytes, port_);
+  nic_.on_recv(wire_bytes, port_);
+  // Pairwise-exchange schedule: P-1 steps of local_bytes/P each, with the
+  // NIC moving send and receive streams concurrently (full duplex).
+  const double t_ns =
+      static_cast<double>(participants - 1) *
+      nic_.transfer_time_ns(local_bytes / participants);
+  machine_.advance(t_ns);
+}
+
+void JobComm::sendrecv(std::uint64_t bytes) {
+  nic_.on_xmit(bytes, port_);
+  nic_.on_recv(bytes, port_);
+  machine_.advance(nic_.transfer_time_ns(bytes));
+}
+
+void JobComm::barrier(std::uint32_t participants) {
+  if (participants <= 1) return;
+  const double stages = std::ceil(std::log2(static_cast<double>(participants)));
+  machine_.advance(stages * nic_.config().latency_ns);
+}
+
+}  // namespace papisim::mpi

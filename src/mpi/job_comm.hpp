@@ -1,0 +1,43 @@
+// Communication model for a simulated SPMD job.
+//
+// The simulator runs ONE representative rank's computation in full (its
+// socket, caches, GPU); the other ranks are symmetric by construction
+// (pencil-decomposed FFT with equal block sizes).  Collectives are therefore
+// modelled by their per-rank traffic volumes and wire time, accounted to the
+// representative rank's NIC counters and the shared virtual clock --
+// exactly what the paper measures per MPI rank / per socket.
+#pragma once
+
+#include <cstdint>
+
+#include "net/nic.hpp"
+#include "sim/machine.hpp"
+
+namespace papisim::mpi {
+
+class JobComm {
+ public:
+  JobComm(sim::Machine& machine, net::Nic& nic, std::uint32_t port = 1)
+      : machine_(machine), nic_(nic), port_(port) {}
+
+  /// All-to-all among `participants` ranks where each rank holds
+  /// `local_bytes` and redistributes it evenly: every rank sends and
+  /// receives local_bytes * (P-1)/P over the wire.
+  void alltoall(std::uint32_t participants, std::uint64_t local_bytes);
+
+  /// Point-to-point exchange with one peer (sendrecv of `bytes` each way).
+  void sendrecv(std::uint64_t bytes);
+
+  /// Synchronization; costs a latency per log2(P) stage.
+  void barrier(std::uint32_t participants);
+
+  std::uint64_t alltoall_calls() const { return alltoall_calls_; }
+
+ private:
+  sim::Machine& machine_;
+  net::Nic& nic_;
+  std::uint32_t port_;
+  std::uint64_t alltoall_calls_ = 0;
+};
+
+}  // namespace papisim::mpi

@@ -1,0 +1,92 @@
+#include "nest/nest_pmu.hpp"
+
+#include <charconv>
+
+namespace papisim::nest {
+
+NestPmu::NestPmu(sim::Machine& machine, sim::Credentials creds) : machine_(machine) {
+  if (!creds.privileged()) {
+    throw PermissionError(
+        "nest PMU: opening uncore counters requires elevated privileges "
+        "(uid 0); use the PCP component instead");
+  }
+}
+
+std::uint64_t NestPmu::read(const NestEventId& id) const {
+  const sim::MemDir dir = to_string(id.kind)[0] == 'R' ? sim::MemDir::Read
+                                                       : sim::MemDir::Write;
+  const sim::MemController& mem = machine_.memctrl(id.socket);
+  return is_byte_event(id.kind) ? mem.channel_bytes(id.channel, dir)
+                                : mem.channel_ops(id.channel, dir);
+}
+
+std::uint32_t NestPmu::channels() const { return machine_.config().mem_channels; }
+std::uint32_t NestPmu::sockets() const { return machine_.config().sockets; }
+
+std::string NestPmu::perf_event_name(std::uint32_t channel, NestEventKind kind) {
+  return "power9_nest_mba" + std::to_string(channel) + "::PM_MBA" +
+         std::to_string(channel) + "_" + event_suffix(kind);
+}
+
+std::optional<NestEventId> NestPmu::parse_perf_event(std::string_view name,
+                                                     const sim::MachineConfig& cfg) {
+  constexpr std::string_view kPmu = "power9_nest_mba";
+  if (!name.starts_with(kPmu)) return std::nullopt;
+  name.remove_prefix(kPmu.size());
+
+  std::uint32_t pmu_ch = 0;
+  const char* end = name.data() + name.size();
+  auto [p, ec] = std::from_chars(name.data(), end, pmu_ch);
+  if (ec != std::errc{}) return std::nullopt;
+  name.remove_prefix(static_cast<std::size_t>(p - name.data()));
+
+  if (!name.starts_with("::PM_MBA")) return std::nullopt;
+  name.remove_prefix(8);
+
+  std::uint32_t ev_ch = 0;
+  auto [p2, ec2] = std::from_chars(name.data(), end, ev_ch);
+  if (ec2 != std::errc{} || ev_ch != pmu_ch) return std::nullopt;
+  name.remove_prefix(static_cast<std::size_t>(p2 - name.data()));
+
+  NestEventId id;
+  id.channel = ev_ch;
+  if (id.channel >= cfg.mem_channels) return std::nullopt;
+
+  bool matched = false;
+  for (const NestEventKind kind : kAllNestEventKinds) {
+    const std::string suffix = std::string("_") + event_suffix(kind);
+    if (name.starts_with(suffix)) {
+      id.kind = kind;
+      name.remove_prefix(suffix.size());
+      matched = true;
+      break;
+    }
+  }
+  if (!matched) return std::nullopt;
+
+  if (name.empty()) {
+    id.socket = 0;
+    return id;
+  }
+  if (!name.starts_with(":cpu=")) return std::nullopt;
+  name.remove_prefix(5);
+  std::uint32_t cpu = 0;
+  auto [p3, ec3] = std::from_chars(name.data(), end, cpu);
+  if (ec3 != std::errc{} || p3 != end) return std::nullopt;
+  if (cpu >= cfg.usable_cpus()) return std::nullopt;
+  id.socket = cpu / cfg.cpus_per_socket();
+  return id;
+}
+
+std::vector<std::string> NestPmu::enumerate(const sim::MachineConfig& cfg) {
+  std::vector<std::string> names;
+  names.reserve(cfg.mem_channels * 4);
+  for (std::uint32_t ch = 0; ch < cfg.mem_channels; ++ch) {
+    for (const NestEventKind kind : kAllNestEventKinds) {
+      names.push_back(perf_event_name(ch, kind));
+    }
+  }
+  return names;
+}
+
+}  // namespace papisim::nest

@@ -1,0 +1,92 @@
+// Privilege-gated access to the socket ("nest") memory-traffic counters.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace papisim::nest {
+
+/// Thrown when a caller without elevated privileges tries to open the nest
+/// PMU.  On the real Summit this is the EPERM a user gets from perf_event
+/// for uncore PMUs, which is why IBM exports the counters through PCP.
+class PermissionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Nest MBA event categories.  The paper's experiments use the *_BYTES
+/// events (Table I); the request-count events are the modeled counterparts
+/// of the PMU's companion counters and support the paper's future-work goal
+/// of covering more nest event categories.
+enum class NestEventKind : std::uint8_t { ReadBytes, WriteBytes, ReadReqs, WriteReqs };
+
+/// All kinds, in enumeration order.
+inline constexpr NestEventKind kAllNestEventKinds[] = {
+    NestEventKind::ReadBytes, NestEventKind::WriteBytes, NestEventKind::ReadReqs,
+    NestEventKind::WriteReqs};
+
+/// One nest counter: a socket's MBA channel in one direction.
+struct NestEventId {
+  std::uint32_t socket = 0;
+  std::uint32_t channel = 0;
+  NestEventKind kind = NestEventKind::ReadBytes;
+};
+
+/// Handle to the nest PMU of a machine.  Construction enforces the
+/// privilege requirement; reads are then direct counter loads (this is the
+/// "perf_uncore" path used on Tellico).
+class NestPmu {
+ public:
+  /// @throws PermissionError if `creds` is not privileged.
+  NestPmu(sim::Machine& machine, sim::Credentials creds);
+
+  std::uint64_t read(const NestEventId& id) const;
+
+  std::uint32_t channels() const;
+  std::uint32_t sockets() const;
+
+  /// perf-style native event name, e.g.
+  /// "power9_nest_mba0::PM_MBA0_READ_BYTES" (qualifier ":cpu=N" selects the
+  /// socket owning hardware thread N).
+  static std::string perf_event_name(std::uint32_t channel, NestEventKind kind);
+
+  /// Parse "power9_nest_mba<ch>::PM_MBA<ch>_<READ|WRITE>_BYTES[:cpu=<n>]".
+  /// Returns nullopt on malformed names or channel mismatch.
+  static std::optional<NestEventId> parse_perf_event(std::string_view name,
+                                                     const sim::MachineConfig& cfg);
+
+  /// All native event names for a machine (one per channel and direction).
+  static std::vector<std::string> enumerate(const sim::MachineConfig& cfg);
+
+ private:
+  sim::Machine& machine_;
+};
+
+inline const char* to_string(NestEventKind k) {
+  return (k == NestEventKind::ReadBytes || k == NestEventKind::ReadReqs)
+             ? "READ"
+             : "WRITE";
+}
+
+/// Event-name suffix after "PM_MBA<ch>_", e.g. "READ_BYTES".
+inline const char* event_suffix(NestEventKind k) {
+  switch (k) {
+    case NestEventKind::ReadBytes: return "READ_BYTES";
+    case NestEventKind::WriteBytes: return "WRITE_BYTES";
+    case NestEventKind::ReadReqs: return "READ_REQS";
+    case NestEventKind::WriteReqs: return "WRITE_REQS";
+  }
+  return "";
+}
+
+inline bool is_byte_event(NestEventKind k) {
+  return k == NestEventKind::ReadBytes || k == NestEventKind::WriteBytes;
+}
+
+}  // namespace papisim::nest

@@ -1,0 +1,57 @@
+// Mellanox-class NIC model with per-port extended byte counters
+// (Infiniband component substrate).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace papisim::net {
+
+struct NicConfig {
+  std::string name = "mlx5_0";
+  std::uint32_t ports = 1;                      ///< 1-based port numbering
+  double link_bw_bytes_per_sec = 12.5e9;        ///< EDR 100 Gb/s
+  double latency_ns = 1.3e3;
+};
+
+/// One HCA.  Counters mirror the extended port counters PAPI's infiniband
+/// component reads (port_recv_data / port_xmit_data); we account bytes
+/// directly (the sysfs counters count 4-byte words, which PAPI rescales).
+class Nic {
+ public:
+  explicit Nic(NicConfig cfg) : cfg_(std::move(cfg)), counters_(cfg_.ports * 2, 0) {}
+
+  const std::string& name() const { return cfg_.name; }
+  const NicConfig& config() const { return cfg_; }
+  std::uint32_t ports() const { return cfg_.ports; }
+
+  void on_recv(std::uint64_t bytes, std::uint32_t port = 1) {
+    counters_[index(port, 0)] += bytes;
+  }
+  void on_xmit(std::uint64_t bytes, std::uint32_t port = 1) {
+    counters_[index(port, 1)] += bytes;
+  }
+
+  std::uint64_t recv_bytes(std::uint32_t port = 1) const { return counters_[index(port, 0)]; }
+  std::uint64_t xmit_bytes(std::uint32_t port = 1) const { return counters_[index(port, 1)]; }
+
+  /// Wire time for a message of `bytes` (used by the job communicator).
+  double transfer_time_ns(std::uint64_t bytes) const {
+    return cfg_.latency_ns + static_cast<double>(bytes) / cfg_.link_bw_bytes_per_sec * 1e9;
+  }
+
+ private:
+  std::size_t index(std::uint32_t port, std::uint32_t dir) const {
+    if (port == 0 || port > cfg_.ports) {
+      throw std::out_of_range("Nic: port " + std::to_string(port) + " out of range");
+    }
+    return (port - 1) * 2 + dir;
+  }
+
+  NicConfig cfg_;
+  std::vector<std::uint64_t> counters_;
+};
+
+}  // namespace papisim::net

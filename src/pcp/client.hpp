@@ -1,0 +1,59 @@
+// Unprivileged client side of the PCP protocol (libpcp analogue).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pcp/pmcd.hpp"
+
+namespace papisim::pcp {
+
+/// What an ordinary user links against: every operation is a synchronous
+/// round-trip to the PMCD.  The client needs *no* privileges -- that is the
+/// entire point of the PCP route on Summit -- but each fetch pays the
+/// daemon-indirection latency, which is accounted on the virtual clock.
+class PcpClient {
+ public:
+  /// `creds` are the caller's credentials; they are deliberately unused for
+  /// authorization (any user may talk to the PMCD).
+  PcpClient(Pmcd& daemon, sim::Machine& machine, sim::Credentials creds)
+      : daemon_(daemon), machine_(machine), creds_(creds) {}
+
+  /// pmLookupName.
+  std::optional<PmId> lookup(const std::string& name) {
+    pay_round_trip();
+    return daemon_.lookup(name).pmid;
+  }
+
+  /// Traverse the namespace under a prefix.
+  std::vector<std::string> names_under(const std::string& prefix) {
+    pay_round_trip();
+    return daemon_.names_under(prefix).names;
+  }
+
+  /// pmFetch for instance `cpu`.  One round trip regardless of metric count.
+  FetchReply fetch(const std::vector<PmId>& pmids, std::uint32_t cpu) {
+    pay_round_trip();
+    return daemon_.fetch(pmids, cpu);
+  }
+
+  std::uint64_t round_trips() const { return round_trips_; }
+  sim::Credentials credentials() const { return creds_; }
+  sim::Machine& machine() { return machine_; }
+  const sim::Machine& machine() const { return machine_; }
+
+ private:
+  void pay_round_trip() {
+    ++round_trips_;
+    machine_.advance(machine_.config().pcp_fetch_latency_ns);
+  }
+
+  Pmcd& daemon_;
+  sim::Machine& machine_;
+  sim::Credentials creds_;
+  std::uint64_t round_trips_ = 0;
+};
+
+}  // namespace papisim::pcp

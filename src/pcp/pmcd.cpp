@@ -1,0 +1,99 @@
+#include "pcp/pmcd.hpp"
+
+namespace papisim::pcp {
+
+Pmcd::Pmcd(sim::Machine& machine)
+    : machine_(machine),
+      pmns_(machine.config()),
+      pmu_(machine, sim::Credentials::root()) {
+  thread_ = std::thread([this] { serve(); });
+}
+
+Pmcd::~Pmcd() {
+  post(StopReq{});
+  if (thread_.joinable()) thread_.join();
+}
+
+void Pmcd::post(Request req) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(req));
+  }
+  cv_.notify_one();
+}
+
+LookupReply Pmcd::lookup(const std::string& name) {
+  LookupReq req;
+  req.name = name;
+  std::future<LookupReply> f = req.reply.get_future();
+  post(std::move(req));
+  return f.get();
+}
+
+NamesReply Pmcd::names_under(const std::string& prefix) {
+  NamesReq req;
+  req.prefix = prefix;
+  std::future<NamesReply> f = req.reply.get_future();
+  post(std::move(req));
+  return f.get();
+}
+
+FetchReply Pmcd::fetch(const std::vector<PmId>& pmids, std::uint32_t cpu) {
+  FetchReq req;
+  req.pmids = pmids;
+  req.cpu = cpu;
+  std::future<FetchReply> f = req.reply.get_future();
+  post(std::move(req));
+  return f.get();
+}
+
+void Pmcd::serve() {
+  for (;;) {
+    Request req = [this]() -> Request {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return !queue_.empty(); });
+      Request r = std::move(queue_.front());
+      queue_.pop_front();
+      return r;
+    }();
+
+    if (std::holds_alternative<StopReq>(req)) return;
+    ++requests_served_;
+
+    if (auto* l = std::get_if<LookupReq>(&req)) {
+      LookupReply reply;
+      reply.pmid = pmns_.lookup(l->name);
+      reply.ok = reply.pmid.has_value();
+      l->reply.set_value(std::move(reply));
+    } else if (auto* n = std::get_if<NamesReq>(&req)) {
+      NamesReply reply;
+      reply.names = pmns_.names_under(n->prefix);
+      n->reply.set_value(std::move(reply));
+    } else if (auto* fr = std::get_if<FetchReq>(&req)) {
+      FetchReply reply;
+      reply.ok = true;
+      reply.values.reserve(fr->pmids.size());
+      if (fr->cpu >= machine_.config().usable_cpus()) {
+        reply.ok = false;
+        reply.error = "instance (cpu) out of range";
+      } else {
+        const std::uint32_t socket = machine_.socket_of_cpu(fr->cpu);
+        for (const PmId pmid : fr->pmids) {
+          const MetricDesc* d = pmns_.descriptor(pmid);
+          if (d == nullptr) {
+            reply.ok = false;
+            reply.error = "unknown pmid " + std::to_string(pmid);
+            reply.values.clear();
+            break;
+          }
+          nest::NestEventId ev = d->event;
+          ev.socket = socket;
+          reply.values.push_back(pmu_.read(ev));
+        }
+      }
+      fr->reply.set_value(std::move(reply));
+    }
+  }
+}
+
+}  // namespace papisim::pcp

@@ -1,0 +1,100 @@
+// PMCD: the Performance Metrics Collector Daemon.
+//
+// On Summit the PMCD runs with the elevated privileges needed to program and
+// read the nest PMU, and ordinary users query it over a socket.  Here the
+// daemon is a real thread holding a root-credentialed NestPmu; clients talk
+// to it through a mailbox protocol (request queue + per-request promise),
+// which preserves the essential property the paper studies: user-space reads
+// go through an indirection layer with a round-trip cost.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "nest/nest_pmu.hpp"
+#include "pcp/pmns.hpp"
+#include "sim/machine.hpp"
+
+namespace papisim::pcp {
+
+/// A fetch result: one value per requested pmid.
+struct FetchReply {
+  bool ok = false;
+  std::string error;
+  std::vector<std::uint64_t> values;
+};
+
+struct LookupReply {
+  bool ok = false;
+  std::optional<PmId> pmid;
+};
+
+struct NamesReply {
+  std::vector<std::string> names;
+};
+
+/// The daemon.  Owns the PMNS and the privileged nest handle.
+class Pmcd {
+ public:
+  /// Starts the daemon thread.  The daemon itself opens the nest PMU with
+  /// root credentials -- this is the privilege boundary being modelled.
+  explicit Pmcd(sim::Machine& machine);
+  ~Pmcd();
+
+  Pmcd(const Pmcd&) = delete;
+  Pmcd& operator=(const Pmcd&) = delete;
+
+  // --- client-side entry points (thread-safe, synchronous round-trips) ---
+
+  /// pmLookupName.
+  LookupReply lookup(const std::string& name);
+
+  /// pmGetChildren / pmTraversePMNS over a prefix.
+  NamesReply names_under(const std::string& prefix);
+
+  /// pmFetch: read `pmids` for the instance (hardware thread) `cpu`.
+  FetchReply fetch(const std::vector<PmId>& pmids, std::uint32_t cpu);
+
+  const Pmns& pmns() const { return pmns_; }
+  std::uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  struct LookupReq {
+    std::string name;
+    std::promise<LookupReply> reply;
+  };
+  struct NamesReq {
+    std::string prefix;
+    std::promise<NamesReply> reply;
+  };
+  struct FetchReq {
+    std::vector<PmId> pmids;
+    std::uint32_t cpu = 0;
+    std::promise<FetchReply> reply;
+  };
+  struct StopReq {};
+  using Request = std::variant<LookupReq, NamesReq, FetchReq, StopReq>;
+
+  void serve();
+  void post(Request req);
+
+  sim::Machine& machine_;
+  Pmns pmns_;
+  nest::NestPmu pmu_;  ///< opened with root credentials by the daemon
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  std::uint64_t requests_served_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace papisim::pcp

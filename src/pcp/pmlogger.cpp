@@ -1,0 +1,78 @@
+#include "pcp/pmlogger.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace papisim::pcp {
+
+void Archive::save(std::ostream& os) const {
+  os << "# papisim-archive v1\n";
+  os << "cpu " << cpu << "\n";
+  for (const std::string& m : metrics) os << "metric " << m << "\n";
+  for (const ArchiveRecord& r : records) {
+    os << "record " << r.t_sec;
+    for (const std::uint64_t v : r.values) os << ' ' << v;
+    os << "\n";
+  }
+}
+
+Archive Archive::load(std::istream& is) {
+  Archive ar;
+  std::string line;
+  if (!std::getline(is, line) || line != "# papisim-archive v1") {
+    throw std::runtime_error("Archive::load: missing or unknown header");
+  }
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "cpu") {
+      ls >> ar.cpu;
+    } else if (tag == "metric") {
+      std::string name;
+      ls >> name;
+      ar.metrics.push_back(std::move(name));
+    } else if (tag == "record") {
+      ArchiveRecord r;
+      ls >> r.t_sec;
+      std::uint64_t v = 0;
+      while (ls >> v) r.values.push_back(v);
+      if (r.values.size() != ar.metrics.size()) {
+        throw std::runtime_error("Archive::load: record width mismatch");
+      }
+      ar.records.push_back(std::move(r));
+    } else {
+      throw std::runtime_error("Archive::load: unknown line tag '" + tag + "'");
+    }
+  }
+  return ar;
+}
+
+PmLogger::PmLogger(PcpClient& client, std::vector<std::string> metrics,
+                   std::uint32_t cpu)
+    : client_(client) {
+  archive_.metrics = std::move(metrics);
+  archive_.cpu = cpu;
+  pmids_.reserve(archive_.metrics.size());
+  for (const std::string& name : archive_.metrics) {
+    const auto pmid = client_.lookup(name);
+    if (!pmid) {
+      throw std::runtime_error("PmLogger: unknown metric '" + name + "'");
+    }
+    pmids_.push_back(*pmid);
+  }
+}
+
+void PmLogger::poll() {
+  const FetchReply reply = client_.fetch(pmids_, archive_.cpu);
+  if (!reply.ok) {
+    throw std::runtime_error("PmLogger: pmFetch failed: " + reply.error);
+  }
+  ArchiveRecord r;
+  r.t_sec = client_.machine().clock().now_sec();
+  r.values = reply.values;
+  archive_.records.push_back(std::move(r));
+}
+
+}  // namespace papisim::pcp

@@ -1,0 +1,53 @@
+// pmlogger analogue: periodic recording of PCP metrics into an archive that
+// can be serialized and replayed.  On real systems pmlogger archives are how
+// PCP users inspect nest counters after the fact; here the logger polls the
+// PMCD through the ordinary client (each poll pays the round trip).
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "pcp/client.hpp"
+
+namespace papisim::pcp {
+
+/// One archive record: virtual timestamp plus one value per logged metric.
+struct ArchiveRecord {
+  double t_sec = 0;
+  std::vector<std::uint64_t> values;
+};
+
+/// A recorded metric archive (metadata + records).
+struct Archive {
+  std::vector<std::string> metrics;  ///< dotted PMNS names
+  std::uint32_t cpu = 0;             ///< instance the values were fetched for
+  std::vector<ArchiveRecord> records;
+
+  /// Plain-text serialization ("# papisim-archive v1" header, one record
+  /// per line).  Round-trips through load().
+  void save(std::ostream& os) const;
+  static Archive load(std::istream& is);
+};
+
+/// The logger: resolves the metric names once, then poll() appends records.
+class PmLogger {
+ public:
+  /// @throws Error(Status::NoEvent) if any metric fails to resolve.
+  PmLogger(PcpClient& client, std::vector<std::string> metrics, std::uint32_t cpu);
+
+  /// Fetch all metrics (one round trip) and append a record stamped with
+  /// the current virtual time.
+  void poll();
+
+  const Archive& archive() const { return archive_; }
+  std::size_t records() const { return archive_.records.size(); }
+
+ private:
+  PcpClient& client_;
+  std::vector<PmId> pmids_;
+  Archive archive_;
+};
+
+}  // namespace papisim::pcp

@@ -1,0 +1,49 @@
+#include "pcp/pmns.hpp"
+
+namespace papisim::pcp {
+
+std::string Pmns::metric_name(std::uint32_t channel, nest::NestEventKind kind) {
+  const std::string ch = std::to_string(channel);
+  return "perfevent.hwcounters.nest_mba" + ch + "_imc.PM_MBA" + ch + "_" +
+         nest::event_suffix(kind);
+}
+
+Pmns::Pmns(const sim::MachineConfig& cfg) {
+  metrics_.reserve(cfg.mem_channels * 4);
+  for (std::uint32_t ch = 0; ch < cfg.mem_channels; ++ch) {
+    for (const nest::NestEventKind kind : nest::kAllNestEventKinds) {
+      MetricDesc d;
+      d.pmid = static_cast<PmId>(metrics_.size());
+      d.name = metric_name(ch, kind);
+      d.units = nest::is_byte_event(kind) ? "byte" : "count";
+      d.event.channel = ch;
+      d.event.kind = kind;
+      metrics_.push_back(std::move(d));
+    }
+  }
+}
+
+std::optional<PmId> Pmns::lookup(std::string_view name) const {
+  for (const MetricDesc& d : metrics_) {
+    if (d.name == name) return d.pmid;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> Pmns::names_under(std::string_view prefix) const {
+  std::vector<std::string> out;
+  for (const MetricDesc& d : metrics_) {
+    if (prefix.empty() || (d.name.size() >= prefix.size() &&
+                           std::string_view(d.name).substr(0, prefix.size()) == prefix)) {
+      out.push_back(d.name);
+    }
+  }
+  return out;
+}
+
+const MetricDesc* Pmns::descriptor(PmId pmid) const {
+  if (pmid >= metrics_.size()) return nullptr;
+  return &metrics_[pmid];
+}
+
+}  // namespace papisim::pcp

@@ -1,0 +1,51 @@
+// Performance Metrics Name Space (PMNS) for the simulated PMCD.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nest/nest_pmu.hpp"
+#include "sim/config.hpp"
+
+namespace papisim::pcp {
+
+using PmId = std::uint32_t;
+
+/// Descriptor of one PCP metric, mirroring pmDesc / pmLookupName results.
+struct MetricDesc {
+  PmId pmid = 0;
+  std::string name;                      ///< dotted PMNS path
+  std::string units = "byte";
+  std::string semantics = "counter";     ///< monotonically increasing
+  bool per_cpu_instances = true;         ///< instance domain = hardware threads
+  nest::NestEventId event;               ///< backing nest counter (channel/kind)
+};
+
+/// The metric namespace exported by the PMCD for nest memory traffic:
+/// perfevent.hwcounters.nest_mba<ch>_imc.PM_MBA<ch>_{READ,WRITE}_BYTES
+/// with a per-cpu instance domain (the socket of the chosen cpu determines
+/// which nest is read), exactly the metrics IBM exports on Summit.
+class Pmns {
+ public:
+  explicit Pmns(const sim::MachineConfig& cfg);
+
+  /// pmLookupName: dotted name -> pmid.
+  std::optional<PmId> lookup(std::string_view name) const;
+
+  /// pmNameAll-ish: all names under a dotted prefix ("" lists everything).
+  std::vector<std::string> names_under(std::string_view prefix) const;
+
+  const MetricDesc* descriptor(PmId pmid) const;
+  std::size_t size() const { return metrics_.size(); }
+
+  /// PMNS path for a channel/direction.
+  static std::string metric_name(std::uint32_t channel, nest::NestEventKind kind);
+
+ private:
+  std::vector<MetricDesc> metrics_;  ///< index == pmid
+};
+
+}  // namespace papisim::pcp

@@ -1,0 +1,29 @@
+// Virtual time base for the simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace papisim::sim {
+
+/// Monotonic virtual clock, in nanoseconds of simulated time.
+///
+/// All simulated activity (kernel execution, DMA copies, network transfers,
+/// PCP round-trips, background noise accrual) advances this clock.  The
+/// profiling timeline (Figs. 11-12) and the noise model are driven by it.
+class SimClock {
+ public:
+  double now_ns() const { return now_ns_; }
+  double now_sec() const { return now_ns_ * 1e-9; }
+
+  /// Advance time; negative deltas are ignored (clock is monotonic).
+  void advance(double delta_ns) {
+    if (delta_ns > 0) now_ns_ += delta_ns;
+  }
+
+  void reset() { now_ns_ = 0.0; }
+
+ private:
+  double now_ns_ = 0.0;
+};
+
+}  // namespace papisim::sim

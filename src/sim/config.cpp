@@ -1,0 +1,57 @@
+#include "sim/config.hpp"
+
+namespace papisim::sim {
+
+namespace {
+/// Distinct noise sequences per system (FNV-1a over the name).
+std::uint64_t seed_for(const char* name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char* p = name; *p != '\0'; ++p) {
+    h = (h ^ static_cast<unsigned char>(*p)) * 0x100000001b3ULL;
+  }
+  return h;
+}
+}  // namespace
+
+MachineConfig MachineConfig::summit() {
+  MachineConfig cfg;
+  cfg.name = "summit";
+  cfg.noise.seed = seed_for("summit");
+  cfg.sockets = 2;
+  cfg.cores_per_socket = 21;  // 22 cores, one reserved for system services
+  cfg.physical_cores_per_socket = 22;
+  cfg.smt = 4;                // cpu ids 0..87 socket 0, 88..175 socket 1
+  cfg.user_uid = 1001;        // ordinary users: no elevated privileges
+  return cfg;
+}
+
+MachineConfig MachineConfig::tellico() {
+  MachineConfig cfg;
+  cfg.name = "tellico";
+  cfg.noise.seed = seed_for("tellico");
+  cfg.sockets = 2;
+  cfg.cores_per_socket = 16;
+  cfg.physical_cores_per_socket = 16;
+  cfg.smt = 4;
+  cfg.user_uid = 0;  // elevated privileges: direct perf_uncore access
+  return cfg;
+}
+
+MachineConfig MachineConfig::power10_preview() {
+  MachineConfig cfg;
+  cfg.name = "power10-preview";
+  cfg.noise.seed = seed_for("power10-preview");
+  cfg.sockets = 2;
+  cfg.cores_per_socket = 15;
+  cfg.physical_cores_per_socket = 16;
+  cfg.smt = 8;
+  cfg.l3_slice_bytes = 8ull << 20;  // 8 MB L3 share per core
+  cfg.mem_channels = 16;            // OMI channels
+  cfg.mem_bw_bytes_per_sec = 400e9;
+  cfg.core_flops = 30e9;
+  cfg.core_freq_hz = 3.9e9;
+  cfg.user_uid = 1001;
+  return cfg;
+}
+
+}  // namespace papisim::sim

@@ -1,0 +1,122 @@
+// Machine configuration for the papisim execution-driven memory simulator.
+//
+// The simulator models the memory-traffic-relevant mechanisms of an IBM
+// POWER9 socket as described in the reproduced paper: per-core L3 slices
+// with lateral cast-out, a Stride-N stream detector, cache-bypassing
+// streaming stores, software prefetch (dcbtst), and an 8-channel memory
+// controller ("nest" MBA channels) with per-channel READ/WRITE byte
+// counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace papisim::sim {
+
+/// Geometry of one cache level.
+struct CacheConfig {
+  std::uint64_t size_bytes = 0;
+  std::uint32_t associativity = 1;
+};
+
+/// Measurement-noise parameters.  See DESIGN.md §3 ("Noise + virtual time").
+///
+/// The dominant error source for short-running kernels is a per-repetition
+/// overhead (harness setup, cache flushing, OS activity around start/stop),
+/// which is why the paper amortizes it with repetitions (Eq. 5).  A small
+/// rate-based background term models daemon traffic over time.
+struct NoiseConfig {
+  double rep_read_overhead_bytes = 6e3;     ///< mean extraneous reads per repetition
+  double rep_write_overhead_bytes = 1.5e3;  ///< mean extraneous writes per repetition
+  double measure_read_overhead_bytes = 2.5e6;  ///< per start/stop measurement window
+  double measure_write_overhead_bytes = 4e5;
+  double background_read_bytes_per_sec = 2e6;   ///< OS/daemon background traffic
+  double background_write_bytes_per_sec = 1e6;
+  double jitter_sigma = 0.6;                ///< lognormal sigma of the overhead terms
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+};
+
+/// Full machine description.  Presets model the two systems of the paper.
+struct MachineConfig {
+  std::string name = "generic-power9";
+
+  std::uint32_t sockets = 2;
+  std::uint32_t cores_per_socket = 21;  ///< usable cores (Summit: 22 minus 1 service core)
+  /// Physical cores per socket, including any reserved for system services;
+  /// hardware-thread (cpu) ids are numbered over these, so on Summit cpus
+  /// 0..87 belong to socket 0 and 88..175 to socket 1 (the paper's cpu87 /
+  /// cpu175 qualifiers name the last hardware thread of each socket).
+  std::uint32_t physical_cores_per_socket = 22;
+  std::uint32_t smt = 4;                ///< hardware threads per core (cpu-id mapping)
+
+  /// Memory transaction granularity.  POWER9 has 128 B cache lines but can
+  /// fetch 64 B half-lines from memory; we model a 64 B sectored line, which
+  /// is traffic-equivalent (DESIGN.md §5).
+  std::uint32_t line_bytes = 64;
+
+  CacheConfig l1{32ull << 10, 8};
+  CacheConfig l2{256ull << 10, 8};
+
+  /// Per-core L3 share under full contention (half of a 10 MB core-pair slice).
+  std::uint64_t l3_slice_bytes = 5ull << 20;
+  std::uint32_t l3_associativity = 20;
+
+  /// Lateral cast-out: capacity victims of an active core spill into idle
+  /// cores' slices and may be recovered later (POWER9 L3 victim behaviour).
+  bool lateral_castout = true;
+  /// Fraction of lateral cast-out recoveries that succeed (per recovery
+  /// event).  < 1 produces the paper's *gradual* divergence of
+  /// single-threaded kernels whose footprint exceeds the local 5 MB slice
+  /// (Figs. 2-4 (a) panels) without the sharp jump of the batched runs.
+  double castout_retention = 0.99;
+
+  /// Streaming stores that bypass the cache (no read-for-ownership) when the
+  /// store stream is dense and sequential and no strided stream is detected.
+  bool store_bypass = true;
+  std::uint32_t bypass_max_loads_per_store = 2;
+
+  /// Stride-N stream detector: consecutive constant line-strides (>= 2 lines)
+  /// required before a stream is flagged "strided".
+  std::uint32_t stream_detect_threshold = 4;
+
+  std::uint32_t mem_channels = 8;  ///< MBA channels per socket
+  /// Address-interleave granularity across channels, in lines (2 lines = 128 B).
+  std::uint32_t channel_interleave_lines = 2;
+
+  // --- virtual-time model (coarse; absolute performance is out of scope) ---
+  double mem_bw_bytes_per_sec = 110e9;  ///< per-socket sustained DRAM bandwidth
+  double mem_bw_utilization = 0.55;     ///< achieved fraction without sw prefetch
+  double mem_bw_utilization_prefetch = 0.90;  ///< with -fprefetch-loop-arrays
+  double core_flops = 15e9;             ///< reference-kernel fp64 rate per core
+  double core_freq_hz = 3.45e9;         ///< nominal core clock
+  double l3_hit_ns = 0.35;              ///< amortized per-line-touch cost
+
+  double pcp_fetch_latency_ns = 30e3;   ///< PMCD round-trip per fetch
+
+  /// uid of the ordinary user on this system; nest counters require uid 0.
+  std::uint32_t user_uid = 1001;
+
+  NoiseConfig noise{};
+
+  /// Total hardware-thread ids on the node (cpu qualifier range).
+  std::uint32_t usable_cpus() const {
+    return sockets * physical_cores_per_socket * smt;
+  }
+  /// Hardware threads per socket (for cpu-id -> socket mapping).
+  std::uint32_t cpus_per_socket() const { return physical_cores_per_socket * smt; }
+
+  /// Summit compute node: 2 x 22-core POWER9 (21 usable), 110 MB L3/socket,
+  /// ordinary users are NOT privileged (must use PCP).
+  static MachineConfig summit();
+
+  /// Tellico testbed: 2 x 16-core POWER9, users ARE privileged (uid 0),
+  /// nest counters readable directly (perf_uncore).
+  static MachineConfig tellico();
+
+  /// Speculative POWER10-class node (the paper's future-work target):
+  /// 15 usable SMT8 cores, bigger per-core L3 share, more memory channels
+  /// (OMI), higher bandwidth.  Used by the forward-looking ablation bench.
+  static MachineConfig power10_preview();
+};
+
+}  // namespace papisim::sim

@@ -1,0 +1,112 @@
+#include "sim/l3fabric.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace papisim::sim {
+
+L3Fabric::L3Fabric(const MachineConfig& cfg, MemController& mem)
+    : cfg_(cfg), mem_(mem) {
+  slices_.reserve(cfg.cores_per_socket);
+  for (std::uint32_t c = 0; c < cfg.cores_per_socket; ++c) {
+    slices_.push_back(std::make_unique<CacheLevel>(
+        cfg.l3_slice_bytes, cfg.l3_associativity, cfg.line_bytes,
+        /*hashed_sets=*/true));
+  }
+  // Clamp: retention >= 1.0 must map to "always retained" (the cast of
+  // 1.0 * 2^64 to uint64 would otherwise overflow).
+  retention_threshold_ =
+      cfg.castout_retention >= 1.0
+          ? ~0ull
+          : static_cast<std::uint64_t>(cfg.castout_retention * 0x1p64);
+  set_active_cores(1);
+}
+
+void L3Fabric::set_active_cores(std::uint32_t n) {
+  if (n == 0 || n > cfg_.cores_per_socket) {
+    throw std::invalid_argument("L3Fabric: active cores out of range");
+  }
+  active_cores_ = n;
+  const std::uint32_t idle = cfg_.cores_per_socket - n;
+  const std::uint64_t capacity =
+      cfg_.lateral_castout ? static_cast<std::uint64_t>(idle) * cfg_.l3_slice_bytes : 0;
+  // The victim store aggregates many remote slices; model it with a lower
+  // associativity (it is a recovery approximation, not a real cache -- the
+  // retention probability already dominates its behaviour) to keep the
+  // simulator's hottest miss path cheap.
+  victim_ = std::make_unique<CacheLevel>(capacity, 8, cfg_.line_bytes,
+                                         /*hashed_sets=*/true);
+}
+
+bool L3Fabric::retained(std::uint64_t line) {
+  // Per-recovery-event probability (deterministic sequence): a fraction of
+  // lateral-cast-out recoveries fail and must re-fetch from memory.  This is
+  // what makes the lone-core traffic exceed the expectation *gradually* as
+  // the footprint spills past the local slice (paper Figs. 2-4 (a) panels).
+  ++retention_events_;
+  return hash64(line ^ (retention_events_ * 0x9e3779b97f4a7c15ULL)) <=
+         retention_threshold_;
+}
+
+void L3Fabric::cast_out(std::uint64_t line, bool dirty) {
+  if (victim_->capacity_lines() == 0) {
+    if (dirty) mem_.add_line(line, MemDir::Write);
+    return;
+  }
+  const CacheLevel::Result r = victim_->insert(line, dirty);
+  if (r.evicted && r.victim_dirty) mem_.add_line(r.victim_line, MemDir::Write);
+}
+
+L3Fabric::Source L3Fabric::access_line(std::uint32_t core, std::uint64_t line,
+                                       bool make_dirty) {
+  CacheLevel& slice = *slices_[core];
+  const CacheLevel::Result r = slice.access(line, make_dirty);
+  if (r.hit) return Source::L3Hit;
+
+  // Miss: access() already filled the line (with the right dirty bit) and
+  // reported the displaced victim; cast that victim out laterally.
+  if (r.evicted) cast_out(r.victim_line, r.victim_dirty);
+
+  // Did the line come from a lateral cast-out (victim store) or from memory?
+  const CacheLevel::Invalidated inv = victim_->invalidate(line);
+  if (inv.present) {
+    if (retained(line)) {
+      ++victim_recoveries_;
+      return Source::VictimHit;
+    }
+    ++victim_retention_misses_;
+  }
+  mem_.add_line(line, MemDir::Read);
+  return Source::Memory;
+}
+
+L3Fabric::Source L3Fabric::load_line(std::uint32_t core, std::uint64_t line) {
+  return access_line(core, line, /*make_dirty=*/false);
+}
+
+L3Fabric::Source L3Fabric::store_line(std::uint32_t core, std::uint64_t line) {
+  // Write-allocate: a miss reads the line from memory before the partial
+  // write (the paper's "read incurred by the hardware when writing").
+  return access_line(core, line, /*make_dirty=*/true);
+}
+
+L3Fabric::Source L3Fabric::prefetch_line(std::uint32_t core, std::uint64_t line) {
+  return load_line(core, line);
+}
+
+void L3Fabric::flush_core(std::uint32_t core) {
+  slices_[core]->flush([this](std::uint64_t line, bool dirty) {
+    if (dirty) mem_.add_line(line, MemDir::Write);
+  });
+}
+
+void L3Fabric::flush_all() {
+  for (std::uint32_t c = 0; c < cfg_.cores_per_socket; ++c) flush_core(c);
+  victim_->flush([this](std::uint64_t line, bool dirty) {
+    if (dirty) mem_.add_line(line, MemDir::Write);
+  });
+}
+
+}  // namespace papisim::sim

@@ -1,0 +1,80 @@
+// Sliced L3 with lateral cast-out (POWER9 behaviour).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/config.hpp"
+#include "sim/memctrl.hpp"
+
+namespace papisim::sim {
+
+/// One socket's L3: a 5 MB slice per core, plus a "victim store" that models
+/// lateral cast-out into *idle* cores' slices.
+///
+/// Mechanism (DESIGN.md §3):
+///  * A core's accesses allocate only in its own slice.
+///  * Capacity victims of the slice are cast out laterally into the victim
+///    store, whose capacity is (idle cores) x slice size.  A later miss may
+///    recover the line from there (probabilistically, deterministic per-line)
+///    without any memory traffic.
+///  * When every core is active the victim store has zero capacity, so each
+///    core is limited to its hard 5 MB share.
+///
+/// This is what makes the single-threaded GEMM degrade *gradually* past the
+/// 5 MB footprint while the fully-batched GEMM jumps sharply (paper Figs 2-4).
+class L3Fabric {
+ public:
+  L3Fabric(const MachineConfig& cfg, MemController& mem);
+
+  /// Declare how many cores on this socket are running workloads.  Resets the
+  /// victim store to (cores_per_socket - n) slices of capacity.
+  void set_active_cores(std::uint32_t n);
+  std::uint32_t active_cores() const { return active_cores_; }
+
+  enum class Source : std::uint8_t { L3Hit, VictimHit, Memory };
+
+  /// Demand load of `line` by `core`.  Memory reads and any eviction
+  /// writebacks are accounted to the MemController.
+  Source load_line(std::uint32_t core, std::uint64_t line);
+
+  /// Store with write-allocate: a miss reads the line from memory first
+  /// (the paper's "read incurred by the hardware when writing").
+  Source store_line(std::uint32_t core, std::uint64_t line);
+
+  /// dcbtst-style software prefetch: fetch into the slice (clean), reading
+  /// from memory on a miss.  Returns where the line came from.
+  Source prefetch_line(std::uint32_t core, std::uint64_t line);
+
+  /// Write back and drop every line held for `core` (its slice; the shared
+  /// victim store is flushed by flush_all()).
+  void flush_core(std::uint32_t core);
+
+  /// Write back and drop everything including the victim store.
+  void flush_all();
+
+  CacheLevel& slice(std::uint32_t core) { return *slices_[core]; }
+  const CacheLevel& victim_store() const { return *victim_; }
+
+  std::uint64_t victim_recoveries() const { return victim_recoveries_; }
+  std::uint64_t victim_retention_misses() const { return victim_retention_misses_; }
+
+ private:
+  Source access_line(std::uint32_t core, std::uint64_t line, bool make_dirty);
+  void cast_out(std::uint64_t line, bool dirty);
+  bool retained(std::uint64_t line);
+
+  const MachineConfig& cfg_;
+  MemController& mem_;
+  std::vector<std::unique_ptr<CacheLevel>> slices_;
+  std::unique_ptr<CacheLevel> victim_;
+  std::uint32_t active_cores_ = 1;
+  std::uint64_t retention_threshold_;  ///< hash cutoff for deterministic retention
+  std::uint64_t retention_events_ = 0;
+  std::uint64_t victim_recoveries_ = 0;
+  std::uint64_t victim_retention_misses_ = 0;
+};
+
+}  // namespace papisim::sim

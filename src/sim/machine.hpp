@@ -1,0 +1,122 @@
+// Top-level simulated machine: sockets, cores, clock, address space.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/access_engine.hpp"
+#include "sim/clock.hpp"
+#include "sim/config.hpp"
+#include "sim/l3fabric.hpp"
+#include "sim/memctrl.hpp"
+#include "sim/noise.hpp"
+
+namespace papisim::sim {
+
+/// Identity of a caller; the nest PMU requires uid 0 (root), exactly the
+/// constraint that forces ordinary Summit users through PCP.
+struct Credentials {
+  std::uint32_t uid = 1001;
+  bool privileged() const { return uid == 0; }
+
+  static Credentials root() { return Credentials{0}; }
+  static Credentials user() { return Credentials{1001}; }
+};
+
+/// Trivial bump allocator handing out distinct simulated physical ranges.
+/// The simulator is trace-driven and stores no data; allocations only carve
+/// up the line-number space so that arrays never alias.
+class AddressSpace {
+ public:
+  explicit AddressSpace(std::uint64_t base = 1ull << 20) : next_(base) {}
+
+  /// Returns a `bytes`-sized region aligned to `align` (default 4 KiB page).
+  std::uint64_t allocate(std::uint64_t bytes, std::uint64_t align = 4096) {
+    next_ = (next_ + align - 1) / align * align;
+    const std::uint64_t addr = next_;
+    next_ += bytes;
+    return addr;
+  }
+
+  std::uint64_t bytes_allocated() const { return next_; }
+
+ private:
+  std::uint64_t next_;
+};
+
+/// A complete simulated node.
+///
+/// Each socket owns a MemController ("nest"), an L3Fabric, and a NoiseModel;
+/// each core owns an AccessEngine.  The machine-wide SimClock is shared.
+class Machine {
+ public:
+  explicit Machine(MachineConfig cfg);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const MachineConfig& config() const { return cfg_; }
+  SimClock& clock() { return clock_; }
+  const SimClock& clock() const { return clock_; }
+  AddressSpace& address_space() { return addr_space_; }
+
+  std::uint32_t sockets() const { return cfg_.sockets; }
+  std::uint32_t cores_per_socket() const { return cfg_.cores_per_socket; }
+
+  MemController& memctrl(std::uint32_t socket) { return *sockets_[socket]->mem; }
+  const MemController& memctrl(std::uint32_t socket) const { return *sockets_[socket]->mem; }
+  L3Fabric& l3(std::uint32_t socket) { return *sockets_[socket]->l3; }
+  NoiseModel& noise(std::uint32_t socket) { return *sockets_[socket]->noise; }
+  AccessEngine& engine(std::uint32_t socket, std::uint32_t core) {
+    return *sockets_[socket]->engines[core];
+  }
+
+  /// Socket owning a given hardware-thread id (cpu id), following the
+  /// Summit layout: cpus [0, cores*smt) on socket 0, the rest on socket 1.
+  std::uint32_t socket_of_cpu(std::uint32_t cpu) const {
+    return cpu / cfg_.cpus_per_socket();
+  }
+
+  /// Declare the number of busy cores per socket (L3 lateral cast-out model).
+  void set_active_cores(std::uint32_t socket, std::uint32_t n) {
+    sockets_[socket]->l3->set_active_cores(n);
+  }
+
+  /// Advance virtual time; accrues background noise on every socket.
+  void advance(double dt_ns) {
+    clock_.advance(dt_ns);
+    for (auto& s : sockets_) s->noise->advance(dt_ns);
+  }
+
+  /// Write back all dirty cache state of a socket (counts as WRITE traffic).
+  void flush_socket(std::uint32_t socket) { sockets_[socket]->l3->flush_all(); }
+  void flush_all() {
+    for (std::uint32_t s = 0; s < cfg_.sockets; ++s) flush_socket(s);
+  }
+
+  /// Globally enable/disable measurement noise (tests run without it).
+  void set_noise_enabled(bool on) {
+    for (auto& s : sockets_) s->noise->set_enabled(on);
+  }
+
+  /// Credentials of the ordinary user on this system (root on Tellico,
+  /// unprivileged on Summit).
+  Credentials user_credentials() const { return Credentials{cfg_.user_uid}; }
+
+ private:
+  struct Socket {
+    std::unique_ptr<MemController> mem;
+    std::unique_ptr<L3Fabric> l3;
+    std::unique_ptr<NoiseModel> noise;
+    std::vector<std::unique_ptr<AccessEngine>> engines;
+  };
+
+  MachineConfig cfg_;
+  SimClock clock_;
+  AddressSpace addr_space_;
+  std::vector<std::unique_ptr<Socket>> sockets_;
+};
+
+}  // namespace papisim::sim

@@ -1,0 +1,59 @@
+// Small deterministic PRNG utilities.
+//
+// The simulator must be exactly reproducible across runs, so all stochastic
+// behaviour (noise jitter, cast-out retention) goes through these helpers
+// rather than <random> engines whose sequences vary between libstdc++
+// versions.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace papisim::sim {
+
+/// SplitMix64: tiny, high-quality 64-bit generator (public-domain algorithm).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Standard normal via Box-Muller (uses two uniforms per call).
+  double next_normal() {
+    double u1 = next_double();
+    double u2 = next_double();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Lognormal multiplier with mean 1:  exp(sigma*Z - sigma^2/2).
+  double next_lognormal_unit_mean(double sigma) {
+    return std::exp(sigma * next_normal() - 0.5 * sigma * sigma);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless 64-bit mix, used for deterministic per-line decisions
+/// (e.g. cast-out retention) that must not depend on access order.
+inline std::uint64_t hash64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace papisim::sim

@@ -1,0 +1,81 @@
+// Stride-N hardware stream detector (POWER9 prefetch engine model).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+namespace papisim::sim {
+
+/// Detects data streams from per-stream line-touch sequences.
+///
+/// POWER ISA 3.0: "hardware may detect Stride-N streams in intervals when
+/// they access elements that map to sequential cache blocks".  We classify a
+/// stream as *sequential* when consecutive line touches advance by exactly
+/// one line, and as *strided* when they advance by a constant of two or more
+/// lines for `threshold` consecutive touches.
+///
+/// Whether any strided stream is currently active gates the streaming-store
+/// cache bypass (see AccessEngine): "In the presence of a strided data
+/// stream, the writes to variables will not bypass the cache".
+class StreamDetector {
+ public:
+  explicit StreamDetector(std::uint32_t threshold) : threshold_(threshold) {}
+
+  /// Prepare to track `n` streams; clears all detection state.
+  void begin(std::size_t n) {
+    streams_.assign(n, State{});
+    strided_active_ = 0;
+  }
+
+  /// Observe that stream `s` touched line `line`.
+  void observe(std::size_t s, std::uint64_t line) {
+    State& st = streams_[s];
+    if (st.has_last) {
+      const std::int64_t delta =
+          static_cast<std::int64_t>(line) - static_cast<std::int64_t>(st.last_line);
+      if (delta == st.last_delta && delta != 0) {
+        if (st.run < threshold_) {
+          ++st.run;
+          if (st.run == threshold_ && std::llabs(delta) >= 2) {
+            st.strided = true;
+            ++strided_active_;
+          }
+        }
+      } else if (delta != 0) {
+        if (st.strided) {
+          st.strided = false;
+          --strided_active_;
+        }
+        st.last_delta = delta;
+        st.run = 1;
+      }
+    }
+    st.last_line = line;
+    st.has_last = true;
+  }
+
+  /// True when at least one tracked stream is in the strided state.
+  bool any_strided() const { return strided_active_ > 0; }
+
+  bool is_strided(std::size_t s) const { return streams_[s].strided; }
+  bool is_sequential(std::size_t s) const {
+    const State& st = streams_[s];
+    return st.run >= threshold_ && (st.last_delta == 1 || st.last_delta == -1);
+  }
+
+ private:
+  struct State {
+    std::uint64_t last_line = 0;
+    std::int64_t last_delta = 0;
+    std::uint32_t run = 0;
+    bool has_last = false;
+    bool strided = false;
+  };
+
+  std::uint32_t threshold_;
+  std::vector<State> streams_;
+  std::uint32_t strided_active_ = 0;
+};
+
+}  // namespace papisim::sim

@@ -1,0 +1,330 @@
+// Tests for the concrete components: perf_nest, pcp, nvml, infiniband.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "components/infiniband_component.hpp"
+#include "components/nvml_component.hpp"
+#include "components/pcp_component.hpp"
+#include "components/perf_nest_component.hpp"
+#include "core/library.hpp"
+
+namespace papisim::components {
+namespace {
+
+using sim::Credentials;
+using sim::Machine;
+using sim::MachineConfig;
+using sim::MemDir;
+
+// ---------------------------------------------------------------- perf_nest
+
+TEST(PerfNest, DisabledWithoutPrivilegesButStillRegisters) {
+  Machine summit(MachineConfig::summit());
+  PerfNestComponent comp(summit, summit.user_credentials());
+  EXPECT_FALSE(comp.available());
+  EXPECT_NE(comp.disabled_reason().find("privileges"), std::string::npos);
+  // Adding an event through the library reports ComponentDisabled.
+  Library lib;
+  lib.register_component(
+      std::make_unique<PerfNestComponent>(summit, summit.user_credentials()));
+  auto es = lib.create_eventset();
+  try {
+    es->add_event("perf_nest:::power9_nest_mba0::PM_MBA0_READ_BYTES");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status(), Status::ComponentDisabled);
+  }
+}
+
+TEST(PerfNest, CountsSocketTrafficOnPrivilegedMachine) {
+  Machine tellico(MachineConfig::tellico());
+  tellico.set_noise_enabled(false);
+  Library lib;
+  lib.register_component(
+      std::make_unique<PerfNestComponent>(tellico, tellico.user_credentials()));
+  auto es = lib.create_eventset();
+  // Sum all 8 channels for reads, as the paper's experiments do.
+  for (std::uint32_t ch = 0; ch < 8; ++ch) {
+    es->add_event("perf_nest:::power9_nest_mba" + std::to_string(ch) +
+                  "::PM_MBA" + std::to_string(ch) + "_READ_BYTES:cpu=0");
+  }
+  es->start();
+  for (std::uint64_t line = 0; line < 100; ++line) {
+    tellico.memctrl(0).add_line(line, MemDir::Read);
+  }
+  const auto v = es->read();
+  long long total = 0;
+  for (const long long x : v) total += x;
+  EXPECT_EQ(total, 6400);
+  es->stop();
+}
+
+TEST(PerfNest, BareNativeNamesResolveWithoutPrefix) {
+  Machine tellico(MachineConfig::tellico());
+  tellico.set_noise_enabled(false);
+  Library lib;
+  lib.register_component(
+      std::make_unique<PerfNestComponent>(tellico, tellico.user_credentials()));
+  auto es = lib.create_eventset();
+  // Table I (Tellico) names are bare perf-style names.
+  EXPECT_NO_THROW(es->add_event("power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0"));
+}
+
+TEST(PerfNest, EnumeratesAllNestEvents) {
+  Machine tellico(MachineConfig::tellico());
+  PerfNestComponent comp(tellico, tellico.user_credentials());
+  EXPECT_EQ(comp.events().size(), 32u);  // 8 ch x {READ,WRITE} x {BYTES,REQS}
+}
+
+// --------------------------------------------------------------------- pcp
+
+struct PcpComponentFixture : ::testing::Test {
+  PcpComponentFixture()
+      : machine(MachineConfig::summit()),
+        daemon(machine),
+        client(daemon, machine, machine.user_credentials()) {
+    machine.set_noise_enabled(false);
+    lib.register_component(std::make_unique<PcpComponent>(client));
+  }
+  Machine machine;
+  pcp::Pmcd daemon;
+  pcp::PcpClient client;
+  Library lib;
+};
+
+TEST_F(PcpComponentFixture, UnprivilegedUserCountsNestTraffic) {
+  ASSERT_FALSE(machine.user_credentials().privileged());
+  auto es = lib.create_eventset();
+  es->add_event(
+      "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87");
+  es->start();
+  machine.memctrl(0).add_line(0, MemDir::Read);
+  machine.memctrl(0).add_line(0, MemDir::Read);
+  EXPECT_EQ(es->read()[0], 128);
+  es->stop();
+}
+
+TEST_F(PcpComponentFixture, CpuQualifierPicksSocketInstance) {
+  auto es0 = lib.create_eventset();
+  es0->add_event(
+      "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_WRITE_BYTES.value:cpu87");
+  auto es1 = lib.create_eventset();
+  es1->add_event(
+      "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_WRITE_BYTES.value:cpu175");
+  es0->start();
+  es1->start();
+  machine.memctrl(1).add_line(0, MemDir::Write);
+  EXPECT_EQ(es0->read()[0], 0);
+  EXPECT_EQ(es1->read()[0], 64);
+}
+
+TEST_F(PcpComponentFixture, MalformedNamesRejected) {
+  auto es = lib.create_eventset();
+  const char* bad[] = {
+      "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES",  // no .value
+      "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu999",
+      "pcp:::unknown.metric.value",
+      "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpuXY",
+  };
+  for (const char* name : bad) EXPECT_THROW(es->add_event(name), Error) << name;
+}
+
+TEST_F(PcpComponentFixture, OneFetchRoundTripPerDistinctCpu) {
+  auto* comp = static_cast<PcpComponent*>(lib.find_component("pcp"));
+  auto es = lib.create_eventset();
+  for (std::uint32_t ch = 0; ch < 8; ++ch) {
+    const std::string c = std::to_string(ch);
+    es->add_event("pcp:::perfevent.hwcounters.nest_mba" + c + "_imc.PM_MBA" + c +
+                  "_READ_BYTES.value:cpu87");
+  }
+  const std::uint64_t before = comp->fetches();
+  es->start();
+  EXPECT_EQ(comp->fetches(), before + 1);  // all 8 metrics in one pmFetch
+  es->read();
+  EXPECT_EQ(comp->fetches(), before + 2);
+  es->stop();
+}
+
+TEST_F(PcpComponentFixture, MixedCpuInstancesFetchOncePerSocket) {
+  // One event set watching BOTH sockets: the component groups the pmFetch
+  // round trips by distinct cpu instance (2 fetches per read, not 16).
+  auto* comp = static_cast<PcpComponent*>(lib.find_component("pcp"));
+  auto es = lib.create_eventset();
+  for (std::uint32_t ch = 0; ch < 8; ++ch) {
+    const std::string c = std::to_string(ch);
+    es->add_event("pcp:::perfevent.hwcounters.nest_mba" + c + "_imc.PM_MBA" + c +
+                  "_READ_BYTES.value:cpu87");
+    es->add_event("pcp:::perfevent.hwcounters.nest_mba" + c + "_imc.PM_MBA" + c +
+                  "_READ_BYTES.value:cpu175");
+  }
+  const std::uint64_t before = comp->fetches();
+  es->start();
+  EXPECT_EQ(comp->fetches(), before + 2);
+  machine.memctrl(0).add_line(0, MemDir::Read);
+  machine.memctrl(1).add_line(0, MemDir::Read);
+  machine.memctrl(1).add_line(0, MemDir::Read);
+  const auto v = es->read();
+  EXPECT_EQ(comp->fetches(), before + 4);
+  EXPECT_EQ(v[0], 64);   // socket 0, channel 0
+  EXPECT_EQ(v[1], 128);  // socket 1, channel 0
+  es->stop();
+}
+
+TEST_F(PcpComponentFixture, ReqsEventsCountTransactions) {
+  auto es = lib.create_eventset();
+  es->add_event(
+      "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_REQS.value:cpu87");
+  es->start();
+  for (int i = 0; i < 5; ++i) machine.memctrl(0).add_line(0, MemDir::Read);
+  EXPECT_EQ(es->read()[0], 5);
+  es->stop();
+}
+
+TEST_F(PcpComponentFixture, EnumerationShowsQualifiedNames) {
+  const auto events = lib.component("pcp").events();
+  EXPECT_EQ(events.size(), 32u);
+  EXPECT_TRUE(events.front().name.starts_with("pcp:::perfevent.hwcounters.nest_mba0"));
+  EXPECT_TRUE(events.front().name.ends_with(".value"));
+}
+
+// -------------------------------------------------------------------- nvml
+
+struct NvmlFixture : ::testing::Test {
+  NvmlFixture() : machine(MachineConfig::summit()) {
+    machine.set_noise_enabled(false);
+    gpu0 = std::make_unique<gpu::GpuDevice>(gpu::GpuConfig{}, machine, 0, 0);
+    gpu1 = std::make_unique<gpu::GpuDevice>(gpu::GpuConfig{}, machine, 1, 1);
+    lib.register_component(std::make_unique<NvmlComponent>(
+        std::vector<gpu::GpuDevice*>{gpu0.get(), gpu1.get()}));
+  }
+  Machine machine;
+  std::unique_ptr<gpu::GpuDevice> gpu0, gpu1;
+  Library lib;
+};
+
+TEST_F(NvmlFixture, PowerIsInstantaneousGauge) {
+  auto es = lib.create_eventset();
+  es->add_event("nvml:::Tesla_V100-SXM2-16GB:device_0:power");
+  EXPECT_TRUE(lib.component("nvml").is_instantaneous(
+      "Tesla_V100-SXM2-16GB:device_0:power"));
+  es->start();
+  const long long idle = es->read()[0];
+  EXPECT_NEAR(static_cast<double>(idle), 52000.0, 2000.0);  // ~52 W idle
+  gpu0->run_kernel(5e12);  // long kernel: power approaches the busy level
+  const long long busy = es->read()[0];
+  EXPECT_GT(busy, idle + 100000);  // > 100 W above idle
+  es->stop();
+}
+
+TEST_F(NvmlFixture, PowerDecaysBackTowardIdle) {
+  auto es = lib.create_eventset();
+  es->add_event("nvml:::Tesla_V100-SXM2-16GB:device_0:power");
+  es->start();
+  gpu0->run_kernel(5e12);
+  const long long busy = es->read()[0];
+  machine.advance(1e9);  // one idle second >> tau
+  const long long later = es->read()[0];
+  EXPECT_LT(later, busy);
+  EXPECT_NEAR(static_cast<double>(later), 52000.0, 3000.0);
+  es->stop();
+}
+
+TEST_F(NvmlFixture, DevicesAreIndependent) {
+  auto es = lib.create_eventset();
+  es->add_event("nvml:::Tesla_V100-SXM2-16GB:device_0:power");
+  es->add_event("nvml:::Tesla_V100-SXM2-16GB:device_1:power");
+  es->start();
+  gpu1->run_kernel(5e12);
+  const auto v = es->read();
+  EXPECT_LT(v[0], 60000);
+  EXPECT_GT(v[1], 150000);
+  es->stop();
+}
+
+TEST_F(NvmlFixture, UnknownDeviceRejected) {
+  auto es = lib.create_eventset();
+  EXPECT_THROW(es->add_event("nvml:::Tesla_V100-SXM2-16GB:device_7:power"), Error);
+}
+
+TEST_F(NvmlFixture, DmaCopiesDriveHostMemoryTraffic) {
+  const std::uint64_t r0 = machine.memctrl(0).total_bytes(MemDir::Read);
+  const std::uint64_t w0 = machine.memctrl(0).total_bytes(MemDir::Write);
+  gpu0->memcpy_h2d(1 << 20);
+  EXPECT_EQ(machine.memctrl(0).total_bytes(MemDir::Read) - r0, 1u << 20);
+  gpu0->memcpy_d2h(1 << 19);
+  EXPECT_EQ(machine.memctrl(0).total_bytes(MemDir::Write) - w0, 1u << 19);
+}
+
+// -------------------------------------------------------------- infiniband
+
+struct IbFixture : ::testing::Test {
+  IbFixture() {
+    net::NicConfig c0;
+    c0.name = "mlx5_0";
+    net::NicConfig c1;
+    c1.name = "mlx5_1";
+    nic0 = std::make_unique<net::Nic>(c0);
+    nic1 = std::make_unique<net::Nic>(c1);
+    lib.register_component(std::make_unique<InfinibandComponent>(
+        std::vector<net::Nic*>{nic0.get(), nic1.get()}));
+  }
+  std::unique_ptr<net::Nic> nic0, nic1;
+  Library lib;
+};
+
+TEST_F(IbFixture, CountsRecvAndXmitSeparately) {
+  auto es = lib.create_eventset();
+  es->add_event("infiniband:::mlx5_0_1_ext:port_recv_data");
+  es->add_event("infiniband:::mlx5_0_1_ext:port_xmit_data");
+  es->start();
+  nic0->on_recv(4096);
+  nic0->on_xmit(1024);
+  const auto v = es->read();
+  EXPECT_EQ(v[0], 4096);
+  EXPECT_EQ(v[1], 1024);
+  es->stop();
+}
+
+TEST_F(IbFixture, TwoHcasAreIndependent) {
+  auto es = lib.create_eventset();
+  es->add_event("infiniband:::mlx5_0_1_ext:port_recv_data");
+  es->add_event("infiniband:::mlx5_1_1_ext:port_recv_data");
+  es->start();
+  nic1->on_recv(777);
+  const auto v = es->read();
+  EXPECT_EQ(v[0], 0);
+  EXPECT_EQ(v[1], 777);
+  es->stop();
+}
+
+TEST_F(IbFixture, MalformedNamesRejected) {
+  auto es = lib.create_eventset();
+  const char* bad[] = {
+      "infiniband:::mlx5_0_1:port_recv_data",      // missing _ext
+      "infiniband:::mlx5_0_1_ext:port_recv",       // wrong suffix
+      "infiniband:::mlx5_9_1_ext:port_recv_data",  // unknown hca
+      "infiniband:::mlx5_0_2_ext:port_recv_data",  // port out of range
+      "infiniband:::mlx5_0_0_ext:port_recv_data",  // ports are 1-based
+  };
+  for (const char* name : bad) EXPECT_THROW(es->add_event(name), Error) << name;
+}
+
+TEST_F(IbFixture, EnumerationMatchesTableII) {
+  const auto events = lib.component("infiniband").events();
+  ASSERT_EQ(events.size(), 4u);  // 2 HCAs x {recv, xmit}
+  EXPECT_EQ(events[0].name, "infiniband:::mlx5_0_1_ext:port_recv_data");
+}
+
+TEST_F(IbFixture, StartSnapshotsExcludePriorTraffic) {
+  nic0->on_recv(5000);
+  auto es = lib.create_eventset();
+  es->add_event("infiniband:::mlx5_0_1_ext:port_recv_data");
+  es->start();
+  nic0->on_recv(100);
+  EXPECT_EQ(es->read()[0], 100);
+  es->stop();
+}
+
+}  // namespace
+}  // namespace papisim::components

@@ -1,0 +1,168 @@
+// Tests for the CPU component (per-core cycles/instructions/flops/L3) and
+// for the nest request-count events.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "components/cpu_component.hpp"
+#include "components/perf_nest_component.hpp"
+#include "core/library.hpp"
+
+namespace papisim::components {
+namespace {
+
+using sim::Machine;
+using sim::MachineConfig;
+
+struct CpuFixture : ::testing::Test {
+  CpuFixture() : machine(MachineConfig::tellico()) {
+    machine.set_noise_enabled(false);
+    lib.register_component(std::make_unique<CpuComponent>(machine));
+    lib.register_component(std::make_unique<PerfNestComponent>(
+        machine, machine.user_credentials()));
+  }
+
+  /// A small load-only kernel on (socket, core).
+  void run_kernel(std::uint32_t socket, std::uint32_t core,
+                  std::uint64_t elems = 1 << 16, double flops_per_iter = 2.0) {
+    sim::LoopDesc loop;
+    loop.iterations = elems;
+    loop.flops_per_iter = flops_per_iter;
+    loop.streams = {{machine.address_space().allocate(elems * 8), 8, 8,
+                     sim::AccessKind::Load}};
+    machine.engine(socket, core).execute(loop);
+  }
+
+  Machine machine;
+  Library lib;
+};
+
+TEST_F(CpuFixture, EnumeratesSixPresets) {
+  const auto events = lib.component("cpu").events();
+  EXPECT_EQ(events.size(), 6u);
+  EXPECT_EQ(events.front().name, "cpu:::PAPI_TOT_CYC");
+}
+
+TEST_F(CpuFixture, FlopCountIsExact) {
+  auto es = lib.create_eventset();
+  es->add_event("cpu:::PAPI_FP_OPS");
+  es->start();
+  run_kernel(0, 0, 1 << 14, 2.0);
+  EXPECT_EQ(es->read()[0], 2 * (1 << 14));
+  es->stop();
+}
+
+TEST_F(CpuFixture, L3AccessesSplitIntoHitsAndMisses) {
+  auto es = lib.create_eventset();
+  es->add_event("cpu:::PAPI_L3_TCA");
+  es->add_event("cpu:::PAPI_L3_TCH");
+  es->add_event("cpu:::PAPI_L3_TCM");
+  es->start();
+  const std::uint64_t elems = 1 << 15;  // 256 KB: fits the slice
+  sim::LoopDesc loop;
+  loop.iterations = elems;
+  loop.streams = {{machine.address_space().allocate(elems * 8), 8, 8,
+                   sim::AccessKind::Load}};
+  machine.engine(0, 0).execute(loop);  // cold: all misses
+  machine.engine(0, 0).execute(loop);  // warm: all hits
+  const auto v = es->read();
+  const long long lines = elems * 8 / 64;
+  EXPECT_EQ(v[0], 2 * lines);  // accesses
+  EXPECT_EQ(v[1], lines);      // hits (second pass)
+  EXPECT_EQ(v[2], lines);      // misses (first pass)
+  EXPECT_EQ(v[0], v[1] + v[2]);
+  es->stop();
+}
+
+TEST_F(CpuFixture, CyclesTrackBusyTime) {
+  auto es = lib.create_eventset();
+  es->add_event("cpu:::PAPI_TOT_CYC");
+  es->start();
+  EXPECT_EQ(es->read()[0], 0);
+  run_kernel(0, 0);
+  const long long cyc = es->read()[0];
+  EXPECT_GT(cyc, 0);
+  // cycles == busy_ns * freq (within integer truncation)
+  const double busy = machine.engine(0, 0).counters().busy_ns;
+  EXPECT_NEAR(static_cast<double>(cyc),
+              busy * 1e-9 * machine.config().core_freq_hz, 2.0);
+  es->stop();
+}
+
+TEST_F(CpuFixture, QualifiersSelectSocketAndCore) {
+  auto es = lib.create_eventset();
+  es->add_event("cpu:::PAPI_FP_OPS:socket=0:core=0");
+  es->add_event("cpu:::PAPI_FP_OPS:socket=0:core=3");
+  es->add_event("cpu:::PAPI_FP_OPS:socket=1:core=0");
+  es->start();
+  run_kernel(0, 3);
+  const auto v = es->read();
+  EXPECT_EQ(v[0], 0);
+  EXPECT_GT(v[1], 0);
+  EXPECT_EQ(v[2], 0);
+  es->stop();
+}
+
+TEST_F(CpuFixture, InvalidNamesAndQualifiersRejected) {
+  auto es = lib.create_eventset();
+  const char* bad[] = {
+      "cpu:::PAPI_NOPE",
+      "cpu:::PAPI_FP_OPS:core=999",
+      "cpu:::PAPI_FP_OPS:socket=9",
+      "cpu:::PAPI_FP_OPS:core=x",
+  };
+  for (const char* name : bad) EXPECT_THROW(es->add_event(name), Error) << name;
+}
+
+TEST_F(CpuFixture, InstructionEstimateCombinesFlopsAndTouches) {
+  auto es = lib.create_eventset();
+  es->add_event("cpu:::PAPI_TOT_INS");
+  es->add_event("cpu:::PAPI_FP_OPS");
+  es->add_event("cpu:::PAPI_L3_TCA");
+  es->start();
+  run_kernel(0, 0);
+  const auto v = es->read();
+  EXPECT_EQ(v[0], v[1] + 4 * v[2]);
+  es->stop();
+}
+
+TEST_F(CpuFixture, MixingCpuAndNestEventsInOneSetRejected) {
+  auto es = lib.create_eventset();
+  es->add_event("cpu:::PAPI_TOT_CYC");
+  EXPECT_THROW(es->add_event("power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0"), Error);
+}
+
+// ----------------------------------------------------- nest request counts
+
+TEST(NestReqs, RequestCountsMatchBytesOver64) {
+  Machine m(MachineConfig::tellico());
+  m.set_noise_enabled(false);
+  Library lib;
+  lib.register_component(
+      std::make_unique<PerfNestComponent>(m, m.user_credentials()));
+  auto es = lib.create_eventset();
+  es->add_event("perf_nest:::power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0");
+  es->add_event("perf_nest:::power9_nest_mba0::PM_MBA0_READ_REQS:cpu=0");
+  es->add_event("perf_nest:::power9_nest_mba0::PM_MBA0_WRITE_REQS:cpu=0");
+  es->start();
+  for (int i = 0; i < 10; ++i) m.memctrl(0).add_line(0, sim::MemDir::Read);
+  m.memctrl(0).add_line(0, sim::MemDir::Write);
+  const auto v = es->read();
+  EXPECT_EQ(v[0], 640);  // bytes
+  EXPECT_EQ(v[1], 10);   // read requests
+  EXPECT_EQ(v[2], 1);    // write requests
+  EXPECT_EQ(v[0], 64 * v[1]);
+  es->stop();
+}
+
+TEST(NestReqs, SpreadTrafficCountsCeilOfLineGranules) {
+  sim::MemController mc(8, 64, 2);
+  mc.add_spread(512, sim::MemDir::Write);  // one 64 B granule per channel
+  EXPECT_EQ(mc.total_ops(sim::MemDir::Write), 8u);
+  mc.add_spread(4, sim::MemDir::Write);    // sub-line remainder: one request
+  EXPECT_EQ(mc.total_bytes(sim::MemDir::Write), 516u);
+  EXPECT_EQ(mc.total_ops(sim::MemDir::Write), 9u);
+}
+
+}  // namespace
+}  // namespace papisim::components

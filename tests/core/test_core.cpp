@@ -1,0 +1,208 @@
+// Tests for the measurement-library core: event-name parsing, component
+// registry, event-set lifecycle, and the timeline sampler.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/event_name.hpp"
+#include "core/library.hpp"
+#include "core/sampler.hpp"
+#include "testing/fake_component.hpp"
+#include "sim/clock.hpp"
+
+namespace papisim {
+namespace {
+
+using test_support::FakeComponent;
+
+TEST(EventName, SplitsComponentPrefix) {
+  const ParsedEventName p = parse_event_name("pcp:::perfevent.foo.value:cpu87");
+  EXPECT_EQ(p.component, "pcp");
+  EXPECT_EQ(p.native, "perfevent.foo.value:cpu87");
+}
+
+TEST(EventName, BareNativeNameHasEmptyComponent) {
+  const ParsedEventName p = parse_event_name("power9_nest_mba0::PM_MBA0_READ_BYTES");
+  EXPECT_TRUE(p.component.empty());
+  EXPECT_EQ(p.native, "power9_nest_mba0::PM_MBA0_READ_BYTES");
+}
+
+TEST(EventName, EmptyAndDegenerateInputs) {
+  EXPECT_EQ(parse_event_name("").native, "");
+  const ParsedEventName p = parse_event_name(":::x");
+  EXPECT_EQ(p.component, "");
+  EXPECT_EQ(p.native, "x");
+}
+
+TEST(Library, RegisterAndFindComponents) {
+  Library lib;
+  lib.register_component(std::make_unique<FakeComponent>("alpha", std::vector<std::string>{"e"}));
+  lib.register_component(std::make_unique<FakeComponent>("beta", std::vector<std::string>{"e"}));
+  EXPECT_NE(lib.find_component("alpha"), nullptr);
+  EXPECT_EQ(lib.find_component("gamma"), nullptr);
+  EXPECT_EQ(lib.components().size(), 2u);
+  EXPECT_THROW(lib.component("gamma"), Error);
+}
+
+TEST(Library, DuplicateComponentNameRejected) {
+  Library lib;
+  lib.register_component(std::make_unique<FakeComponent>("alpha", std::vector<std::string>{"e"}));
+  EXPECT_THROW(
+      lib.register_component(std::make_unique<FakeComponent>("alpha", std::vector<std::string>{"e"})),
+      Error);
+  EXPECT_THROW(lib.register_component(nullptr), Error);
+}
+
+TEST(Library, RoutesQualifiedAndBareEventNames) {
+  Library lib;
+  lib.register_component(std::make_unique<FakeComponent>("alpha", std::vector<std::string>{"ev_a"}));
+  lib.register_component(std::make_unique<FakeComponent>("beta", std::vector<std::string>{"ev_b"}));
+  std::string native;
+  EXPECT_EQ(lib.route_event("beta:::ev_b", native).name(), "beta");
+  EXPECT_EQ(native, "ev_b");
+  EXPECT_EQ(lib.route_event("ev_a", native).name(), "alpha");  // bare probe
+  EXPECT_THROW(lib.route_event("alpha:::ev_b", native), Error);
+  EXPECT_THROW(lib.route_event("nope:::x", native), Error);
+  EXPECT_THROW(lib.route_event("unknown_bare", native), Error);
+}
+
+TEST(Library, DisabledComponentRejectsEventsWithReason) {
+  Library lib;
+  lib.register_component(std::make_unique<FakeComponent>(
+      "locked", std::vector<std::string>{"ev"}, "insufficient privileges"));
+  std::string native;
+  try {
+    lib.route_event("locked:::ev", native);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status(), Status::ComponentDisabled);
+    EXPECT_NE(std::string(e.what()).find("insufficient privileges"), std::string::npos);
+  }
+}
+
+struct EventSetFixture : ::testing::Test {
+  EventSetFixture() {
+    fake = &static_cast<FakeComponent&>(lib.register_component(
+        std::make_unique<FakeComponent>("fake", std::vector<std::string>{"a", "b"})));
+    other = &static_cast<FakeComponent&>(lib.register_component(
+        std::make_unique<FakeComponent>("other", std::vector<std::string>{"c"})));
+  }
+  Library lib;
+  FakeComponent* fake;
+  FakeComponent* other;
+};
+
+TEST_F(EventSetFixture, CountsDeltasBetweenStartAndRead) {
+  auto es = lib.create_eventset();
+  es->add_event("fake:::a");
+  es->add_event("fake:::b");
+  fake->bump(0, 100);  // before start: not counted
+  es->start();
+  fake->bump(0, 5);
+  fake->bump(1, 7);
+  const auto v = es->read();
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 5);
+  EXPECT_EQ(v[1], 7);
+  es->stop();
+}
+
+TEST_F(EventSetFixture, MixingComponentsInOneSetIsRejected) {
+  auto es = lib.create_eventset();
+  es->add_event("fake:::a");
+  try {
+    es->add_event("other:::c");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status(), Status::InvalidArgument);
+  }
+}
+
+TEST_F(EventSetFixture, LifecycleErrorsAreDiagnosed) {
+  auto es = lib.create_eventset();
+  EXPECT_THROW(es->start(), Error);  // no events
+  es->add_event("fake:::a");
+  EXPECT_THROW(es->read(), Error);  // not running
+  es->start();
+  EXPECT_THROW(es->start(), Error);  // already running
+  EXPECT_THROW(es->add_event("fake:::b"), Error);  // running
+  es->stop();
+  EXPECT_THROW(es->stop(), Error);  // not running
+}
+
+TEST_F(EventSetFixture, ResetRezeroesWhileRunning) {
+  auto es = lib.create_eventset();
+  es->add_event("fake:::a");
+  es->start();
+  fake->bump(0, 50);
+  EXPECT_EQ(es->read()[0], 50);
+  es->reset();
+  EXPECT_EQ(es->read()[0], 0);
+  fake->bump(0, 3);
+  EXPECT_EQ(es->read()[0], 3);
+  es->stop();
+}
+
+TEST_F(EventSetFixture, ReadIntoSpanValidatesSize) {
+  auto es = lib.create_eventset();
+  es->add_event("fake:::a");
+  es->start();
+  long long two[2];
+  EXPECT_THROW(es->read(std::span<long long>(two, 2)), Error);
+  long long one[1];
+  es->read(std::span<long long>(one, 1));
+  es->stop();
+}
+
+TEST_F(EventSetFixture, SamplerCollectsMultiComponentTimeline) {
+  sim::SimClock clock;
+  auto es1 = lib.create_eventset();
+  es1->add_event("fake:::a");
+  auto es2 = lib.create_eventset();
+  es2->add_event("other:::c");
+  Sampler sampler(clock);
+  sampler.add_eventset(*es1);
+  sampler.add_eventset(*es2);
+  ASSERT_EQ(sampler.columns().size(), 2u);
+  sampler.start_all();
+  sampler.sample();
+  clock.advance(1e9);
+  fake->bump(0, 1000);
+  other->bump(0, 500);
+  sampler.sample();
+  clock.advance(1e9);
+  fake->bump(0, 2000);
+  sampler.sample();
+  sampler.stop_all();
+
+  ASSERT_EQ(sampler.rows().size(), 3u);
+  EXPECT_EQ(sampler.rows()[1].values[0], 1000);
+  EXPECT_EQ(sampler.rows()[1].values[1], 500);
+  const auto rates = sampler.rates();
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_NEAR(rates[0].values[0], 1000.0, 1e-9);  // bytes/sec over 1 s
+  EXPECT_NEAR(rates[1].values[0], 2000.0, 1e-9);
+  EXPECT_NEAR(rates[1].values[1], 0.0, 1e-9);
+}
+
+TEST_F(EventSetFixture, SamplerRejectsEmptyEventSet) {
+  sim::SimClock clock;
+  Sampler sampler(clock);
+  auto es = lib.create_eventset();
+  EXPECT_THROW(sampler.add_eventset(*es), Error);
+}
+
+TEST(StatusStrings, AllValuesNamed) {
+  EXPECT_STREQ(to_string(Status::Ok), "Ok");
+  EXPECT_STREQ(to_string(Status::NoComponent), "NoComponent");
+  EXPECT_STREQ(to_string(Status::NoEvent), "NoEvent");
+  EXPECT_STREQ(to_string(Status::ComponentDisabled), "ComponentDisabled");
+  EXPECT_STREQ(to_string(Status::AlreadyRunning), "AlreadyRunning");
+  EXPECT_STREQ(to_string(Status::NotRunning), "NotRunning");
+  EXPECT_STREQ(to_string(Status::InvalidArgument), "InvalidArgument");
+  EXPECT_STREQ(to_string(Status::PermissionDenied), "PermissionDenied");
+  EXPECT_STREQ(to_string(Status::Internal), "Internal");
+}
+
+}  // namespace
+}  // namespace papisim

@@ -1,0 +1,115 @@
+// Tests for the high-level Profiler convenience API.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "core/profiler.hpp"
+#include "testing/fake_component.hpp"
+
+namespace papisim {
+namespace {
+
+using test_support::FakeComponent;
+
+struct ProfilerFixture : ::testing::Test {
+  ProfilerFixture() : clock(), profiler_lib() {
+    mem = &static_cast<FakeComponent&>(profiler_lib.register_component(
+        std::make_unique<FakeComponent>(
+            "mem", std::vector<std::string>{"reads", "writes"})));
+    gpu = &static_cast<FakeComponent&>(profiler_lib.register_component(
+        std::make_unique<FakeComponent>("gpu", std::vector<std::string>{"power"})));
+    gpu->set_gauge(true);
+    net = &static_cast<FakeComponent&>(profiler_lib.register_component(
+        std::make_unique<FakeComponent>("net", std::vector<std::string>{"recv"})));
+  }
+  sim::SimClock clock;
+  Library profiler_lib;
+  FakeComponent* mem;
+  FakeComponent* gpu;
+  FakeComponent* net;
+};
+
+TEST_F(ProfilerFixture, GroupsMixedEventsIntoPerComponentSets) {
+  Profiler prof(profiler_lib, clock);
+  // Interleaved components in one flat list -- the whole point of the API.
+  prof.add_events({"mem:::reads", "gpu:::power", "mem:::writes", "net:::recv"});
+  prof.start();
+  // Grouped by component of first appearance: mem, mem, gpu, net.
+  ASSERT_EQ(prof.columns().size(), 4u);
+  EXPECT_EQ(prof.columns()[0], "mem:::reads");
+  EXPECT_EQ(prof.columns()[1], "mem:::writes");
+  EXPECT_EQ(prof.columns()[2], "gpu:::power");
+  EXPECT_EQ(prof.columns()[3], "net:::recv");
+  // Exactly one event set per involved component.
+  EXPECT_EQ(mem->starts, 1);
+  EXPECT_EQ(gpu->starts, 1);
+  EXPECT_EQ(net->starts, 1);
+  prof.stop();
+}
+
+TEST_F(ProfilerFixture, TimelineAndCsvRoundTrip) {
+  Profiler prof(profiler_lib, clock);
+  prof.add_events({"mem:::reads", "gpu:::power"});
+  prof.start();
+  prof.sample();
+  clock.advance(5e8);
+  mem->bump(0, 4242);
+  gpu->bump(0, 90000);
+  prof.sample();
+  prof.stop();
+
+  ASSERT_EQ(prof.rows().size(), 2u);
+  EXPECT_EQ(prof.rows()[1].values[0], 4242);
+  EXPECT_EQ(prof.rows()[1].values[1], 90000);  // gauge: raw reading
+
+  std::ostringstream csv;
+  prof.write_csv(csv);
+  const std::string text = csv.str();
+  EXPECT_NE(text.find("t_sec,mem:::reads,gpu:::power"), std::string::npos);
+  EXPECT_NE(text.find("0.5,4242,90000"), std::string::npos);
+}
+
+TEST_F(ProfilerFixture, ReadNowDoesNotRecordARow) {
+  Profiler prof(profiler_lib, clock);
+  prof.add_events({"mem:::reads"});
+  prof.start();
+  mem->bump(0, 7);
+  EXPECT_EQ(prof.read_now()[0], 7);
+  EXPECT_TRUE(prof.rows().empty());
+  prof.stop();
+}
+
+TEST_F(ProfilerFixture, LifecycleErrors) {
+  Profiler prof(profiler_lib, clock);
+  EXPECT_THROW(prof.start(), Error);  // no events
+  prof.add_events({"mem:::reads"});
+  EXPECT_THROW(prof.stop(), Error);  // not running
+  EXPECT_THROW(prof.read_now(), Error);
+  prof.start();
+  EXPECT_THROW(prof.add_events({"net:::recv"}), Error);  // too late
+  EXPECT_THROW(prof.start(), Error);                     // already running
+  prof.stop();
+}
+
+TEST_F(ProfilerFixture, UnknownEventFailsEagerly) {
+  Profiler prof(profiler_lib, clock);
+  EXPECT_THROW(prof.add_events({"mem:::reads", "mem:::bogus"}), Error);
+}
+
+TEST_F(ProfilerFixture, StopAndRestartContinuesTheTimeline) {
+  Profiler prof(profiler_lib, clock);
+  prof.add_events({"mem:::reads"});
+  prof.start();
+  prof.sample();
+  prof.stop();
+  prof.start();  // restart re-snapshots the counters
+  mem->bump(0, 3);
+  prof.sample();
+  prof.stop();
+  ASSERT_EQ(prof.rows().size(), 2u);
+  EXPECT_EQ(prof.rows()[1].values[0], 3);
+}
+
+}  // namespace
+}  // namespace papisim

@@ -1,0 +1,149 @@
+// Tests for the region-based instrumentation layer.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/regions.hpp"
+#include "testing/fake_component.hpp"
+
+namespace papisim {
+namespace {
+
+using test_support::FakeComponent;
+
+struct RegionFixture : ::testing::Test {
+  RegionFixture() {
+    mem = &static_cast<FakeComponent&>(lib.register_component(
+        std::make_unique<FakeComponent>("mem", std::vector<std::string>{"bytes"})));
+  }
+  const RegionStats* find(const std::vector<RegionStats>& report,
+                          const std::string& path) {
+    for (const RegionStats& r : report) {
+      if (r.path == path) return &r;
+    }
+    return nullptr;
+  }
+  sim::SimClock clock;
+  Library lib;
+  FakeComponent* mem;
+};
+
+TEST_F(RegionFixture, AttributesCountsToTheRegionStack) {
+  RegionProfiler prof(lib, clock);
+  prof.add_events({"mem:::bytes"});
+  prof.start();
+  {
+    auto app = prof.region("app");
+    mem->bump(0, 100);
+    clock.advance(1e9);
+    {
+      auto inner = prof.region("fft");
+      mem->bump(0, 40);
+      clock.advance(2e9);
+    }
+    mem->bump(0, 10);
+  }
+  prof.stop();
+
+  const auto report = prof.report();
+  ASSERT_EQ(report.size(), 2u);
+  const RegionStats* app = find(report, "app");
+  const RegionStats* fft = find(report, "app/fft");
+  ASSERT_NE(app, nullptr);
+  ASSERT_NE(fft, nullptr);
+  EXPECT_DOUBLE_EQ(app->inclusive[0], 150.0);
+  EXPECT_DOUBLE_EQ(app->exclusive[0], 110.0);  // 150 minus the child's 40
+  EXPECT_DOUBLE_EQ(fft->inclusive[0], 40.0);
+  EXPECT_DOUBLE_EQ(fft->exclusive[0], 40.0);
+  EXPECT_DOUBLE_EQ(app->inclusive_sec, 3.0);
+  EXPECT_DOUBLE_EQ(app->exclusive_sec, 1.0);
+  EXPECT_DOUBLE_EQ(fft->inclusive_sec, 2.0);
+}
+
+TEST_F(RegionFixture, RepeatedVisitsAccumulate) {
+  RegionProfiler prof(lib, clock);
+  prof.add_events({"mem:::bytes"});
+  prof.start();
+  for (int i = 0; i < 3; ++i) {
+    auto r = prof.region("step");
+    mem->bump(0, 5);
+  }
+  prof.stop();
+  const auto report = prof.report();
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report[0].visits, 3u);
+  EXPECT_DOUBLE_EQ(report[0].inclusive[0], 15.0);
+}
+
+TEST_F(RegionFixture, SiblingsSplitTheParentExclusive) {
+  RegionProfiler prof(lib, clock);
+  prof.add_events({"mem:::bytes"});
+  prof.start();
+  {
+    auto outer = prof.region("outer");
+    {
+      auto a = prof.region("a");
+      mem->bump(0, 30);
+    }
+    {
+      auto b = prof.region("b");
+      mem->bump(0, 70);
+    }
+  }
+  prof.stop();
+  const auto report = prof.report();
+  const RegionStats* outer = find(report, "outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_DOUBLE_EQ(outer->inclusive[0], 100.0);
+  EXPECT_DOUBLE_EQ(outer->exclusive[0], 0.0);
+  EXPECT_DOUBLE_EQ(find(report, "outer/a")->inclusive[0], 30.0);
+  EXPECT_DOUBLE_EQ(find(report, "outer/b")->inclusive[0], 70.0);
+}
+
+TEST_F(RegionFixture, SamePathFromDifferentVisitsMerges) {
+  RegionProfiler prof(lib, clock);
+  prof.add_events({"mem:::bytes"});
+  prof.start();
+  for (int i = 0; i < 2; ++i) {
+    auto outer = prof.region("loop");
+    auto inner = prof.region("body");
+    mem->bump(0, 1);
+  }
+  prof.stop();
+  const auto report = prof.report();
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_EQ(find(report, "loop/body")->visits, 2u);
+}
+
+TEST_F(RegionFixture, ErrorsOnMisuse) {
+  RegionProfiler prof(lib, clock);
+  prof.add_events({"mem:::bytes"});
+  EXPECT_THROW((void)prof.region("early"), Error);  // not running
+  prof.start();
+  EXPECT_THROW((void)prof.region(""), Error);        // empty name
+  EXPECT_THROW((void)prof.region("a/b"), Error);     // separator in name
+  {
+    auto open = prof.region("open");
+    EXPECT_THROW(prof.stop(), Error);  // stop inside a region
+  }
+  prof.stop();
+}
+
+TEST_F(RegionFixture, MoveOnlyScopeClosesOnce) {
+  RegionProfiler prof(lib, clock);
+  prof.add_events({"mem:::bytes"});
+  prof.start();
+  {
+    auto a = prof.region("moved");
+    auto b = std::move(a);
+    mem->bump(0, 9);
+  }  // only b's destructor pops
+  prof.stop();
+  const auto report = prof.report();
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report[0].visits, 1u);
+  EXPECT_DOUBLE_EQ(report[0].inclusive[0], 9.0);
+}
+
+}  // namespace
+}  // namespace papisim

@@ -1,0 +1,81 @@
+// Tests for the Chrome trace-event exporter.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "core/trace_export.hpp"
+#include "testing/fake_component.hpp"
+
+namespace papisim {
+namespace {
+
+using test_support::FakeComponent;
+
+struct TraceFixture : ::testing::Test {
+  TraceFixture() {
+    mem = &static_cast<FakeComponent&>(lib.register_component(
+        std::make_unique<FakeComponent>("mem", std::vector<std::string>{"bytes"})));
+  }
+  sim::SimClock clock;
+  Library lib;
+  FakeComponent* mem;
+};
+
+TEST_F(TraceFixture, EmitsSpansSamplesAndMetadata) {
+  auto es = lib.create_eventset();
+  es->add_event("mem:::bytes");
+  Sampler sampler(clock);
+  sampler.add_eventset(*es);
+  sampler.start_all();
+  sampler.sample();
+  clock.advance(1e6);  // 1 ms
+  mem->bump(0, 500);
+  sampler.sample();
+  sampler.stop_all();
+
+  const TraceSpan spans[] = {{"fft_z", 0.0, 0.001, "phases"},
+                             {"all2all", 0.001, 0.002, "network"}};
+  std::ostringstream out;
+  write_chrome_trace(out, sampler, spans, "fft-rank-0");
+  const std::string json = out.str();
+
+  EXPECT_NE(json.find("\"name\":\"fft-rank-0\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"fft_z\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1000.0"), std::string::npos);  // 1 ms in us
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"mem:::bytes\""), std::string::npos);
+  // Distinct tracks get distinct tids with thread_name metadata.
+  EXPECT_NE(json.find("\"name\":\"phases\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"network\""), std::string::npos);
+  // Valid JSON shape at the coarse level.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_EQ(json.substr(json.size() - 3), "]}\n");
+}
+
+TEST_F(TraceFixture, EscapesSpecialCharacters) {
+  auto es = lib.create_eventset();
+  es->add_event("mem:::bytes");
+  Sampler sampler(clock);
+  sampler.add_eventset(*es);
+  const TraceSpan spans[] = {{"with \"quotes\"\nand\\slash", 0.0, 1.0, "t"}};
+  std::ostringstream out;
+  write_chrome_trace(out, sampler, spans);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("with \\\"quotes\\\"\\nand\\\\slash"), std::string::npos);
+}
+
+TEST_F(TraceFixture, EmptySamplerStillProducesValidSkeleton) {
+  auto es = lib.create_eventset();
+  es->add_event("mem:::bytes");
+  Sampler sampler(clock);
+  sampler.add_eventset(*es);
+  std::ostringstream out;
+  write_chrome_trace(out, sampler, {});
+  EXPECT_NE(out.str().find("traceEvents"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace papisim

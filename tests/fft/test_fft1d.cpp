@@ -1,0 +1,123 @@
+// Tests for the numeric 1D FFT (radix-2 + Bluestein).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fft/fft1d.hpp"
+#include "sim/rng.hpp"
+
+namespace papisim::fft {
+namespace {
+
+std::vector<cplx> random_signal(std::size_t n, std::uint64_t seed) {
+  sim::SplitMix64 rng(seed);
+  std::vector<cplx> v(n);
+  for (cplx& c : v) c = {rng.next_double() - 0.5, rng.next_double() - 0.5};
+  return v;
+}
+
+double max_err(std::span<const cplx> a, std::span<const cplx> b) {
+  double m = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+TEST(Fft1d, PowerOfTwoDetection) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(1344));
+  EXPECT_FALSE(is_power_of_two(3));
+}
+
+TEST(Fft1d, DeltaTransformsToAllOnes) {
+  std::vector<cplx> v(8, cplx{});
+  v[0] = 1.0;
+  fft1d(v);
+  for (const cplx& c : v) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft1d, SingleToneLandsInOneBin) {
+  const std::size_t n = 64, k = 5;
+  std::vector<cplx> v(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double ang = 2.0 * M_PI * static_cast<double>(k * j) / n;
+    v[j] = {std::cos(ang), std::sin(ang)};
+  }
+  fft1d(v);
+  for (std::size_t b = 0; b < n; ++b) {
+    EXPECT_NEAR(std::abs(v[b]), b == k ? static_cast<double>(n) : 0.0, 1e-9) << b;
+  }
+}
+
+// Property sweep: FFT matches the naive DFT for power-of-two and awkward
+// (Bluestein) lengths, including the paper's N=1344 factor structure.
+class FftLength : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftLength, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  const std::vector<cplx> x = random_signal(n, 42 + n);
+  const std::vector<cplx> expected = dft_naive(x);
+  const std::vector<cplx> actual = fft1d_copy(x);
+  EXPECT_LT(max_err(actual, expected), 1e-7 * static_cast<double>(n));
+}
+
+TEST_P(FftLength, InverseRecoversInput) {
+  const std::size_t n = GetParam();
+  const std::vector<cplx> x = random_signal(n, 7 + n);
+  std::vector<cplx> v = x;
+  fft1d(v, false);
+  fft1d(v, true);
+  EXPECT_LT(max_err(v, x), 1e-9 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FftLength,
+                         ::testing::Values(1, 2, 4, 8, 32, 256, 3, 5, 6, 7, 12,
+                                           21, 84, 100, 336, 63));
+
+TEST(Fft1d, ParsevalHolds) {
+  const std::size_t n = 128;
+  const std::vector<cplx> x = random_signal(n, 11);
+  const std::vector<cplx> X = fft1d_copy(x);
+  double ex = 0, eX = 0;
+  for (const cplx& c : x) ex += std::norm(c);
+  for (const cplx& c : X) eX += std::norm(c);
+  EXPECT_NEAR(eX, ex * static_cast<double>(n), 1e-8 * ex * n);
+}
+
+TEST(Fft1d, LinearityHolds) {
+  const std::size_t n = 48;  // Bluestein path
+  const std::vector<cplx> a = random_signal(n, 1), b = random_signal(n, 2);
+  std::vector<cplx> sum(n);
+  for (std::size_t i = 0; i < n; ++i) sum[i] = 2.0 * a[i] + cplx(0, 1) * b[i];
+  const auto fa = fft1d_copy(a), fb = fft1d_copy(b), fsum = fft1d_copy(sum);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_LT(std::abs(fsum[i] - (2.0 * fa[i] + cplx(0, 1) * fb[i])), 1e-9);
+  }
+}
+
+TEST(Fft1d, BatchTransformsRowsIndependently) {
+  const std::size_t n = 16, batch = 4;
+  std::vector<cplx> data;
+  std::vector<std::vector<cplx>> rows;
+  for (std::size_t b = 0; b < batch; ++b) {
+    rows.push_back(random_signal(n, 100 + b));
+    data.insert(data.end(), rows.back().begin(), rows.back().end());
+  }
+  fft1d_batch(data, n, batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const auto expected = fft1d_copy(rows[b]);
+    EXPECT_LT(max_err(std::span<const cplx>(data).subspan(b * n, n), expected), 1e-10);
+  }
+}
+
+TEST(Fft1d, BatchValidatesBufferSize) {
+  std::vector<cplx> data(10);
+  EXPECT_THROW(fft1d_batch(data, 8, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace papisim::fft

@@ -1,0 +1,99 @@
+// Tests for the GPU device model: DMA timing/traffic, kernel execution, and
+// the exponential power dynamics behind the NVML component.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "gpu/gpu_device.hpp"
+
+namespace papisim::gpu {
+namespace {
+
+struct GpuFixture : ::testing::Test {
+  GpuFixture() : machine(sim::MachineConfig::summit()) {
+    machine.set_noise_enabled(false);
+    GpuConfig cfg;
+    cfg.pcie_bw_bytes_per_sec = 10e9;
+    cfg.power_tau_ns = 1e6;
+    dev = std::make_unique<GpuDevice>(cfg, machine, 0, 0);
+  }
+  sim::Machine machine;
+  std::unique_ptr<GpuDevice> dev;
+};
+
+TEST_F(GpuFixture, StartsAtIdlePower) {
+  EXPECT_EQ(dev->power_mw(), 52000u);
+  EXPECT_DOUBLE_EQ(dev->busy_seconds(), 0.0);
+}
+
+TEST_F(GpuFixture, H2dCopyTimingMatchesPcieBandwidth) {
+  const double t0 = machine.clock().now_ns();
+  dev->memcpy_h2d(10'000'000'000ull);  // 10 GB at 10 GB/s = 1 s
+  EXPECT_NEAR(machine.clock().now_ns() - t0, 1e9, 1.0);
+  EXPECT_NEAR(dev->busy_seconds(), 1.0, 1e-9);
+}
+
+TEST_F(GpuFixture, DmaDirectionsDriveHostTrafficDirectionally) {
+  dev->memcpy_h2d(1 << 20);
+  EXPECT_EQ(machine.memctrl(0).total_bytes(sim::MemDir::Read), 1u << 20);
+  EXPECT_EQ(machine.memctrl(0).total_bytes(sim::MemDir::Write), 0u);
+  dev->memcpy_d2h(1 << 19);
+  EXPECT_EQ(machine.memctrl(0).total_bytes(sim::MemDir::Write), 1u << 19);
+}
+
+TEST_F(GpuFixture, KernelTouchesNoHostMemory) {
+  dev->run_kernel(1e12);
+  EXPECT_EQ(machine.memctrl(0).total_bytes(sim::MemDir::Read), 0u);
+  EXPECT_EQ(machine.memctrl(0).total_bytes(sim::MemDir::Write), 0u);
+  EXPECT_GT(dev->busy_seconds(), 0.0);
+}
+
+TEST_F(GpuFixture, PowerApproachesBusyLevelExponentially) {
+  // Kernel of duration T: power = busy + (idle - busy) * exp(-T / tau).
+  const GpuConfig& cfg = dev->config();
+  const double flops = cfg.flops * cfg.kernel_efficiency * 2e-3;  // T = 2 ms
+  dev->run_kernel(flops);
+  const double expected_w =
+      cfg.busy_power_w +
+      (cfg.idle_power_w - cfg.busy_power_w) * std::exp(-2e6 / cfg.power_tau_ns);
+  EXPECT_NEAR(static_cast<double>(dev->power_mw()), expected_w * 1000.0, 500.0);
+}
+
+TEST_F(GpuFixture, PowerDecaysTowardIdleWhenInactive) {
+  dev->run_kernel(dev->config().flops);  // long kernel: near busy power
+  const std::uint64_t hot = dev->power_mw();
+  ASSERT_GT(hot, 200000u);
+  machine.advance(1e6);  // one tau of idle time
+  const std::uint64_t cooler = dev->power_mw();
+  EXPECT_LT(cooler, hot);
+  machine.advance(20e6);  // >> tau
+  EXPECT_NEAR(static_cast<double>(dev->power_mw()), 52000.0, 1000.0);
+}
+
+TEST_F(GpuFixture, PowerReadsAreIdempotentAtFixedTime) {
+  dev->run_kernel(1e11);
+  const std::uint64_t p1 = dev->power_mw();
+  const std::uint64_t p2 = dev->power_mw();
+  EXPECT_EQ(p1, p2);  // reading must not itself change the state
+}
+
+TEST_F(GpuFixture, BackToBackKernelsHeatMoreThanOne) {
+  const double flops = dev->config().flops * dev->config().kernel_efficiency * 5e-4;
+  dev->run_kernel(flops);
+  const std::uint64_t after_one = dev->power_mw();
+  dev->run_kernel(flops);
+  dev->run_kernel(flops);
+  EXPECT_GT(dev->power_mw(), after_one);
+}
+
+TEST_F(GpuFixture, DmaPowerSitsBetweenIdleAndBusy) {
+  dev->memcpy_h2d(100'000'000'000ull);  // 10 s: fully settled at DMA level
+  const double w = static_cast<double>(dev->power_mw()) / 1000.0;
+  EXPECT_GT(w, dev->config().idle_power_w);
+  EXPECT_LT(w, dev->config().busy_power_w);
+  EXPECT_NEAR(w, dev->config().dma_power_w, 1.0);
+}
+
+}  // namespace
+}  // namespace papisim::gpu

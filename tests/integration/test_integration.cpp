@@ -1,0 +1,204 @@
+// End-to-end integration tests across the full stack: machine + PMCD +
+// components + library + sampler + workloads.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "components/cpu_component.hpp"
+#include "components/infiniband_component.hpp"
+#include "components/nvml_component.hpp"
+#include "components/pcp_component.hpp"
+#include "components/perf_nest_component.hpp"
+#include "core/sampler.hpp"
+#include "fft/fft3d.hpp"
+#include "kernels/blas_sim.hpp"
+#include "kernels/expected.hpp"
+#include "kernels/runner.hpp"
+#include "pcp/client.hpp"
+#include "pcp/pmcd.hpp"
+#include "qmc/qmc_app.hpp"
+
+namespace papisim {
+namespace {
+
+/// Full Summit software stack with every component registered.
+struct FullStack {
+  FullStack()
+      : machine(sim::MachineConfig::summit()),
+        daemon(machine),
+        client(daemon, machine, machine.user_credentials()),
+        gpu(gpu::GpuConfig{}, machine, 0, 0),
+        nic(net::NicConfig{}),
+        comm(machine, nic) {
+    lib.register_component(std::make_unique<components::PcpComponent>(client));
+    lib.register_component(std::make_unique<components::PerfNestComponent>(
+        machine, machine.user_credentials()));
+    lib.register_component(std::make_unique<components::NvmlComponent>(
+        std::vector<gpu::GpuDevice*>{&gpu}));
+    lib.register_component(std::make_unique<components::InfinibandComponent>(
+        std::vector<net::Nic*>{&nic}));
+    lib.register_component(std::make_unique<components::CpuComponent>(machine));
+  }
+  sim::Machine machine;
+  pcp::Pmcd daemon;
+  pcp::PcpClient client;
+  gpu::GpuDevice gpu;
+  net::Nic nic;
+  mpi::JobComm comm;
+  Library lib;
+};
+
+TEST(Integration, FiveComponentsRegisterWithExpectedAvailability) {
+  FullStack s;
+  EXPECT_EQ(s.lib.components().size(), 5u);
+  EXPECT_TRUE(s.lib.component("pcp").available());
+  EXPECT_FALSE(s.lib.component("perf_nest").available());  // unprivileged
+  EXPECT_TRUE(s.lib.component("nvml").available());
+  EXPECT_TRUE(s.lib.component("infiniband").available());
+  EXPECT_TRUE(s.lib.component("cpu").available());
+}
+
+TEST(Integration, MeasurementsAreReproducibleAcrossIdenticalStacks) {
+  // Two fresh stacks with the same seeds, noise ON: the measured values of
+  // an identical experiment must match bit-for-bit (the simulator's
+  // determinism guarantee that makes EXPERIMENTS.md reproducible).
+  auto run = [] {
+    FullStack s;
+    kernels::KernelRunner runner(s.machine, s.lib, "pcp", 87);
+    const kernels::GemmBuffers buf =
+        kernels::GemmBuffers::allocate(s.machine.address_space(), 160);
+    kernels::RunnerOptions opt;
+    opt.reps = 25;
+    const kernels::Measurement m = runner.measure(
+        [&](std::uint32_t core) { kernels::run_gemm(s.machine, 0, core, 160, buf); },
+        opt);
+    return std::pair{m.read_bytes, m.write_bytes};
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_DOUBLE_EQ(a.first, b.first);
+  EXPECT_DOUBLE_EQ(a.second, b.second);
+}
+
+TEST(Integration, CpuAndPcpEventSetsObserveTheSameKernelConsistently) {
+  FullStack s;
+  s.machine.set_noise_enabled(false);
+  s.machine.set_active_cores(0, s.machine.cores_per_socket());
+
+  auto mem = s.lib.create_eventset();
+  for (int ch = 0; ch < 8; ++ch) {
+    const std::string c = std::to_string(ch);
+    mem->add_event("pcp:::perfevent.hwcounters.nest_mba" + c + "_imc.PM_MBA" + c +
+                   "_READ_BYTES.value:cpu87");
+  }
+  auto cpu = s.lib.create_eventset();
+  cpu->add_event("cpu:::PAPI_FP_OPS:core=0");
+  cpu->add_event("cpu:::PAPI_L3_TCM:core=0");
+
+  mem->start();
+  cpu->start();
+  const std::uint64_t n = 96;
+  const kernels::GemmBuffers buf =
+      kernels::GemmBuffers::allocate(s.machine.address_space(), n);
+  kernels::run_gemm(s.machine, 0, 0, n, buf);
+  const auto memv = mem->read();
+  const auto cpuv = cpu->read();
+  mem->stop();
+  cpu->stop();
+
+  long long mem_reads = 0;
+  for (const long long v : memv) mem_reads += v;
+  EXPECT_EQ(cpuv[0], static_cast<long long>(2 * n * n * n));  // exact flops
+  // Every L3 miss of the measured core became a 64-byte nest read.
+  EXPECT_EQ(mem_reads, 64 * cpuv[1]);
+}
+
+TEST(Integration, QmcProfileSeparatesStagesOnAllThreeAxes) {
+  FullStack s;
+  auto mem = s.lib.create_eventset();
+  mem->add_event(
+      "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87");
+  auto power = s.lib.create_eventset();
+  power->add_event("nvml:::Tesla_V100-SXM2-16GB:device_0:power");
+  auto network = s.lib.create_eventset();
+  network->add_event("infiniband:::mlx5_0_1_ext:port_recv_data");
+
+  Sampler sampler(s.machine.clock());
+  sampler.add_eventset(*mem);
+  sampler.add_eventset(*power);
+  sampler.add_eventset(*network);
+
+  qmc::QmcConfig cfg;
+  cfg.walkers = 32;
+  cfg.electrons = 16;
+  cfg.spline_table_bytes = 4 << 20;
+  qmc::QmcApp app(s.machine, cfg, &s.gpu, &s.comm);
+
+  sampler.start_all();
+  sampler.sample();
+  app.run([&] { sampler.sample(); });
+  sampler.stop_all();
+
+  ASSERT_EQ(app.phases().size(), 3u);
+  ASSERT_GE(sampler.rows().size(), 3u);
+  // Memory counter grows monotonically; network stays zero until DMC.
+  const auto& rows = sampler.rows();
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i].values[0], rows[i - 1].values[0]);
+    EXPECT_GE(rows[i].values[2], rows[i - 1].values[2]);
+  }
+  const double dmc_start = app.phases()[2].t0_sec;
+  for (const TimelineRow& row : rows) {
+    if (row.t_sec <= dmc_start) {
+      EXPECT_EQ(row.values[2], 0);
+    }
+  }
+  EXPECT_GT(rows.back().values[2], 0);
+}
+
+TEST(Integration, FftPipelineUnderSamplerKeepsTimeAndPhasesAligned) {
+  FullStack s;
+  auto mem = s.lib.create_eventset();
+  mem->add_event(
+      "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_WRITE_BYTES.value:cpu87");
+  Sampler sampler(s.machine.clock());
+  sampler.add_eventset(*mem);
+
+  fft::Fft3dConfig cfg;
+  cfg.n = 128;
+  cfg.grid = {2, 4};
+  cfg.use_gpu = true;
+  fft::DistributedFft3d app(s.machine, cfg, &s.gpu, &s.comm);
+  sampler.start_all();
+  app.run_forward([&] { sampler.sample(); });
+  sampler.stop_all();
+
+  // Sample timestamps are monotonic and span the pipeline's phases.
+  const auto& rows = sampler.rows();
+  ASSERT_GT(rows.size(), 9u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i].t_sec, rows[i - 1].t_sec);
+  }
+  EXPECT_GE(rows.back().t_sec, app.phases().back().t0_sec);
+}
+
+TEST(Integration, Power10PreviewStackWorksEndToEnd) {
+  sim::Machine machine(sim::MachineConfig::power10_preview());
+  machine.set_noise_enabled(false);
+  pcp::Pmcd daemon(machine);
+  pcp::PcpClient client(daemon, machine, machine.user_credentials());
+  Library lib;
+  lib.register_component(std::make_unique<components::PcpComponent>(client));
+  // 16 OMI channels x {READ,WRITE} x {BYTES,REQS} metrics.
+  EXPECT_EQ(lib.component("pcp").events().size(), 64u);
+  auto es = lib.create_eventset();
+  es->add_event(
+      "pcp:::perfevent.hwcounters.nest_mba15_imc.PM_MBA15_READ_BYTES.value:cpu0");
+  es->start();
+  machine.memctrl(0).add_line(30, sim::MemDir::Read);  // granule 15 -> ch 15
+  EXPECT_EQ(es->read()[0], 64);
+  es->stop();
+}
+
+}  // namespace
+}  // namespace papisim

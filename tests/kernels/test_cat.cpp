@@ -1,0 +1,77 @@
+// Tests for the Counter Analysis Toolkit validation module.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "components/pcp_component.hpp"
+#include "components/perf_nest_component.hpp"
+#include "kernels/cat.hpp"
+#include "pcp/client.hpp"
+#include "pcp/pmcd.hpp"
+
+namespace papisim::kernels {
+namespace {
+
+TEST(CounterAnalysis, AllChecksPassViaPcp) {
+  sim::Machine machine(sim::MachineConfig::summit());
+  pcp::Pmcd daemon(machine);
+  pcp::PcpClient client(daemon, machine, machine.user_credentials());
+  Library lib;
+  lib.register_component(std::make_unique<components::PcpComponent>(client));
+  const CatReport report = run_counter_analysis(machine, lib, "pcp", 87);
+  ASSERT_GE(report.checks.size(), 6u);
+  for (const CatCheck& c : report.checks) {
+    EXPECT_TRUE(c.passed) << c.name << ": expected " << c.expected
+                          << ", measured " << c.measured;
+  }
+  EXPECT_TRUE(report.all_passed());
+}
+
+TEST(CounterAnalysis, AllChecksPassViaPerfNest) {
+  sim::Machine machine(sim::MachineConfig::tellico());
+  Library lib;
+  lib.register_component(std::make_unique<components::PerfNestComponent>(
+      machine, machine.user_credentials()));
+  const CatReport report = run_counter_analysis(machine, lib, "perf_nest", 0);
+  EXPECT_TRUE(report.all_passed());
+}
+
+TEST(CounterAnalysis, MeasuresOnSecondSocketToo) {
+  // The qualifier cpu=<second socket> must validate against socket 1's
+  // counters (the paper measures per-socket with two ranks per node).
+  sim::Machine machine(sim::MachineConfig::tellico());
+  Library lib;
+  lib.register_component(std::make_unique<components::PerfNestComponent>(
+      machine, machine.user_credentials()));
+  const std::uint32_t cpu_s1 = machine.config().cpus_per_socket();
+  ASSERT_EQ(machine.socket_of_cpu(cpu_s1), 1u);
+  const CatReport report = run_counter_analysis(machine, lib, "perf_nest", cpu_s1);
+  EXPECT_TRUE(report.all_passed());
+}
+
+TEST(CounterAnalysis, RestoresNoiseState) {
+  sim::Machine machine(sim::MachineConfig::tellico());
+  Library lib;
+  lib.register_component(std::make_unique<components::PerfNestComponent>(
+      machine, machine.user_credentials()));
+  ASSERT_TRUE(machine.noise(0).enabled());
+  run_counter_analysis(machine, lib, "perf_nest", 0);
+  EXPECT_TRUE(machine.noise(0).enabled());
+  machine.set_noise_enabled(false);
+  run_counter_analysis(machine, lib, "perf_nest", 0);
+  EXPECT_FALSE(machine.noise(0).enabled());
+}
+
+TEST(CounterAnalysis, DetectsABrokenCounter) {
+  // Sanity of the harness itself: if the check compares against a wrong
+  // expectation it must FAIL, not silently pass.
+  CatCheck c;
+  c.expected = 100.0;
+  c.measured = 150.0;
+  c.tolerance = 0.02;
+  c.passed = std::abs(c.measured - c.expected) <= c.tolerance * c.expected;
+  EXPECT_FALSE(c.passed);
+}
+
+}  // namespace
+}  // namespace papisim::kernels

@@ -1,0 +1,77 @@
+// Parameterized property sweeps over the GEMM experiment: noiseless
+// exactness in the cached regime and the regime boundaries the paper's
+// figures hinge on.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "kernels/blas_sim.hpp"
+#include "kernels/expected.hpp"
+
+namespace papisim::kernels {
+namespace {
+
+struct Traffic {
+  double reads = 0, writes = 0;
+};
+
+Traffic run(std::uint64_t n, bool batched_contention) {
+  sim::Machine m(sim::MachineConfig::summit());
+  m.set_noise_enabled(false);
+  m.set_active_cores(0, batched_contention ? m.cores_per_socket() : 1);
+  const GemmBuffers buf = GemmBuffers::allocate(m.address_space(), n);
+  run_gemm(m, 0, 0, n, buf);
+  m.flush_socket(0);
+  return {static_cast<double>(m.memctrl(0).total_bytes(sim::MemDir::Read)),
+          static_cast<double>(m.memctrl(0).total_bytes(sim::MemDir::Write))};
+}
+
+class GemmCachedRegime : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GemmCachedRegime, MatchesThreeNSquaredWithinTwoPercent) {
+  const std::uint64_t n = GetParam();
+  // Below the Eq. 3 bound even a fully-contended core holds all three
+  // matrices: the 3N^2-reads / N^2-writes expectation is exact.
+  ASSERT_LT(n, gemm_cache_band(5ull << 20).lower_n);
+  const Traffic t = run(n, /*batched_contention=*/true);
+  const ExpectedTraffic exp = gemm_expected(n);
+  EXPECT_NEAR(t.reads, exp.read_bytes, 0.02 * exp.read_bytes) << "N=" << n;
+  EXPECT_NEAR(t.writes, exp.write_bytes, 0.02 * exp.write_bytes) << "N=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(CachedSizes, GemmCachedRegime,
+                         ::testing::Values(64, 96, 128, 160, 224, 288, 352, 416));
+
+TEST(GemmRegimes, ContendedTrafficIsMonotonicallyAmplifiedPastTheBand) {
+  // The measured/expected ratio must not decrease with N once the working
+  // set crosses the 5 MB share (the batched curve of Figs. 3b/4b).
+  double prev_ratio = 0;
+  for (const std::uint64_t n : {512ull, 640ull, 768ull, 896ull}) {
+    const Traffic t = run(n, true);
+    const double ratio = t.reads / gemm_expected(n).read_bytes;
+    EXPECT_GE(ratio, prev_ratio * 0.99) << "N=" << n;
+    prev_ratio = ratio;
+  }
+  EXPECT_GT(prev_ratio, 50.0);  // deep in the uncached regime
+}
+
+TEST(GemmRegimes, LoneCoreIsAlwaysCheaperThanContended) {
+  for (const std::uint64_t n : {512ull, 768ull, 1024ull}) {
+    const Traffic lone = run(n, false);
+    const Traffic crowded = run(n, true);
+    EXPECT_LE(lone.reads, crowded.reads) << "N=" << n;
+  }
+}
+
+TEST(GemmRegimes, WriteTrafficStaysAtNSquaredInEveryRegime) {
+  // The paper's write curves never jump: C is written exactly once per
+  // element regardless of the read-side cache behaviour.
+  for (const std::uint64_t n : {256ull, 640ull, 1024ull}) {
+    const Traffic t = run(n, true);
+    const double exp = gemm_expected(n).write_bytes;
+    EXPECT_NEAR(t.writes, exp, 0.03 * exp) << "N=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace papisim::kernels

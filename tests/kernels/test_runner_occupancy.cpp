@@ -1,0 +1,103 @@
+// Tests for the runner's socket-occupancy semantics: the difference between
+// batched scaling (independent kernels per core) and occupy_socket (one
+// OpenMP-parallel kernel contending for per-core L3 shares) -- the two
+// execution models behind the paper's BLAS and FFT experiments respectively.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "components/perf_nest_component.hpp"
+#include "fft/resort.hpp"
+#include "kernels/blas_sim.hpp"
+#include "kernels/expected.hpp"
+#include "kernels/runner.hpp"
+
+namespace papisim::kernels {
+namespace {
+
+struct Stack {
+  Stack() : machine(sim::MachineConfig::summit()) {
+    machine.set_noise_enabled(false);
+    // Privileged route for direct, exact readings.
+    lib.register_component(std::make_unique<components::PerfNestComponent>(
+        machine, sim::Credentials::root()));
+  }
+  sim::Machine machine;
+  Library lib;
+};
+
+/// Measure the S1CF strided nest once (the Eq. 7-sensitive workload).
+Measurement measure_nest2(Stack& s, std::uint64_t n, bool occupy) {
+  KernelRunner runner(s.machine, s.lib, "perf_nest", 0);
+  const mpi::Grid grid{2, 4};
+  const fft::RankDims dims = fft::RankDims::of(n, grid);
+  const fft::ResortBuffers buf =
+      fft::ResortBuffers::allocate(s.machine.address_space(), dims.bytes());
+  RunnerOptions opt;
+  opt.reps = 1;
+  opt.occupy_socket = occupy;
+  return runner.measure(
+      [&](std::uint32_t core) {
+        fft::s1cf_nest2_replay(s.machine, 0, core, dims, buf, false);
+      },
+      opt);
+}
+
+TEST(RunnerOccupancy, OccupySocketEnforcesTheContendedShare) {
+  // Past the Eq. 7 bound the contended 5 MB share forces ~5 reads/write;
+  // a lone core borrowing 100+ MB of idle slices does not.
+  const std::uint64_t n = 896;  // > 724
+  Stack contended;
+  const Measurement with = measure_nest2(contended, n, /*occupy=*/true);
+  Stack lone;
+  const Measurement without = measure_nest2(lone, n, /*occupy=*/false);
+  const double bytes = static_cast<double>(fft::RankDims::of(n, mpi::Grid{2, 4}).bytes());
+  EXPECT_GT(with.read_bytes / bytes, 4.0);
+  EXPECT_LT(without.read_bytes / bytes, 3.0);
+  // Occupancy never scales the traffic (threads stays at 1).
+  EXPECT_EQ(with.threads, 1u);
+}
+
+TEST(RunnerOccupancy, BatchedAndOccupyAreDistinctModes) {
+  // Batched scales a per-core kernel by the core count; occupy_socket does
+  // not scale.  For a workload that fits its share, batched traffic is
+  // exactly cores x the occupy traffic.
+  const std::uint64_t n = 128;
+  auto gemm_measure = [&](bool batched) {
+    Stack s;
+    KernelRunner runner(s.machine, s.lib, "perf_nest", 0);
+    const GemmBuffers buf = GemmBuffers::allocate(s.machine.address_space(), n);
+    RunnerOptions opt;
+    opt.reps = 1;
+    opt.batched = batched;
+    opt.occupy_socket = !batched;
+    return runner.measure(
+        [&](std::uint32_t core) { run_gemm(s.machine, 0, core, n, buf); }, opt);
+  };
+  const Measurement batched = gemm_measure(true);
+  const Measurement occupied = gemm_measure(false);
+  EXPECT_EQ(batched.threads, 21u);
+  EXPECT_EQ(occupied.threads, 1u);
+  EXPECT_NEAR(batched.read_bytes, 21.0 * occupied.read_bytes,
+              0.01 * batched.read_bytes);
+}
+
+TEST(RunnerOccupancy, MeasurementWindowTimeGrowsWithReps) {
+  Stack s;
+  KernelRunner runner(s.machine, s.lib, "perf_nest", 0);
+  const GemmBuffers buf = GemmBuffers::allocate(s.machine.address_space(), 96);
+  auto window = [&](std::uint32_t reps) {
+    RunnerOptions opt;
+    opt.reps = reps;
+    return runner
+        .measure([&](std::uint32_t core) { run_gemm(s.machine, 0, core, 96, buf); },
+                 opt)
+        .elapsed_sec;
+  };
+  const double one = window(1);
+  const double ten = window(10);
+  EXPECT_NEAR(ten / one, 10.0, 2.0);
+}
+
+}  // namespace
+}  // namespace papisim::kernels

@@ -1,0 +1,101 @@
+// Tests for the grid and job-communication model.
+#include <gtest/gtest.h>
+
+#include "mpi/grid.hpp"
+#include "mpi/job_comm.hpp"
+
+namespace papisim::mpi {
+namespace {
+
+TEST(Grid, RankCoordinateRoundTrip) {
+  const Grid g{4, 8};
+  EXPECT_EQ(g.size(), 32u);
+  for (std::uint32_t r = 0; r < g.rows; ++r) {
+    for (std::uint32_t c = 0; c < g.cols; ++c) {
+      const std::uint32_t rank = g.rank_of(r, c);
+      const Grid::Coords coords = g.coords_of(rank);
+      EXPECT_EQ(coords.row, r);
+      EXPECT_EQ(coords.col, c);
+    }
+  }
+}
+
+TEST(Grid, OutOfRangeRejected) {
+  const Grid g{2, 4};
+  EXPECT_THROW(g.rank_of(2, 0), std::out_of_range);
+  EXPECT_THROW(g.rank_of(0, 4), std::out_of_range);
+  EXPECT_THROW(g.coords_of(8), std::out_of_range);
+}
+
+struct CommFixture : ::testing::Test {
+  CommFixture() : machine(sim::MachineConfig::summit()), nic(net::NicConfig{}),
+                  comm(machine, nic) {
+    machine.set_noise_enabled(false);
+  }
+  sim::Machine machine;
+  net::Nic nic;
+  JobComm comm;
+};
+
+TEST_F(CommFixture, AlltoallWireVolumeIsPMinus1OverP) {
+  comm.alltoall(8, 8000);
+  EXPECT_EQ(nic.xmit_bytes(), 7000u);
+  EXPECT_EQ(nic.recv_bytes(), 7000u);
+}
+
+TEST_F(CommFixture, AlltoallAdvancesTheClock) {
+  const double t0 = machine.clock().now_ns();
+  comm.alltoall(4, 1 << 20);
+  EXPECT_GT(machine.clock().now_ns(), t0);
+}
+
+TEST_F(CommFixture, SingleParticipantAlltoallIsFree) {
+  const double t0 = machine.clock().now_ns();
+  comm.alltoall(1, 1 << 20);
+  EXPECT_EQ(nic.xmit_bytes(), 0u);
+  EXPECT_DOUBLE_EQ(machine.clock().now_ns(), t0);
+}
+
+TEST_F(CommFixture, SendrecvCountsBothDirections) {
+  comm.sendrecv(500);
+  EXPECT_EQ(nic.xmit_bytes(), 500u);
+  EXPECT_EQ(nic.recv_bytes(), 500u);
+}
+
+TEST_F(CommFixture, BarrierCostsLogPLatency) {
+  const double t0 = machine.clock().now_ns();
+  comm.barrier(2);
+  const double one_stage = machine.clock().now_ns() - t0;
+  EXPECT_GT(one_stage, 0.0);
+  const double t1 = machine.clock().now_ns();
+  comm.barrier(32);
+  EXPECT_NEAR(machine.clock().now_ns() - t1, 5.0 * one_stage, 1e-9);
+  comm.barrier(1);  // no-op
+}
+
+TEST_F(CommFixture, LargerMessagesTakeLonger) {
+  const double t0 = machine.clock().now_ns();
+  comm.alltoall(4, 1 << 18);
+  const double small = machine.clock().now_ns() - t0;
+  const double t1 = machine.clock().now_ns();
+  comm.alltoall(4, 1 << 24);
+  EXPECT_GT(machine.clock().now_ns() - t1, small);
+}
+
+TEST(Nic, TransferTimeHasLatencyAndBandwidthTerms) {
+  net::NicConfig cfg;
+  cfg.latency_ns = 1000;
+  cfg.link_bw_bytes_per_sec = 1e9;
+  net::Nic nic(cfg);
+  EXPECT_DOUBLE_EQ(nic.transfer_time_ns(0), 1000.0);
+  EXPECT_DOUBLE_EQ(nic.transfer_time_ns(1000000), 1000.0 + 1e6);
+}
+
+TEST(Nic, PortValidation) {
+  net::Nic nic(net::NicConfig{});
+  EXPECT_THROW(nic.recv_bytes(0), std::out_of_range);
+  EXPECT_THROW(nic.on_recv(10, 2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace papisim::mpi

@@ -1,0 +1,109 @@
+// Tests for the privilege-gated nest PMU and its perf-style event names.
+#include <gtest/gtest.h>
+
+#include "nest/nest_pmu.hpp"
+
+namespace papisim::nest {
+namespace {
+
+using sim::Credentials;
+using sim::Machine;
+using sim::MachineConfig;
+using sim::MemDir;
+
+TEST(NestPmu, UnprivilegedOpenIsDenied) {
+  Machine m(MachineConfig::summit());
+  EXPECT_THROW(NestPmu(m, Credentials::user()), PermissionError);
+}
+
+TEST(NestPmu, PrivilegedOpenSucceedsEvenOnSummit) {
+  // The PMCD daemon holds root credentials on Summit; direct users do not.
+  Machine m(MachineConfig::summit());
+  EXPECT_NO_THROW(NestPmu(m, Credentials::root()));
+}
+
+TEST(NestPmu, TellicoUserCanOpenDirectly) {
+  Machine m(MachineConfig::tellico());
+  EXPECT_NO_THROW(NestPmu(m, m.user_credentials()));
+}
+
+TEST(NestPmu, ReadsMatchMemControllerCounters) {
+  Machine m(MachineConfig::tellico());
+  m.set_noise_enabled(false);
+  NestPmu pmu(m, Credentials::root());
+  m.memctrl(0).add_line(0, MemDir::Read);   // channel 0
+  m.memctrl(0).add_line(2, MemDir::Write);  // channel 1 (interleave 2 lines)
+  EXPECT_EQ(pmu.read({0, 0, NestEventKind::ReadBytes}), 64u);
+  EXPECT_EQ(pmu.read({0, 1, NestEventKind::WriteBytes}), 64u);
+  EXPECT_EQ(pmu.read({0, 1, NestEventKind::ReadBytes}), 0u);
+  EXPECT_EQ(pmu.read({1, 0, NestEventKind::ReadBytes}), 0u);  // other socket
+}
+
+TEST(NestPmu, EventNameRoundTrips) {
+  const MachineConfig cfg = MachineConfig::tellico();
+  for (std::uint32_t ch = 0; ch < cfg.mem_channels; ++ch) {
+    for (const NestEventKind k : {NestEventKind::ReadBytes, NestEventKind::WriteBytes}) {
+      const std::string name = NestPmu::perf_event_name(ch, k);
+      const auto id = NestPmu::parse_perf_event(name, cfg);
+      ASSERT_TRUE(id.has_value()) << name;
+      EXPECT_EQ(id->channel, ch);
+      EXPECT_EQ(id->kind, k);
+      EXPECT_EQ(id->socket, 0u);
+    }
+  }
+}
+
+TEST(NestPmu, CpuQualifierSelectsSocket) {
+  const MachineConfig cfg = MachineConfig::tellico();  // 16 cores * 4 smt = 64 cpus/socket
+  auto id = NestPmu::parse_perf_event("power9_nest_mba3::PM_MBA3_READ_BYTES:cpu=0", cfg);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(id->socket, 0u);
+  id = NestPmu::parse_perf_event("power9_nest_mba3::PM_MBA3_READ_BYTES:cpu=64", cfg);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(id->socket, 1u);
+}
+
+TEST(NestPmu, MalformedEventNamesRejected) {
+  const MachineConfig cfg = MachineConfig::tellico();
+  const char* bad[] = {
+      "power9_nest_mba::PM_MBA0_READ_BYTES",       // missing pmu channel
+      "power9_nest_mba0::PM_MBA1_READ_BYTES",      // channel mismatch
+      "power9_nest_mba0::PM_MBA0_READ",            // wrong suffix
+      "power9_nest_mba9::PM_MBA9_READ_BYTES",      // channel out of range
+      "power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=", // empty qualifier
+      "power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=9999",  // cpu out of range
+      "power9_nest_mba0::PM_MBA0_READ_BYTES:x=1",  // unknown qualifier
+      "nest_mba0::PM_MBA0_READ_BYTES",             // wrong pmu prefix
+  };
+  for (const char* name : bad) {
+    EXPECT_FALSE(NestPmu::parse_perf_event(name, cfg).has_value()) << name;
+  }
+}
+
+TEST(NestPmu, EnumerateListsAllChannelsDirectionsAndKinds) {
+  const MachineConfig cfg = MachineConfig::summit();
+  const auto names = NestPmu::enumerate(cfg);
+  EXPECT_EQ(names.size(), 32u);  // 8 channels x {READ,WRITE} x {BYTES,REQS}
+  EXPECT_EQ(names.front(), "power9_nest_mba0::PM_MBA0_READ_BYTES");
+  EXPECT_EQ(names.back(), "power9_nest_mba7::PM_MBA7_WRITE_REQS");
+  for (const std::string& n : names) {
+    EXPECT_TRUE(NestPmu::parse_perf_event(n, cfg).has_value()) << n;
+  }
+}
+
+TEST(NestPmu, CountersAreMonotonic) {
+  Machine m(MachineConfig::tellico());
+  m.set_noise_enabled(false);
+  NestPmu pmu(m, Credentials::root());
+  const NestEventId ev{0, 0, NestEventKind::ReadBytes};
+  std::uint64_t prev = pmu.read(ev);
+  for (int i = 0; i < 100; ++i) {
+    m.memctrl(0).add_line(0, MemDir::Read);
+    const std::uint64_t cur = pmu.read(ev);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace papisim::nest

@@ -1,0 +1,156 @@
+// Tests for the PMNS, the PMCD daemon protocol, and the PCP client.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "pcp/client.hpp"
+#include "pcp/pmcd.hpp"
+#include "pcp/pmns.hpp"
+
+namespace papisim::pcp {
+namespace {
+
+using sim::Credentials;
+using sim::Machine;
+using sim::MachineConfig;
+using sim::MemDir;
+
+TEST(Pmns, ContainsAllNestMetrics) {
+  Pmns pmns(MachineConfig::summit());
+  EXPECT_EQ(pmns.size(), 32u);
+  EXPECT_TRUE(pmns.lookup("perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES")
+                  .has_value());
+  EXPECT_TRUE(pmns.lookup("perfevent.hwcounters.nest_mba7_imc.PM_MBA7_WRITE_BYTES")
+                  .has_value());
+  EXPECT_FALSE(pmns.lookup("perfevent.hwcounters.nest_mba8_imc.PM_MBA8_READ_BYTES")
+                   .has_value());
+  EXPECT_FALSE(pmns.lookup("no.such.metric").has_value());
+}
+
+TEST(Pmns, MetricNameMatchesPaperTableI) {
+  EXPECT_EQ(Pmns::metric_name(3, nest::NestEventKind::WriteBytes),
+            "perfevent.hwcounters.nest_mba3_imc.PM_MBA3_WRITE_BYTES");
+}
+
+TEST(Pmns, PrefixTraversal) {
+  Pmns pmns(MachineConfig::summit());
+  EXPECT_EQ(pmns.names_under("").size(), 32u);
+  EXPECT_EQ(pmns.names_under("perfevent.hwcounters").size(), 32u);
+  EXPECT_EQ(pmns.names_under("perfevent.hwcounters.nest_mba2_imc").size(), 4u);
+  EXPECT_TRUE(pmns.names_under("bogus").empty());
+}
+
+TEST(Pmns, DescriptorsRoundTrip) {
+  Pmns pmns(MachineConfig::summit());
+  for (const std::string& name : pmns.names_under("")) {
+    const auto pmid = pmns.lookup(name);
+    ASSERT_TRUE(pmid.has_value());
+    const MetricDesc* d = pmns.descriptor(*pmid);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->name, name);
+    EXPECT_EQ(d->semantics, "counter");
+  }
+  EXPECT_EQ(pmns.descriptor(999), nullptr);
+}
+
+struct PcpFixture : ::testing::Test {
+  PcpFixture() : machine(MachineConfig::summit()), daemon(machine) {
+    machine.set_noise_enabled(false);
+  }
+  Machine machine;
+  Pmcd daemon;
+};
+
+TEST_F(PcpFixture, DaemonHoldsPrivilegeUserDoesNot) {
+  // The machine's ordinary user is unprivileged, yet the daemon (root)
+  // serves nest values to it: the PCP privilege model.
+  ASSERT_FALSE(machine.user_credentials().privileged());
+  PcpClient client(daemon, machine, machine.user_credentials());
+  const auto pmid =
+      client.lookup("perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES");
+  ASSERT_TRUE(pmid.has_value());
+  const FetchReply reply = client.fetch({*pmid}, 0);
+  ASSERT_TRUE(reply.ok);
+  EXPECT_EQ(reply.values.size(), 1u);
+}
+
+TEST_F(PcpFixture, FetchReflectsNestCounters) {
+  PcpClient client(daemon, machine, machine.user_credentials());
+  const auto rd = client.lookup("perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES");
+  const auto wr = client.lookup("perfevent.hwcounters.nest_mba0_imc.PM_MBA0_WRITE_BYTES");
+  ASSERT_TRUE(rd && wr);
+  machine.memctrl(0).add_line(0, MemDir::Read);   // channel 0
+  machine.memctrl(0).add_line(0, MemDir::Read);
+  machine.memctrl(0).add_line(0, MemDir::Write);
+  const FetchReply reply = client.fetch({*rd, *wr}, 0);
+  ASSERT_TRUE(reply.ok);
+  EXPECT_EQ(reply.values[0], 128u);
+  EXPECT_EQ(reply.values[1], 64u);
+}
+
+TEST_F(PcpFixture, CpuInstanceSelectsSocket) {
+  PcpClient client(daemon, machine, machine.user_credentials());
+  const auto rd = client.lookup("perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES");
+  machine.memctrl(1).add_line(0, MemDir::Read);  // socket 1 only
+  // Summit cpu ids: 0..87 socket 0, 88..175 socket 1; the paper's event
+  // qualifiers cpu87 and cpu175 are the last threads of each socket.
+  const FetchReply s0 = client.fetch({*rd}, 87);
+  const FetchReply s1 = client.fetch({*rd}, 175);
+  ASSERT_TRUE(s0.ok && s1.ok);
+  EXPECT_EQ(s0.values[0], 0u);
+  EXPECT_EQ(s1.values[0], 64u);
+}
+
+TEST_F(PcpFixture, FetchErrorsOnBadInstanceOrPmid) {
+  PcpClient client(daemon, machine, machine.user_credentials());
+  const FetchReply bad_cpu = client.fetch({0}, 100000);
+  EXPECT_FALSE(bad_cpu.ok);
+  const FetchReply bad_pmid = client.fetch({9999}, 0);
+  EXPECT_FALSE(bad_pmid.ok);
+}
+
+TEST_F(PcpFixture, LookupFailsForUnknownName) {
+  PcpClient client(daemon, machine, machine.user_credentials());
+  EXPECT_FALSE(client.lookup("not.a.metric").has_value());
+}
+
+TEST_F(PcpFixture, NamesUnderTraversesRemoteNamespace) {
+  PcpClient client(daemon, machine, machine.user_credentials());
+  EXPECT_EQ(client.names_under("perfevent").size(), 32u);
+}
+
+TEST_F(PcpFixture, EachRoundTripCostsFetchLatency) {
+  PcpClient client(daemon, machine, machine.user_credentials());
+  const double t0 = machine.clock().now_ns();
+  client.fetch({0}, 0);
+  client.fetch({0, 1, 2}, 0);  // one round trip regardless of metric count
+  EXPECT_DOUBLE_EQ(machine.clock().now_ns(),
+                   t0 + 2 * machine.config().pcp_fetch_latency_ns);
+  EXPECT_EQ(client.round_trips(), 2u);
+}
+
+TEST_F(PcpFixture, ConcurrentClientsAreServedSafely) {
+  // Several client threads hammering the daemon must all complete and get
+  // coherent replies (the counters only grow).
+  constexpr int kThreads = 4;
+  constexpr int kIters = 200;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      std::uint64_t prev = 0;
+      for (int i = 0; i < kIters; ++i) {
+        const FetchReply r = daemon.fetch({0}, 0);
+        if (!r.ok || r.values[0] < prev) ++failures;
+        prev = r.values[0];
+        machine.memctrl(0).add_line(0, sim::MemDir::Read);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(daemon.requests_served(), static_cast<std::uint64_t>(kThreads * kIters));
+}
+
+}  // namespace
+}  // namespace papisim::pcp

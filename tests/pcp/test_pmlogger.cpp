@@ -1,0 +1,105 @@
+// Tests for the pmlogger-style archive recorder.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pcp/pmlogger.hpp"
+#include "pcp/pmcd.hpp"
+
+namespace papisim::pcp {
+namespace {
+
+using sim::Machine;
+using sim::MachineConfig;
+using sim::MemDir;
+
+struct LoggerFixture : ::testing::Test {
+  LoggerFixture()
+      : machine(MachineConfig::summit()),
+        daemon(machine),
+        client(daemon, machine, machine.user_credentials()) {
+    machine.set_noise_enabled(false);
+  }
+  Machine machine;
+  Pmcd daemon;
+  PcpClient client;
+};
+
+const std::vector<std::string> kMetrics = {
+    "perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES",
+    "perfevent.hwcounters.nest_mba0_imc.PM_MBA0_WRITE_BYTES",
+};
+
+TEST_F(LoggerFixture, RecordsTimestampedSnapshots) {
+  PmLogger logger(client, kMetrics, 87);
+  logger.poll();
+  machine.memctrl(0).add_line(0, MemDir::Read);
+  machine.advance(1e9);
+  logger.poll();
+  ASSERT_EQ(logger.records(), 2u);
+  const Archive& ar = logger.archive();
+  EXPECT_EQ(ar.records[0].values[0], 0u);
+  EXPECT_EQ(ar.records[1].values[0], 64u);
+  EXPECT_GT(ar.records[1].t_sec, ar.records[0].t_sec);
+  EXPECT_EQ(ar.cpu, 87u);
+}
+
+TEST_F(LoggerFixture, EachPollPaysOneRoundTrip) {
+  PmLogger logger(client, kMetrics, 87);  // ctor: 2 lookups
+  const std::uint64_t before = client.round_trips();
+  logger.poll();
+  logger.poll();
+  EXPECT_EQ(client.round_trips(), before + 2);
+}
+
+TEST_F(LoggerFixture, UnknownMetricRejectedAtConstruction) {
+  EXPECT_THROW(PmLogger(client, {"no.such.metric"}, 0), std::runtime_error);
+}
+
+TEST_F(LoggerFixture, ArchiveSaveLoadRoundTrips) {
+  PmLogger logger(client, kMetrics, 87);
+  logger.poll();
+  machine.memctrl(0).add_line(0, MemDir::Read);
+  machine.memctrl(0).add_line(0, MemDir::Write);
+  machine.advance(5e8);
+  logger.poll();
+
+  std::stringstream ss;
+  logger.archive().save(ss);
+  const Archive loaded = Archive::load(ss);
+  EXPECT_EQ(loaded.metrics, logger.archive().metrics);
+  EXPECT_EQ(loaded.cpu, 87u);
+  ASSERT_EQ(loaded.records.size(), 2u);
+  EXPECT_EQ(loaded.records[1].values, logger.archive().records[1].values);
+  EXPECT_NEAR(loaded.records[1].t_sec, logger.archive().records[1].t_sec, 1e-12);
+}
+
+TEST_F(LoggerFixture, LoadRejectsCorruptArchives) {
+  {
+    std::stringstream ss("garbage\n");
+    EXPECT_THROW(Archive::load(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("# papisim-archive v1\nmetric a.b\nrecord 0.5 1 2\n");
+    EXPECT_THROW(Archive::load(ss), std::runtime_error);  // width mismatch
+  }
+  {
+    std::stringstream ss("# papisim-archive v1\nbogus line\n");
+    EXPECT_THROW(Archive::load(ss), std::runtime_error);
+  }
+}
+
+TEST_F(LoggerFixture, CountersInArchiveAreMonotonic) {
+  PmLogger logger(client, kMetrics, 87);
+  for (int i = 0; i < 10; ++i) {
+    machine.memctrl(0).add_line(static_cast<std::uint64_t>(i), MemDir::Read);
+    logger.poll();
+  }
+  const Archive& ar = logger.archive();
+  for (std::size_t i = 1; i < ar.records.size(); ++i) {
+    EXPECT_GE(ar.records[i].values[0], ar.records[i - 1].values[0]);
+  }
+}
+
+}  // namespace
+}  // namespace papisim::pcp

@@ -1,0 +1,106 @@
+// Tests for the synthetic QMCPACK-like workload (Fig. 12 substitute).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "qmc/qmc_app.hpp"
+
+namespace papisim::qmc {
+namespace {
+
+struct QmcFixture : ::testing::Test {
+  void SetUp() override {
+    machine = std::make_unique<sim::Machine>(sim::MachineConfig::summit());
+    machine->set_noise_enabled(false);
+    gpu = std::make_unique<gpu::GpuDevice>(gpu::GpuConfig{}, *machine, 0, 0);
+    nic = std::make_unique<net::Nic>(net::NicConfig{});
+    comm = std::make_unique<mpi::JobComm>(*machine, *nic);
+  }
+  QmcConfig small_config() const {
+    QmcConfig cfg;
+    cfg.walkers = 16;
+    cfg.electrons = 12;
+    cfg.spline_table_bytes = 1 << 20;
+    cfg.vmc_nodrift_steps = 4;
+    cfg.vmc_drift_steps = 4;
+    cfg.dmc_steps = 6;
+    return cfg;
+  }
+  std::unique_ptr<sim::Machine> machine;
+  std::unique_ptr<gpu::GpuDevice> gpu;
+  std::unique_ptr<net::Nic> nic;
+  std::unique_ptr<mpi::JobComm> comm;
+};
+
+TEST_F(QmcFixture, RunsThreeStagesInOrder) {
+  QmcApp app(*machine, small_config(), gpu.get(), comm.get());
+  app.run();
+  ASSERT_EQ(app.phases().size(), 3u);
+  EXPECT_EQ(app.phases()[0].name, "VMC_no_drift");
+  EXPECT_EQ(app.phases()[1].name, "VMC_drift");
+  EXPECT_EQ(app.phases()[2].name, "DMC");
+  EXPECT_LT(app.phases()[0].t1_sec, app.phases()[2].t0_sec + 1e-12);
+}
+
+TEST_F(QmcFixture, TickFiresOncePerStep) {
+  const QmcConfig cfg = small_config();
+  QmcApp app(*machine, cfg, gpu.get(), comm.get());
+  int ticks = 0;
+  app.run([&] { ++ticks; });
+  EXPECT_EQ(ticks, static_cast<int>(cfg.vmc_nodrift_steps + cfg.vmc_drift_steps +
+                                    cfg.dmc_steps));
+}
+
+TEST_F(QmcFixture, OnlyDmcTouchesTheNetwork) {
+  const QmcConfig cfg = small_config();
+  QmcApp app(*machine, cfg, gpu.get(), comm.get());
+  std::uint64_t net_after_vmc = 0;
+  int step = 0;
+  const int vmc_steps = static_cast<int>(cfg.vmc_nodrift_steps + cfg.vmc_drift_steps);
+  app.run([&] {
+    ++step;
+    if (step == vmc_steps) net_after_vmc = nic->recv_bytes();
+  });
+  EXPECT_EQ(net_after_vmc, 0u);
+  EXPECT_GT(nic->recv_bytes(), 0u);  // DMC redistributions hit the wire
+}
+
+TEST_F(QmcFixture, DriftPhaseMovesMoreMemoryPerStepThanNoDrift) {
+  const QmcConfig cfg = small_config();
+  QmcApp app(*machine, cfg, /*gpu=*/nullptr, comm.get());
+  std::vector<std::uint64_t> reads_at_tick;
+  app.run([&] {
+    reads_at_tick.push_back(machine->memctrl(0).total_bytes(sim::MemDir::Read));
+  });
+  // Per-step read deltas: average of drift steps > average of no-drift steps.
+  auto avg_delta = [&](std::size_t lo, std::size_t hi) {
+    return static_cast<double>(reads_at_tick[hi] - reads_at_tick[lo]) / (hi - lo);
+  };
+  const std::size_t nd = cfg.vmc_nodrift_steps, dr = cfg.vmc_drift_steps;
+  EXPECT_GT(avg_delta(nd - 1, nd + dr - 1), avg_delta(0, nd - 1));
+}
+
+TEST_F(QmcFixture, GpuPowerRisesInDriftAndDmcStages) {
+  const QmcConfig cfg = small_config();
+  QmcApp app(*machine, cfg, gpu.get(), comm.get());
+  std::uint64_t peak_vmc_nodrift = 0, peak_dmc = 0;
+  int step = 0;
+  const int nodrift_end = static_cast<int>(cfg.vmc_nodrift_steps);
+  const int dmc_begin = nodrift_end + static_cast<int>(cfg.vmc_drift_steps);
+  app.run([&] {
+    ++step;
+    const std::uint64_t p = gpu->power_mw();
+    if (step <= nodrift_end) peak_vmc_nodrift = std::max(peak_vmc_nodrift, p);
+    if (step > dmc_begin) peak_dmc = std::max(peak_dmc, p);
+  });
+  EXPECT_GT(peak_dmc, peak_vmc_nodrift);
+}
+
+TEST_F(QmcFixture, RunsWithoutGpuOrComm) {
+  QmcApp app(*machine, small_config(), nullptr, nullptr);
+  EXPECT_NO_THROW(app.run());
+  EXPECT_EQ(app.phases().size(), 3u);
+}
+
+}  // namespace
+}  // namespace papisim::qmc

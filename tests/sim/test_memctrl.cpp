@@ -1,0 +1,78 @@
+// Unit tests for the MBA-channel memory controller.
+#include <gtest/gtest.h>
+
+#include "sim/memctrl.hpp"
+
+namespace papisim::sim {
+namespace {
+
+TEST(MemController, LineTransactionsLandOnInterleavedChannels) {
+  MemController mc(8, 64, 2);  // 128 B interleave granule
+  // Lines 0,1 -> ch 0; lines 2,3 -> ch 1; ... lines 16,17 -> ch 0 again.
+  mc.add_line(0, MemDir::Read);
+  mc.add_line(1, MemDir::Read);
+  mc.add_line(2, MemDir::Read);
+  mc.add_line(16, MemDir::Read);
+  EXPECT_EQ(mc.channel_bytes(0, MemDir::Read), 3u * 64u);
+  EXPECT_EQ(mc.channel_bytes(1, MemDir::Read), 64u);
+  EXPECT_EQ(mc.channel_bytes(2, MemDir::Read), 0u);
+}
+
+TEST(MemController, ChannelOfMatchesAddLine) {
+  MemController mc(8, 64, 2);
+  for (std::uint64_t line = 0; line < 64; ++line) {
+    const std::uint32_t ch = mc.channel_of(line);
+    const std::uint64_t before = mc.channel_bytes(ch, MemDir::Write);
+    mc.add_line(line, MemDir::Write);
+    EXPECT_EQ(mc.channel_bytes(ch, MemDir::Write), before + 64);
+  }
+}
+
+TEST(MemController, ReadAndWriteCountersAreIndependent) {
+  MemController mc(4, 64, 1);
+  mc.add_line(0, MemDir::Read);
+  mc.add_line(0, MemDir::Write);
+  mc.add_line(0, MemDir::Write);
+  EXPECT_EQ(mc.channel_bytes(0, MemDir::Read), 64u);
+  EXPECT_EQ(mc.channel_bytes(0, MemDir::Write), 128u);
+}
+
+TEST(MemController, TotalsSumAllChannels) {
+  MemController mc(8, 64, 2);
+  for (std::uint64_t line = 0; line < 100; ++line) mc.add_line(line, MemDir::Read);
+  EXPECT_EQ(mc.total_bytes(MemDir::Read), 6400u);
+  EXPECT_EQ(mc.total_bytes(MemDir::Write), 0u);
+}
+
+TEST(MemController, SpreadDistributesExactByteCount) {
+  MemController mc(8, 64, 2);
+  mc.add_spread(1000, MemDir::Write);
+  mc.add_spread(1000, MemDir::Write);
+  EXPECT_EQ(mc.total_bytes(MemDir::Write), 2000u);
+  // Even split plus a small remainder somewhere.
+  std::uint64_t max_ch = 0, min_ch = ~0ull;
+  for (std::uint32_t ch = 0; ch < 8; ++ch) {
+    max_ch = std::max(max_ch, mc.channel_bytes(ch, MemDir::Write));
+    min_ch = std::min(min_ch, mc.channel_bytes(ch, MemDir::Write));
+  }
+  EXPECT_LE(max_ch - min_ch, 2 * (1000u % 8u));
+}
+
+TEST(MemController, SnapshotMatchesCounters) {
+  MemController mc(8, 64, 2);
+  mc.add_line(5, MemDir::Read);
+  mc.add_line(9, MemDir::Write);
+  const auto snap = mc.snapshot();
+  ASSERT_EQ(snap.size(), 8u);
+  for (std::uint32_t ch = 0; ch < 8; ++ch) {
+    EXPECT_EQ(snap[ch][0], mc.channel_bytes(ch, MemDir::Read));
+    EXPECT_EQ(snap[ch][1], mc.channel_bytes(ch, MemDir::Write));
+  }
+}
+
+TEST(MemController, RejectsZeroChannels) {
+  EXPECT_THROW(MemController(0, 64, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace papisim::sim

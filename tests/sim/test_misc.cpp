@@ -1,0 +1,220 @@
+// Tests for clock, RNG, config presets, address space, noise model, and the
+// stream detector.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/clock.hpp"
+#include "sim/config.hpp"
+#include "sim/machine.hpp"
+#include "sim/noise.hpp"
+#include "sim/rng.hpp"
+#include "sim/stream_detect.hpp"
+
+namespace papisim::sim {
+namespace {
+
+TEST(SimClock, AdvancesMonotonically) {
+  SimClock c;
+  EXPECT_DOUBLE_EQ(c.now_ns(), 0.0);
+  c.advance(100.0);
+  c.advance(-50.0);  // ignored
+  c.advance(2.5);
+  EXPECT_DOUBLE_EQ(c.now_ns(), 102.5);
+  EXPECT_DOUBLE_EQ(c.now_sec(), 102.5e-9);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.now_ns(), 0.0);
+}
+
+TEST(SplitMix64, IsDeterministicPerSeed) {
+  SplitMix64 a(42), b(42), c(43);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(SplitMix64, UniformDoublesAreInUnitInterval) {
+  SplitMix64 r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(SplitMix64, LognormalUnitMeanIsApproximatelyUnbiased) {
+  SplitMix64 r(11);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.next_lognormal_unit_mean(0.35);
+  EXPECT_NEAR(sum / n, 1.0, 0.01);
+}
+
+TEST(Hash64, IsStableAndSpreads) {
+  EXPECT_EQ(hash64(12345), hash64(12345));
+  EXPECT_NE(hash64(1), hash64(2));
+  // Cheap avalanche sanity: consecutive inputs land in different halves often.
+  int upper = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) upper += (hash64(i) >> 63) & 1;
+  EXPECT_GT(upper, 400);
+  EXPECT_LT(upper, 600);
+}
+
+TEST(MachineConfig, SummitPreset) {
+  const MachineConfig cfg = MachineConfig::summit();
+  EXPECT_EQ(cfg.cores_per_socket, 21u);   // one of 22 reserved for the OS
+  EXPECT_EQ(cfg.sockets, 2u);
+  EXPECT_EQ(cfg.mem_channels, 8u);
+  EXPECT_EQ(cfg.l3_slice_bytes, 5ull << 20);
+  EXPECT_NE(cfg.user_uid, 0u);  // ordinary users are unprivileged
+  // cpu ids span the 22 physical cores: 88 per socket, 176 total, so the
+  // paper's cpu87 / cpu175 qualifiers are the last threads of each socket.
+  EXPECT_EQ(cfg.usable_cpus(), 176u);
+  EXPECT_EQ(cfg.cpus_per_socket(), 88u);
+}
+
+TEST(MachineConfig, TellicoPreset) {
+  const MachineConfig cfg = MachineConfig::tellico();
+  EXPECT_EQ(cfg.cores_per_socket, 16u);
+  EXPECT_EQ(cfg.user_uid, 0u);  // elevated privileges on the testbed
+}
+
+TEST(Credentials, PrivilegeIsUidZero) {
+  EXPECT_TRUE(Credentials::root().privileged());
+  EXPECT_FALSE(Credentials::user().privileged());
+  Machine summit(MachineConfig::summit());
+  EXPECT_FALSE(summit.user_credentials().privileged());
+  Machine tellico(MachineConfig::tellico());
+  EXPECT_TRUE(tellico.user_credentials().privileged());
+}
+
+TEST(AddressSpace, AllocationsAreDisjointAndAligned) {
+  AddressSpace as;
+  const std::uint64_t a = as.allocate(100);
+  const std::uint64_t b = as.allocate(100);
+  EXPECT_EQ(a % 4096, 0u);
+  EXPECT_EQ(b % 4096, 0u);
+  EXPECT_GE(b, a + 100);
+  const std::uint64_t c = as.allocate(64, 64);
+  EXPECT_EQ(c % 64, 0u);
+  EXPECT_GE(c, b + 100);
+}
+
+TEST(Machine, SocketOfCpuFollowsSummitLayout) {
+  Machine m(MachineConfig::summit());
+  EXPECT_EQ(m.socket_of_cpu(0), 0u);
+  EXPECT_EQ(m.socket_of_cpu(87), 0u);   // 22*4 = 88 cpus on socket 0
+  EXPECT_EQ(m.socket_of_cpu(88), 1u);
+  EXPECT_EQ(m.socket_of_cpu(175), 1u);
+}
+
+TEST(NoiseModel, DisabledModelAddsNothing) {
+  MemController mc(8, 64, 2);
+  NoiseConfig nc;
+  NoiseModel nm(nc, mc, 0);
+  nm.set_enabled(false);
+  nm.advance(1e9);
+  nm.repetition_overhead();
+  nm.measurement_overhead();
+  EXPECT_EQ(mc.total_bytes(MemDir::Read), 0u);
+  EXPECT_EQ(mc.total_bytes(MemDir::Write), 0u);
+}
+
+TEST(NoiseModel, BackgroundTrafficScalesWithTime) {
+  MemController mc(8, 64, 2);
+  NoiseConfig nc;
+  nc.background_read_bytes_per_sec = 1e6;
+  nc.background_write_bytes_per_sec = 5e5;
+  NoiseModel nm(nc, mc, 0);
+  nm.advance(1e9);  // one second
+  EXPECT_NEAR(static_cast<double>(mc.total_bytes(MemDir::Read)), 1e6, 8.0);
+  EXPECT_NEAR(static_cast<double>(mc.total_bytes(MemDir::Write)), 5e5, 8.0);
+}
+
+TEST(NoiseModel, RepetitionOverheadIsJitteredAroundConfiguredMean) {
+  MemController mc(8, 64, 2);
+  NoiseConfig nc;
+  nc.rep_read_overhead_bytes = 1e5;
+  nc.jitter_sigma = 0.35;
+  NoiseModel nm(nc, mc, 0);
+  const int reps = 20000;
+  for (int i = 0; i < reps; ++i) nm.repetition_overhead();
+  const double avg = static_cast<double>(mc.total_bytes(MemDir::Read)) / reps;
+  EXPECT_NEAR(avg, 1e5, 2e3);
+}
+
+TEST(NoiseModel, DifferentStreamIdsGiveDifferentSequences) {
+  MemController a(1, 64, 1), b(1, 64, 1);
+  NoiseConfig nc;
+  NoiseModel na(nc, a, 0), nb(nc, b, 1);
+  na.repetition_overhead();
+  nb.repetition_overhead();
+  EXPECT_NE(a.total_bytes(MemDir::Read), b.total_bytes(MemDir::Read));
+}
+
+TEST(StreamDetector, SequentialStreamIsNotStrided) {
+  StreamDetector d(4);
+  d.begin(1);
+  for (std::uint64_t l = 0; l < 20; ++l) d.observe(0, l);
+  EXPECT_FALSE(d.any_strided());
+  EXPECT_TRUE(d.is_sequential(0));
+}
+
+TEST(StreamDetector, ConstantStrideOfTwoPlusLinesIsDetected) {
+  StreamDetector d(4);
+  d.begin(1);
+  for (std::uint64_t l = 0; l < 40; l += 8) d.observe(0, l);
+  EXPECT_TRUE(d.any_strided());
+  EXPECT_TRUE(d.is_strided(0));
+}
+
+TEST(StreamDetector, DetectionNeedsThresholdRepeats) {
+  StreamDetector d(4);
+  d.begin(1);
+  d.observe(0, 0);
+  d.observe(0, 8);
+  d.observe(0, 16);
+  d.observe(0, 24);
+  EXPECT_FALSE(d.any_strided());  // 3 deltas < threshold 4
+  d.observe(0, 32);
+  EXPECT_TRUE(d.any_strided());
+}
+
+TEST(StreamDetector, BrokenStrideResetsDetection) {
+  StreamDetector d(4);
+  d.begin(1);
+  for (std::uint64_t l = 0; l <= 40; l += 8) d.observe(0, l);
+  ASSERT_TRUE(d.any_strided());
+  d.observe(0, 41);  // irregular jump
+  EXPECT_FALSE(d.any_strided());
+}
+
+TEST(StreamDetector, MultipleStreamsTrackedIndependently) {
+  StreamDetector d(4);
+  d.begin(2);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    d.observe(0, i);       // sequential
+    d.observe(1, i * 16);  // strided
+  }
+  EXPECT_FALSE(d.is_strided(0));
+  EXPECT_TRUE(d.is_strided(1));
+  EXPECT_TRUE(d.any_strided());
+}
+
+TEST(StreamDetector, BeginResetsState) {
+  StreamDetector d(4);
+  d.begin(1);
+  for (std::uint64_t l = 0; l < 80; l += 8) d.observe(0, l);
+  ASSERT_TRUE(d.any_strided());
+  d.begin(1);
+  EXPECT_FALSE(d.any_strided());
+}
+
+TEST(StreamDetector, NegativeStrideAlsoDetected) {
+  StreamDetector d(4);
+  d.begin(1);
+  for (std::int64_t l = 1000; l > 900; l -= 8) d.observe(0, static_cast<std::uint64_t>(l));
+  EXPECT_TRUE(d.any_strided());
+}
+
+}  // namespace
+}  // namespace papisim::sim

@@ -1,0 +1,104 @@
+// A minimal in-memory component for exercising the measurement core in
+// isolation (shared by the core and profiler test suites).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/component.hpp"
+
+namespace papisim::test_support {
+
+class FakeComponent : public Component {
+ public:
+  explicit FakeComponent(std::string name, std::vector<std::string> event_names,
+                         std::string disabled = "")
+      : name_(std::move(name)),
+        event_names_(std::move(event_names)),
+        disabled_(std::move(disabled)),
+        counters_(event_names_.size(), 0) {}
+
+  std::string name() const override { return name_; }
+  std::string description() const override { return "fake component for tests"; }
+  std::string disabled_reason() const override { return disabled_; }
+
+  std::vector<EventInfo> events() const override {
+    std::vector<EventInfo> out;
+    for (const auto& n : event_names_) {
+      out.push_back({name_ + ":::" + n, "", "", false});
+    }
+    return out;
+  }
+
+  bool knows_event(std::string_view native) const override {
+    return index_of(native).has_value();
+  }
+
+  bool is_instantaneous(std::string_view native) const override {
+    return gauge_ && knows_event(native);
+  }
+
+  std::unique_ptr<ControlState> create_state() override {
+    return std::make_unique<State>();
+  }
+
+  void add_event(ControlState& state, std::string_view native) override {
+    const auto idx = index_of(native);
+    if (!idx) throw Error(Status::NoEvent, "fake: no event");
+    auto& st = static_cast<State&>(state);
+    st.indices.push_back(*idx);
+    st.snapshots.push_back(0);
+  }
+
+  std::size_t num_events(const ControlState& state) const override {
+    return static_cast<const State&>(state).indices.size();
+  }
+
+  void start(ControlState& state) override {
+    ++starts;
+    auto& st = static_cast<State&>(state);
+    for (std::size_t i = 0; i < st.indices.size(); ++i) {
+      st.snapshots[i] = gauge_ ? 0 : counters_[st.indices[i]];
+    }
+  }
+  void stop(ControlState& /*state*/) override { ++stops; }
+  void read(ControlState& state, std::span<long long> out) override {
+    auto& st = static_cast<State&>(state);
+    for (std::size_t i = 0; i < st.indices.size(); ++i) {
+      out[i] = counters_[st.indices[i]] - st.snapshots[i];
+    }
+  }
+  void reset(ControlState& state) override { start(state); }
+
+  /// Advance a counter (by event index).
+  void bump(std::size_t idx, long long delta) { counters_[idx] += delta; }
+
+  /// Make every event a gauge (instantaneous) instead of a counter.
+  void set_gauge(bool on) { gauge_ = on; }
+
+  int starts = 0;
+  int stops = 0;
+
+ private:
+  struct State : ControlState {
+    std::vector<std::size_t> indices;
+    std::vector<long long> snapshots;
+  };
+
+  std::optional<std::size_t> index_of(std::string_view native) const {
+    for (std::size_t i = 0; i < event_names_.size(); ++i) {
+      if (event_names_[i] == native) return i;
+    }
+    return std::nullopt;
+  }
+
+  std::string name_;
+  std::vector<std::string> event_names_;
+  std::string disabled_;
+  std::vector<long long> counters_;
+  bool gauge_ = false;
+};
+
+}  // namespace papisim::test_support
