@@ -1,15 +1,31 @@
 // google-benchmark micro-benchmarks of the simulator itself: cache access
-// rates, loop-replay event rates, and the PCP round-trip cost.  These bound
-// the wall-clock cost of the figure benches.
+// rates, loop-replay event rates, the PCP round-trip cost, and the parallel
+// replay engine's scaling.  These bound the wall-clock cost of the figure
+// benches.
+//
+// Extra flag (stripped before google-benchmark sees argv):
+//   --threads N   pin the BM_ParallelGemmReplay sweep to N host threads
+//                 instead of the default 1/2/4/8 progression.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+#include <vector>
 
 #include "fft/resort.hpp"
 #include "kernels/blas_sim.hpp"
 #include "pcp/client.hpp"
 #include "pcp/pmcd.hpp"
 #include "sim/machine.hpp"
+#include "sim/thread_pool.hpp"
 
 using namespace papisim;
+
+namespace {
+std::uint32_t g_threads_override = 0;  // 0 = sweep the registered Arg() list
+}
 
 static void BM_CacheHit(benchmark::State& state) {
   sim::CacheLevel cache(5ull << 20, 20, 64, /*hashed_sets=*/true);
@@ -100,6 +116,52 @@ static void BM_PcpFetchRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_PcpFetchRoundTrip);
 
+// The tentpole scaling bench: a batched GEMM replayed literally, one
+// simulated core per pool thread.  Per-core L3 stripes and atomic channel
+// counters mean the threads share no mutable cache state, so touches/s
+// should scale ~linearly with host cores (the 1-thread row is the serial
+// baseline for the speedup ratio).
+static void BM_ParallelGemmReplay(benchmark::State& state) {
+  const std::uint32_t want = g_threads_override != 0
+                                 ? g_threads_override
+                                 : static_cast<std::uint32_t>(state.range(0));
+  sim::Machine m(sim::MachineConfig::summit());
+  m.set_noise_enabled(false);
+  const std::uint32_t threads = std::min(want, m.cores_per_socket());
+  m.set_active_cores(0, threads);
+  const std::uint64_t n = 160;
+  std::vector<kernels::GemmBuffers> bufs;
+  bufs.reserve(threads);
+  for (std::uint32_t c = 0; c < threads; ++c) {
+    bufs.push_back(kernels::GemmBuffers::allocate(m.address_space(), n));
+  }
+  sim::ThreadPool pool(threads - 1);
+  std::uint64_t touches = 0;
+  for (auto _ : state) {
+    for (std::uint32_t c = 0; c < threads; ++c) {
+      m.engine(0, c).set_deferred_time(true);
+    }
+    std::atomic<std::uint64_t> batch_touches{0};
+    pool.parallel_for(threads, [&](std::uint32_t c) {
+      batch_touches.fetch_add(kernels::run_gemm(m, 0, c, n, bufs[c]).line_touches,
+                              std::memory_order_relaxed);
+    });
+    double max_ns = 0.0;
+    for (std::uint32_t c = 0; c < threads; ++c) {
+      max_ns = std::max(max_ns, m.engine(0, c).take_deferred_time_ns());
+      m.engine(0, c).set_deferred_time(false);
+    }
+    m.advance(max_ns);
+    m.flush_socket(0);
+    touches += batch_touches.load(std::memory_order_relaxed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(touches));
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["Mtouches/s"] = benchmark::Counter(
+      static_cast<double>(touches) * 1e-6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParallelGemmReplay)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
 static void BM_ResortReplay(benchmark::State& state) {
   sim::Machine m(sim::MachineConfig::summit());
   m.set_noise_enabled(false);
@@ -116,4 +178,28 @@ static void BM_ResortReplay(benchmark::State& state) {
 }
 BENCHMARK(BM_ResortReplay);
 
-BENCHMARK_MAIN();
+// Custom main: strip `--threads N` / `--threads=N` before google-benchmark
+// parses the remaining flags.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--threads" && i + 1 < argc) {
+      g_threads_override = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+      continue;
+    }
+    if (a.starts_with("--threads=")) {
+      g_threads_override =
+          static_cast<std::uint32_t>(std::atoi(argv[i] + sizeof("--threads=") - 1));
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

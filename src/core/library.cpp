@@ -32,6 +32,9 @@ Component& Library::register_component(std::unique_ptr<Component> component) {
 }
 
 Component* Library::find_component(std::string_view name) {
+  // Intentionally lock-free: the thread-safety contract (see header) freezes
+  // the registry before measurement threads exist, so lookups -- including
+  // the route_event probe loop below -- only ever read an immutable vector.
   for (auto& c : components_) {
     if (c->name() == name) return c.get();
   }

@@ -24,6 +24,14 @@ class EventSet;
 ///                 "PM_MBA0_READ_BYTES.value:cpu87");
 ///   es->start();  ... workload ...  es->stop();
 ///   auto values = es->read();
+///
+/// Thread-safety contract (mirrors PAPI's): register every component before
+/// spawning measurement threads; after that, lookups are read-only and
+/// distinct EventSets may be created, started, read, and stopped from
+/// different threads concurrently (the underlying counters are atomics and
+/// the components' start/stop noise accrual is internally locked).  A single
+/// EventSet is NOT internally synchronized -- one thread at a time, exactly
+/// like a PAPI event set.
 class Library {
  public:
   Library() = default;

@@ -1,8 +1,11 @@
 #include "fft/fft3d.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
+
+#include "sim/thread_pool.hpp"
 
 namespace papisim::fft {
 
@@ -65,10 +68,54 @@ DistributedFft3d::DistributedFft3d(sim::Machine& machine, Fft3dConfig cfg,
   if (cfg_.ticks_per_phase == 0) cfg_.ticks_per_phase = 1;
   // The rank is OpenMP-parallel across the socket in the real mini-app, so
   // every core is busy and each gets its contended 5 MB L3 share (the
-  // assumption behind paper Eq. 7).  The replay walks the statically
-  // partitioned loops on one engine; totals are equivalent because the
-  // per-rank block far exceeds any single share.
+  // assumption behind paper Eq. 7).  By default the replay walks the
+  // statically partitioned loops on one engine; totals are equivalent
+  // because the per-rank block far exceeds any single share.  With
+  // replay_threads > 1 the loops are dealt across that many engines and
+  // replayed concurrently (replay_planes).
   machine_.set_active_cores(cfg_.socket, machine_.cores_per_socket());
+  cfg_.replay_threads = std::max<std::uint32_t>(1, cfg_.replay_threads);
+  cfg_.replay_threads = std::min(cfg_.replay_threads,
+                                 machine_.cores_per_socket() - cfg_.core);
+  if (cfg_.replay_threads > 1) {
+    replay_pool_ = std::make_unique<sim::ThreadPool>(cfg_.replay_threads - 1);
+  }
+}
+
+DistributedFft3d::~DistributedFft3d() = default;
+
+void DistributedFft3d::replay_planes(
+    std::uint64_t lo, std::uint64_t hi, const sim::LoopDesc& proto,
+    sim::LoopStats& out,
+    const std::function<void(sim::AccessEngine&, sim::LoopDesc&, std::uint64_t,
+                             sim::LoopStats&)>& plane_body) {
+  const std::uint32_t nthreads = cfg_.replay_threads;
+  if (nthreads <= 1) {
+    sim::AccessEngine& eng = machine_.engine(cfg_.socket, cfg_.core);
+    sim::LoopDesc local = proto;
+    for (std::uint64_t p = lo; p < hi; ++p) plane_body(eng, local, p, out);
+    return;
+  }
+  std::vector<sim::LoopStats> partial(nthreads);
+  for (std::uint32_t t = 0; t < nthreads; ++t) {
+    machine_.engine(cfg_.socket, cfg_.core + t).set_deferred_time(true);
+  }
+  replay_pool_->parallel_for(nthreads, [&](std::uint32_t t) {
+    sim::AccessEngine& eng = machine_.engine(cfg_.socket, cfg_.core + t);
+    sim::LoopDesc local = proto;
+    for (std::uint64_t p = lo + t; p < hi; p += nthreads) {
+      plane_body(eng, local, p, partial[t]);
+    }
+  });
+  double max_ns = 0.0;
+  for (std::uint32_t t = 0; t < nthreads; ++t) {
+    sim::AccessEngine& eng = machine_.engine(cfg_.socket, cfg_.core + t);
+    max_ns = std::max(max_ns, eng.take_deferred_time_ns());
+    eng.set_deferred_time(false);
+  }
+  machine_.advance(max_ns);
+  // Deterministic merge order (core 0..N-1), independent of completion order.
+  for (const sim::LoopStats& s : partial) out += s;
 }
 
 PhaseStats& DistributedFft3d::begin_phase(const std::string& name) {
@@ -91,7 +138,6 @@ void DistributedFft3d::phase_resort_strided(const std::string& name,
   // evolve.
   const std::uint64_t chunks =
       std::min<std::uint64_t>(cfg_.ticks_per_phase, dims_.planes);
-  sim::AccessEngine& eng = machine_.engine(cfg_.socket, cfg_.core);
   sim::LoopDesc inner;
   inner.iterations = dims_.cols;
   inner.sw_prefetch = cfg_.prefetch;
@@ -103,19 +149,22 @@ void DistributedFft3d::phase_resort_strided(const std::string& name,
   std::uint64_t done = 0;
   for (std::uint64_t c = 0; c < chunks; ++c) {
     const std::uint64_t end = dims_.planes * (c + 1) / chunks;
-    for (std::uint64_t plane = done; plane < end; ++plane) {
-      for (std::uint64_t row = 0; row < dims_.rows; ++row) {
-        inner.streams[0].base =
-            buf_.in + (plane * dims_.rows + row) * dims_.cols * 16;
-        // Colwise (S1CF) and planewise (S1PF) differ only in which output
-        // dimension is fastest; the store stride magnitude is the same.
-        inner.streams[1].base =
-            buf_.out + (planewise ? (row * dims_.planes + plane)
-                                  : (plane * dims_.rows + row)) *
-                           16;
-        ph.loop += eng.execute(inner);
-      }
-    }
+    replay_planes(done, end, inner, ph.loop,
+                  [&](sim::AccessEngine& eng, sim::LoopDesc& local,
+                      std::uint64_t plane, sim::LoopStats& out) {
+                    for (std::uint64_t row = 0; row < dims_.rows; ++row) {
+                      local.streams[0].base =
+                          buf_.in + (plane * dims_.rows + row) * dims_.cols * 16;
+                      // Colwise (S1CF) and planewise (S1PF) differ only in
+                      // which output dimension is fastest; the store stride
+                      // magnitude is the same.
+                      local.streams[1].base =
+                          buf_.out + (planewise ? (row * dims_.planes + plane)
+                                                : (plane * dims_.rows + row)) *
+                                         16;
+                      out += eng.execute(local);
+                    }
+                  });
     done = end;
     if (tick) tick();
   }
@@ -128,7 +177,6 @@ void DistributedFft3d::phase_resort_sequential(const std::string& name,
   PhaseStats& ph = begin_phase(name);
   const std::uint64_t chunks =
       std::min<std::uint64_t>(cfg_.ticks_per_phase, s2dims_.planes);
-  sim::AccessEngine& eng = machine_.engine(cfg_.socket, cfg_.core);
   sim::LoopDesc inner;
   inner.iterations = s2dims_.rows;
   inner.sw_prefetch = cfg_.prefetch;
@@ -139,26 +187,30 @@ void DistributedFft3d::phase_resort_sequential(const std::string& name,
   std::uint64_t done = 0;
   for (std::uint64_t c = 0; c < chunks; ++c) {
     const std::uint64_t end = s2dims_.planes * (c + 1) / chunks;
-    for (std::uint64_t plane = done; plane < end; ++plane) {
-      for (std::uint64_t xx = 0; xx < s2dims_.x; ++xx) {
-        for (std::uint64_t yy = 0; yy < s2dims_.y; ++yy) {
-          inner.streams[0].base =
-              buf_.in +
-              (((yy * s2dims_.planes + plane) * s2dims_.x + xx) * s2dims_.rows) * 16;
-          // Colwise (S2CF) vs planewise (S2PF) output ordering; both keep
-          // the innermost dimension contiguous.
-          inner.streams[1].base =
-              buf_.out +
-              (planewise
-                   ? (((xx * s2dims_.y + yy) * s2dims_.planes + plane) *
-                      s2dims_.rows)
-                   : (((plane * s2dims_.x + xx) * s2dims_.y + yy) *
-                      s2dims_.rows)) *
-                  16;
-          ph.loop += eng.execute(inner);
-        }
-      }
-    }
+    replay_planes(
+        done, end, inner, ph.loop,
+        [&](sim::AccessEngine& eng, sim::LoopDesc& local, std::uint64_t plane,
+            sim::LoopStats& out) {
+          for (std::uint64_t xx = 0; xx < s2dims_.x; ++xx) {
+            for (std::uint64_t yy = 0; yy < s2dims_.y; ++yy) {
+              local.streams[0].base =
+                  buf_.in + (((yy * s2dims_.planes + plane) * s2dims_.x + xx) *
+                             s2dims_.rows) *
+                                16;
+              // Colwise (S2CF) vs planewise (S2PF) output ordering; both keep
+              // the innermost dimension contiguous.
+              local.streams[1].base =
+                  buf_.out +
+                  (planewise
+                       ? (((xx * s2dims_.y + yy) * s2dims_.planes + plane) *
+                          s2dims_.rows)
+                       : (((plane * s2dims_.x + xx) * s2dims_.y + yy) *
+                          s2dims_.rows)) *
+                      16;
+              out += eng.execute(local);
+            }
+          }
+        });
     done = end;
     if (tick) tick();
   }
@@ -189,19 +241,29 @@ void DistributedFft3d::phase_fft(const std::string& name,
       if (tick) tick();
     }
   } else {
-    // Host FFT: one streaming pass over the pencils (read + write).
-    sim::AccessEngine& eng = machine_.engine(cfg_.socket, cfg_.core);
+    // Host FFT: one streaming pass over the pencils (read + write).  Each
+    // chunk is split into one contiguous sub-range per replay engine (the
+    // sub-ranges are the "planes" dealt out by replay_planes).
     const std::uint64_t elems = dims_.elems();
+    const std::uint32_t nthreads = cfg_.replay_threads;
     sim::LoopDesc pass;
     pass.flops_per_iter = 5.0 * std::log2(static_cast<double>(cfg_.n));
     for (std::uint32_t c = 0; c < chunks; ++c) {
       const std::uint64_t lo = elems * c / chunks, hi = elems * (c + 1) / chunks;
-      pass.iterations = hi - lo;
-      pass.streams = {
-          {buf_.out + lo * 16, 16, 16, sim::AccessKind::Load},
-          {buf_.in + lo * 16, 16, 16, sim::AccessKind::Store},
-      };
-      ph.loop += eng.execute(pass);
+      replay_planes(0, nthreads, pass, ph.loop,
+                    [&](sim::AccessEngine& eng, sim::LoopDesc& local,
+                        std::uint64_t part, sim::LoopStats& out) {
+                      const std::uint64_t plo = lo + (hi - lo) * part / nthreads;
+                      const std::uint64_t phi =
+                          lo + (hi - lo) * (part + 1) / nthreads;
+                      if (phi == plo) return;
+                      local.iterations = phi - plo;
+                      local.streams = {
+                          {buf_.out + plo * 16, 16, 16, sim::AccessKind::Load},
+                          {buf_.in + plo * 16, 16, 16, sim::AccessKind::Store},
+                      };
+                      out += eng.execute(local);
+                    });
       if (tick) tick();
     }
   }

@@ -43,7 +43,9 @@ sim::LoopStats run_gemm(sim::Machine& machine, std::uint32_t socket,
     }
   }
   const sim::LoopStats scalar = eng.take_scalar_stats();
-  machine.advance(scalar.time_ns);
+  // In deferred mode the engine banked the scalar time itself; the replay
+  // driver advances the clock once, after joining all cores.
+  if (!eng.deferred_time()) machine.advance(scalar.time_ns);
   total += scalar;
   return total;
 }
@@ -69,7 +71,7 @@ sim::LoopStats run_capped_gemv(sim::Machine& machine, std::uint32_t socket,
     eng.store(buf.y + i * 8, 8);  // y[i]: sparse scalar store
   }
   const sim::LoopStats scalar = eng.take_scalar_stats();
-  machine.advance(scalar.time_ns);
+  if (!eng.deferred_time()) machine.advance(scalar.time_ns);
   total += scalar;
   return total;
 }

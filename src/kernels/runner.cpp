@@ -1,9 +1,12 @@
 #include "kernels/runner.hpp"
 
+#include <algorithm>
 #include <array>
+#include <memory>
 #include <stdexcept>
 
 #include "pcp/pmns.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace papisim::kernels {
 
@@ -42,12 +45,22 @@ Measurement KernelRunner::measure(
     const std::function<void(std::uint32_t core)>& kernel,
     const RunnerOptions& opt) {
   const std::uint32_t cores = machine_.cores_per_socket();
-  const std::uint32_t threads =
-      opt.batched ? (opt.threads != 0 ? opt.threads : cores) : 1;
+  const std::uint32_t threads = (opt.batched || opt.literal_cores)
+                                    ? (opt.threads != 0 ? opt.threads : cores)
+                                    : 1;
   if (threads > cores) {
     throw Error(Status::InvalidArgument, "KernelRunner: more threads than cores");
   }
   machine_.set_active_cores(opt.socket, opt.occupy_socket ? cores : threads);
+
+  // Literal batches replay one simulated core per pool worker; the pool's
+  // caller thread participates, so N host threads = N-1 pool workers.
+  std::unique_ptr<sim::ThreadPool> pool;
+  if (opt.literal_cores) {
+    const std::uint32_t host =
+        opt.host_threads == 0 ? threads : std::min(opt.host_threads, threads);
+    pool = std::make_unique<sim::ThreadPool>(host - 1);
+  }
 
   auto es = lib_.create_eventset();
   for (const std::string& name : event_names()) es->add_event(name);
@@ -66,12 +79,32 @@ Measurement KernelRunner::measure(
     if (rep == 0 || opt.literal_reps) {
       const auto snap0 = mem.snapshot();
       const double tk0 = machine_.clock().now_ns();
-      kernel(/*core=*/0);
+      if (opt.literal_cores) {
+        // Literal per-core replay: every core of the batch runs its own
+        // kernel instance on its own engine, in deferred-time mode, then
+        // the clock advances once by the slowest core (max-merge).  The
+        // per-channel counters are commutative atomics and the L3 stripes
+        // are disjoint per core, so the totals are identical no matter how
+        // the pool interleaves the cores.
+        for (std::uint32_t c = 0; c < threads; ++c) {
+          machine_.engine(opt.socket, c).set_deferred_time(true);
+        }
+        pool->parallel_for(threads, [&](std::uint32_t c) { kernel(c); });
+        double max_ns = 0.0;
+        for (std::uint32_t c = 0; c < threads; ++c) {
+          sim::AccessEngine& eng = machine_.engine(opt.socket, c);
+          max_ns = std::max(max_ns, eng.take_deferred_time_ns());
+          eng.set_deferred_time(false);
+        }
+        machine_.advance(max_ns);
+      } else {
+        kernel(/*core=*/0);
+      }
       // Cold caches for the next repetition (the paper uses a fresh matrix
       // per repetition); flushing inside the window keeps the dirty
       // writebacks in the measured traffic where they belong.
       machine_.flush_socket(opt.socket);
-      if (threads > 1) {
+      if (threads > 1 && !opt.literal_cores) {
         // Symmetric-batch scaling: the other cores ran identical,
         // independent kernels on disjoint data.
         std::uint64_t dr = 0, dw = 0;

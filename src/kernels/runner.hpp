@@ -33,6 +33,16 @@ struct RunnerOptions {
   /// Re-simulate every repetition instead of replaying the recorded
   /// first-repetition traffic (slow; used to validate the fast path).
   bool literal_reps = false;
+  /// Literal per-core replay: run `kernel(c)` for every core of the batch
+  /// instead of simulating one representative and scaling (slow; validates
+  /// the symmetric-batch optimization and feeds the parallel engine).  Each
+  /// core's engine runs in deferred-time mode and the clock advances once by
+  /// the maximum core time (max-merge), so the result is bit-identical for
+  /// any host_threads value in deterministic (noise-off) mode.
+  bool literal_cores = false;
+  /// Host threads replaying the literal batch: 1 = serial (still via the
+  /// same deferred/max-merge path), 0 = one thread per simulated core.
+  std::uint32_t host_threads = 1;
 };
 
 struct Measurement {

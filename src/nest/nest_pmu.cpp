@@ -20,6 +20,16 @@ std::uint64_t NestPmu::read(const NestEventId& id) const {
                                 : mem.channel_ops(id.channel, dir);
 }
 
+std::vector<std::uint64_t> NestPmu::read_socket(std::uint32_t socket,
+                                                NestEventKind kind) const {
+  std::vector<std::uint64_t> values;
+  values.reserve(machine_.config().mem_channels);
+  for (std::uint32_t ch = 0; ch < machine_.config().mem_channels; ++ch) {
+    values.push_back(read(NestEventId{socket, ch, kind}));
+  }
+  return values;
+}
+
 std::uint32_t NestPmu::channels() const { return machine_.config().mem_channels; }
 std::uint32_t NestPmu::sockets() const { return machine_.config().sockets; }
 

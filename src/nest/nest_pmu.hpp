@@ -41,12 +41,23 @@ struct NestEventId {
 /// Handle to the nest PMU of a machine.  Construction enforces the
 /// privilege requirement; reads are then direct counter loads (this is the
 /// "perf_uncore" path used on Tellico).
+///
+/// Thread safety: read() is a single relaxed atomic load, safe concurrently
+/// with replay workers incrementing the counters (each 64-bit counter is
+/// never torn).  A multi-channel snapshot taken while a replay is in flight
+/// is *per counter* exact but not a cross-channel instant -- the same
+/// property a real PMU read loop has.  Quiesce the replay (join its workers)
+/// before asserting cross-channel invariants.
 class NestPmu {
  public:
   /// @throws PermissionError if `creds` is not privileged.
   NestPmu(sim::Machine& machine, sim::Credentials creds);
 
   std::uint64_t read(const NestEventId& id) const;
+
+  /// Read every channel of `socket` for one event kind (index = channel).
+  std::vector<std::uint64_t> read_socket(std::uint32_t socket,
+                                         NestEventKind kind) const;
 
   std::uint32_t channels() const;
   std::uint32_t sockets() const;

@@ -120,8 +120,9 @@ LoopStats AccessEngine::execute(const LoopDesc& loop) {
     }
   }
 
-  const std::uint64_t mem_r0 = mem_.total_bytes(MemDir::Read);
-  const std::uint64_t mem_w0 = mem_.total_bytes(MemDir::Write);
+  // Traffic is counted per access, not by diffing the global counters, so
+  // concurrently replaying cores cannot pollute each other's stats.
+  L3Fabric::Traffic traffic;
 
   // Per-stream replay cursors: the iteration of the next new-line touch.
   std::uint64_t next_iter[16];
@@ -152,18 +153,19 @@ LoopStats AccessEngine::execute(const LoopDesc& loop) {
     ++stats.line_touches;
 
     if (sd.kind == AccessKind::Load) {
-      account(stats, l3_.load_line(core_, touched_line));
+      account(stats, l3_.load_line(core_, touched_line, &traffic));
     } else if (loop.sw_prefetch) {
       // dcbtst: prefetch the target line into L3, then the store hits it.
-      account(stats, l3_.prefetch_line(core_, touched_line));
-      l3_.store_line(core_, touched_line);
+      account(stats, l3_.prefetch_line(core_, touched_line, &traffic));
+      l3_.store_line(core_, touched_line, &traffic);
       ++stats.allocated_store_lines;
     } else if (bypass_ok[k] && strided_active == 0) {
       // Streaming store: bypass the cache, write the full line to memory.
       mem_.add_line(touched_line, MemDir::Write);
+      ++traffic.write_lines;
       ++stats.bypassed_store_lines;
     } else {
-      account(stats, l3_.store_line(core_, touched_line));
+      account(stats, l3_.store_line(core_, touched_line, &traffic));
       ++stats.allocated_store_lines;
     }
 
@@ -186,8 +188,8 @@ LoopStats AccessEngine::execute(const LoopDesc& loop) {
     }
   }
 
-  stats.mem_read_bytes = mem_.total_bytes(MemDir::Read) - mem_r0;
-  stats.mem_write_bytes = mem_.total_bytes(MemDir::Write) - mem_w0;
+  stats.mem_read_bytes = traffic.read_lines * cfg_.line_bytes;
+  stats.mem_write_bytes = traffic.write_lines * cfg_.line_bytes;
   stats.flops = static_cast<double>(loop.iterations) * loop.flops_per_iter;
 
   // Coarse virtual-time model: the loop is limited by the slowest of
@@ -200,8 +202,12 @@ LoopStats AccessEngine::execute(const LoopDesc& loop) {
   const double touch_t = static_cast<double>(stats.line_touches) * cfg_.l3_hit_ns * 1e-9;
   stats.time_ns = std::max({flop_t, mem_t, touch_t}) * 1e9;
 
-  clock_.advance(stats.time_ns);
-  noise_.advance(stats.time_ns);
+  if (deferred_time_) {
+    pending_ns_ += stats.time_ns;
+  } else {
+    clock_.advance(stats.time_ns);
+    noise_.advance(stats.time_ns);
+  }
 
   counters_.flops += static_cast<std::uint64_t>(stats.flops);
   counters_.line_touches += stats.line_touches;
@@ -214,26 +220,25 @@ LoopStats AccessEngine::execute(const LoopDesc& loop) {
 void AccessEngine::load(std::uint64_t addr, std::uint32_t bytes) {
   const std::uint64_t first = addr / cfg_.line_bytes;
   const std::uint64_t last = (addr + bytes - 1) / cfg_.line_bytes;
-  const std::uint64_t r0 = mem_.total_bytes(MemDir::Read);
+  L3Fabric::Traffic traffic;
   for (std::uint64_t line = first; line <= last; ++line) {
-    account(scalar_stats_, l3_.load_line(core_, line));
+    account(scalar_stats_, l3_.load_line(core_, line, &traffic));
     ++scalar_stats_.line_touches;
   }
-  scalar_stats_.mem_read_bytes += mem_.total_bytes(MemDir::Read) - r0;
+  scalar_stats_.mem_read_bytes += traffic.read_lines * cfg_.line_bytes;
 }
 
 void AccessEngine::store(std::uint64_t addr, std::uint32_t bytes) {
   const std::uint64_t first = addr / cfg_.line_bytes;
   const std::uint64_t last = (addr + bytes - 1) / cfg_.line_bytes;
-  const std::uint64_t r0 = mem_.total_bytes(MemDir::Read);
-  const std::uint64_t w0 = mem_.total_bytes(MemDir::Write);
+  L3Fabric::Traffic traffic;
   for (std::uint64_t line = first; line <= last; ++line) {
-    account(scalar_stats_, l3_.store_line(core_, line));
+    account(scalar_stats_, l3_.store_line(core_, line, &traffic));
     ++scalar_stats_.line_touches;
     ++scalar_stats_.allocated_store_lines;
   }
-  scalar_stats_.mem_read_bytes += mem_.total_bytes(MemDir::Read) - r0;
-  scalar_stats_.mem_write_bytes += mem_.total_bytes(MemDir::Write) - w0;
+  scalar_stats_.mem_read_bytes += traffic.read_lines * cfg_.line_bytes;
+  scalar_stats_.mem_write_bytes += traffic.write_lines * cfg_.line_bytes;
 }
 
 void AccessEngine::prefetch(std::uint64_t addr) {
@@ -249,6 +254,11 @@ LoopStats AccessEngine::take_scalar_stats() {
   const double touch_t = static_cast<double>(out.line_touches) * cfg_.l3_hit_ns * 1e-9;
   out.time_ns = std::max(mem_t, touch_t) * 1e9;
   scalar_stats_ = LoopStats{};
+
+  // In normal mode the *caller* spends this time (kernels call
+  // Machine::advance with it); when deferred it joins the engine's pending
+  // time so the replay driver can max-merge it with the loop time.
+  if (deferred_time_) pending_ns_ += out.time_ns;
 
   counters_.line_touches += out.line_touches;
   counters_.l3_hits += out.l3_hits;

@@ -76,7 +76,17 @@ struct CoreCounters {
 ///  * every memory transaction is 64 B and lands on an MBA channel.
 ///
 /// The engine advances the virtual clock (and accrues measurement noise over
-/// the elapsed time) after each replay.
+/// the elapsed time) after each replay -- unless deferred-time mode is on, in
+/// which case elapsed time accumulates locally and the replay driver advances
+/// the shared clock once (by the maximum across cores) after joining its
+/// workers.  Deferral is what gives parallel replay the serial max-merge
+/// timeline instead of summing concurrent cores' time.
+///
+/// Thread safety: one engine is single-threaded (one simulated core == one
+/// driving thread); *different* engines may replay concurrently.  All traffic
+/// an engine reports in LoopStats is counted per access (L3Fabric::Traffic),
+/// never by diffing the MemController's global counters, so concurrent cores
+/// cannot leak into each other's statistics.
 class AccessEngine {
  public:
   AccessEngine(const MachineConfig& cfg, std::uint32_t core, L3Fabric& l3,
@@ -99,6 +109,19 @@ class AccessEngine {
 
   std::uint32_t core() const { return core_; }
 
+  /// Deferred-time mode: replay time accumulates in this engine instead of
+  /// advancing the shared clock/noise.  Used by literal per-core replay so
+  /// the driver can max-merge core times after the parallel join.
+  void set_deferred_time(bool on) { deferred_time_ = on; }
+  bool deferred_time() const { return deferred_time_; }
+
+  /// Drain the time accumulated while deferred (ns since the last take).
+  double take_deferred_time_ns() {
+    const double t = pending_ns_;
+    pending_ns_ = 0.0;
+    return t;
+  }
+
   /// Monotonic activity totals since construction.
   const CoreCounters& counters() const { return counters_; }
 
@@ -114,6 +137,8 @@ class AccessEngine {
   NoiseModel& noise_;
   LoopStats scalar_stats_;
   CoreCounters counters_;
+  bool deferred_time_ = false;
+  double pending_ns_ = 0.0;
 };
 
 }  // namespace papisim::sim

@@ -1,6 +1,7 @@
 // Virtual time base for the simulator.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace papisim::sim {
@@ -10,20 +11,39 @@ namespace papisim::sim {
 /// All simulated activity (kernel execution, DMA copies, network transfers,
 /// PCP round-trips, background noise accrual) advances this clock.  The
 /// profiling timeline (Figs. 11-12) and the noise model are driven by it.
+///
+/// Thread safety: advance() and now_ns() are safe to call concurrently (the
+/// parallel replay engine's workers may touch the clock through non-deferred
+/// engines).  Note that concurrent advances *sum*; parallel kernel replay
+/// wants max-merge semantics instead, which the replay layer implements by
+/// deferring per-core time (AccessEngine::set_deferred_time) and advancing
+/// once with the maximum after the join.
 class SimClock {
  public:
-  double now_ns() const { return now_ns_; }
-  double now_sec() const { return now_ns_ * 1e-9; }
+  double now_ns() const { return now_ns_.load(std::memory_order_relaxed); }
+  double now_sec() const { return now_ns() * 1e-9; }
 
   /// Advance time; negative deltas are ignored (clock is monotonic).
   void advance(double delta_ns) {
-    if (delta_ns > 0) now_ns_ += delta_ns;
+    if (!(delta_ns > 0)) return;
+    double cur = now_ns_.load(std::memory_order_relaxed);
+    while (!now_ns_.compare_exchange_weak(cur, cur + delta_ns,
+                                          std::memory_order_relaxed)) {
+    }
   }
 
-  void reset() { now_ns_ = 0.0; }
+  /// Move the clock forward to `t_ns` if it is behind it (max-merge).
+  void advance_to(double t_ns) {
+    double cur = now_ns_.load(std::memory_order_relaxed);
+    while (cur < t_ns && !now_ns_.compare_exchange_weak(
+                             cur, t_ns, std::memory_order_relaxed)) {
+    }
+  }
+
+  void reset() { now_ns_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double now_ns_ = 0.0;
+  std::atomic<double> now_ns_{0.0};
 };
 
 }  // namespace papisim::sim

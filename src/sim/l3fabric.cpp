@@ -9,11 +9,13 @@ namespace papisim::sim {
 
 L3Fabric::L3Fabric(const MachineConfig& cfg, MemController& mem)
     : cfg_(cfg), mem_(mem) {
-  slices_.reserve(cfg.cores_per_socket);
+  stripes_.reserve(cfg.cores_per_socket);
   for (std::uint32_t c = 0; c < cfg.cores_per_socket; ++c) {
-    slices_.push_back(std::make_unique<CacheLevel>(
+    auto stripe = std::make_unique<Stripe>();
+    stripe->slice = std::make_unique<CacheLevel>(
         cfg.l3_slice_bytes, cfg.l3_associativity, cfg.line_bytes,
-        /*hashed_sets=*/true));
+        /*hashed_sets=*/true);
+    stripes_.push_back(std::move(stripe));
   }
   // Clamp: retention >= 1.0 must map to "always retained" (the cast of
   // 1.0 * 2^64 to uint64 would otherwise overflow).
@@ -30,83 +32,119 @@ void L3Fabric::set_active_cores(std::uint32_t n) {
   }
   active_cores_ = n;
   const std::uint32_t idle = cfg_.cores_per_socket - n;
+  // The idle cores' aggregate capacity is fair-shared: each active core gets
+  // its own victim partition so cores never contend for (or observe) each
+  // other's cast-outs.  Partitioning is what keeps a per-core replay
+  // deterministic regardless of how worker threads interleave.
   const std::uint64_t capacity =
-      cfg_.lateral_castout ? static_cast<std::uint64_t>(idle) * cfg_.l3_slice_bytes : 0;
-  // The victim store aggregates many remote slices; model it with a lower
-  // associativity (it is a recovery approximation, not a real cache -- the
-  // retention probability already dominates its behaviour) to keep the
-  // simulator's hottest miss path cheap.
-  victim_ = std::make_unique<CacheLevel>(capacity, 8, cfg_.line_bytes,
-                                         /*hashed_sets=*/true);
+      cfg_.lateral_castout
+          ? static_cast<std::uint64_t>(idle) * cfg_.l3_slice_bytes / n
+          : 0;
+  for (auto& stripe : stripes_) {
+    std::lock_guard lock(stripe->mu);
+    // The victim store aggregates many remote slices; model it with a lower
+    // associativity (it is a recovery approximation, not a real cache -- the
+    // retention probability already dominates its behaviour) to keep the
+    // simulator's hottest miss path cheap.
+    stripe->victim = std::make_unique<CacheLevel>(capacity, 8, cfg_.line_bytes,
+                                                  /*hashed_sets=*/true);
+  }
 }
 
-bool L3Fabric::retained(std::uint64_t line) {
+bool L3Fabric::retained(Stripe& stripe, std::uint64_t line) {
   // Per-recovery-event probability (deterministic sequence): a fraction of
   // lateral-cast-out recoveries fail and must re-fetch from memory.  This is
   // what makes the lone-core traffic exceed the expectation *gradually* as
   // the footprint spills past the local slice (paper Figs. 2-4 (a) panels).
-  ++retention_events_;
-  return hash64(line ^ (retention_events_ * 0x9e3779b97f4a7c15ULL)) <=
+  // The event counter is per stripe so each core sees the same sequence it
+  // would in a serial replay, independent of the other cores' progress.
+  ++stripe.retention_events;
+  return hash64(line ^ (stripe.retention_events * 0x9e3779b97f4a7c15ULL)) <=
          retention_threshold_;
 }
 
-void L3Fabric::cast_out(std::uint64_t line, bool dirty) {
-  if (victim_->capacity_lines() == 0) {
-    if (dirty) mem_.add_line(line, MemDir::Write);
+void L3Fabric::cast_out(Stripe& stripe, std::uint64_t line, bool dirty,
+                        Traffic* t) {
+  if (stripe.victim->capacity_lines() == 0) {
+    if (dirty) {
+      mem_.add_line(line, MemDir::Write);
+      if (t) ++t->write_lines;
+    }
     return;
   }
-  const CacheLevel::Result r = victim_->insert(line, dirty);
-  if (r.evicted && r.victim_dirty) mem_.add_line(r.victim_line, MemDir::Write);
+  const CacheLevel::Result r = stripe.victim->insert(line, dirty);
+  if (r.evicted && r.victim_dirty) {
+    mem_.add_line(r.victim_line, MemDir::Write);
+    if (t) ++t->write_lines;
+  }
 }
 
 L3Fabric::Source L3Fabric::access_line(std::uint32_t core, std::uint64_t line,
-                                       bool make_dirty) {
-  CacheLevel& slice = *slices_[core];
-  const CacheLevel::Result r = slice.access(line, make_dirty);
+                                       bool make_dirty, Traffic* t) {
+  Stripe& stripe = *stripes_[core];
+  std::lock_guard lock(stripe.mu);
+  const CacheLevel::Result r = stripe.slice->access(line, make_dirty);
   if (r.hit) return Source::L3Hit;
 
   // Miss: access() already filled the line (with the right dirty bit) and
   // reported the displaced victim; cast that victim out laterally.
-  if (r.evicted) cast_out(r.victim_line, r.victim_dirty);
+  if (r.evicted) cast_out(stripe, r.victim_line, r.victim_dirty, t);
 
   // Did the line come from a lateral cast-out (victim store) or from memory?
-  const CacheLevel::Invalidated inv = victim_->invalidate(line);
+  const CacheLevel::Invalidated inv = stripe.victim->invalidate(line);
   if (inv.present) {
-    if (retained(line)) {
-      ++victim_recoveries_;
+    if (retained(stripe, line)) {
+      victim_recoveries_.fetch_add(1, std::memory_order_relaxed);
       return Source::VictimHit;
     }
-    ++victim_retention_misses_;
+    victim_retention_misses_.fetch_add(1, std::memory_order_relaxed);
   }
   mem_.add_line(line, MemDir::Read);
+  if (t) ++t->read_lines;
   return Source::Memory;
 }
 
-L3Fabric::Source L3Fabric::load_line(std::uint32_t core, std::uint64_t line) {
-  return access_line(core, line, /*make_dirty=*/false);
+L3Fabric::Source L3Fabric::load_line(std::uint32_t core, std::uint64_t line,
+                                     Traffic* t) {
+  return access_line(core, line, /*make_dirty=*/false, t);
 }
 
-L3Fabric::Source L3Fabric::store_line(std::uint32_t core, std::uint64_t line) {
+L3Fabric::Source L3Fabric::store_line(std::uint32_t core, std::uint64_t line,
+                                      Traffic* t) {
   // Write-allocate: a miss reads the line from memory before the partial
   // write (the paper's "read incurred by the hardware when writing").
-  return access_line(core, line, /*make_dirty=*/true);
+  return access_line(core, line, /*make_dirty=*/true, t);
 }
 
-L3Fabric::Source L3Fabric::prefetch_line(std::uint32_t core, std::uint64_t line) {
-  return load_line(core, line);
+L3Fabric::Source L3Fabric::prefetch_line(std::uint32_t core, std::uint64_t line,
+                                         Traffic* t) {
+  return load_line(core, line, t);
 }
 
 void L3Fabric::flush_core(std::uint32_t core) {
-  slices_[core]->flush([this](std::uint64_t line, bool dirty) {
+  Stripe& stripe = *stripes_[core];
+  std::lock_guard lock(stripe.mu);
+  stripe.slice->flush([this](std::uint64_t line, bool dirty) {
     if (dirty) mem_.add_line(line, MemDir::Write);
   });
 }
 
 void L3Fabric::flush_all() {
   for (std::uint32_t c = 0; c < cfg_.cores_per_socket; ++c) flush_core(c);
-  victim_->flush([this](std::uint64_t line, bool dirty) {
-    if (dirty) mem_.add_line(line, MemDir::Write);
-  });
+  for (auto& stripe : stripes_) {
+    std::lock_guard lock(stripe->mu);
+    stripe->victim->flush([this](std::uint64_t line, bool dirty) {
+      if (dirty) mem_.add_line(line, MemDir::Write);
+    });
+  }
+}
+
+std::uint64_t L3Fabric::total_slice_lookups() const {
+  std::uint64_t total = 0;
+  for (const auto& stripe : stripes_) {
+    total += stripe->slice->hits() + stripe->slice->misses();
+  }
+  return total;
 }
 
 }  // namespace papisim::sim

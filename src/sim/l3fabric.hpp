@@ -1,8 +1,10 @@
 // Sliced L3 with lateral cast-out (POWER9 behaviour).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "sim/cache.hpp"
@@ -17,64 +19,105 @@ namespace papisim::sim {
 /// Mechanism (DESIGN.md §3):
 ///  * A core's accesses allocate only in its own slice.
 ///  * Capacity victims of the slice are cast out laterally into the victim
-///    store, whose capacity is (idle cores) x slice size.  A later miss may
-///    recover the line from there (probabilistically, deterministic per-line)
-///    without any memory traffic.
+///    store, whose capacity is (idle cores) x slice size, fair-shared across
+///    the active cores.  A later miss may recover the line from there
+///    (probabilistically, deterministic per-line) without any memory traffic.
 ///  * When every core is active the victim store has zero capacity, so each
 ///    core is limited to its hard 5 MB share.
 ///
 /// This is what makes the single-threaded GEMM degrade *gradually* past the
 /// 5 MB footprint while the fully-batched GEMM jumps sharply (paper Figs 2-4).
+///
+/// Threading model (DESIGN.md "Threading model"): all per-core mutable state
+/// (the slice, the core's victim-store partition, the retention-event
+/// sequence) lives in one *stripe* guarded by one mutex, so concurrent replay
+/// workers driving different cores never contend and workers hammering the
+/// same core serialize correctly.  An access takes exactly one stripe lock
+/// and then hits only MemController atomics -- no function ever holds two
+/// stripe locks, so the locking order "stripe mutex -> memctrl atomics" is
+/// trivially deadlock-free.  Aggregate victim counters are relaxed atomics.
+/// set_active_cores()/flush_*() take the stripe locks one at a time and may
+/// run concurrently with accesses, but reconfiguring while a replay is in
+/// flight is a modelling error (the capacity change would apply mid-kernel).
 class L3Fabric {
  public:
   L3Fabric(const MachineConfig& cfg, MemController& mem);
 
-  /// Declare how many cores on this socket are running workloads.  Resets the
-  /// victim store to (cores_per_socket - n) slices of capacity.
+  /// Declare how many cores on this socket are running workloads.  Resets
+  /// every core's victim-store partition to (idle cores / active cores)
+  /// slices of capacity.
   void set_active_cores(std::uint32_t n);
   std::uint32_t active_cores() const { return active_cores_; }
 
   enum class Source : std::uint8_t { L3Hit, VictimHit, Memory };
 
+  /// Memory transactions one access caused, in whole lines.  Callers that
+  /// need per-core traffic totals pass one of these instead of diffing the
+  /// MemController's global counters: the global diff would absorb other
+  /// cores' concurrent traffic, while this count is exact per access.
+  struct Traffic {
+    std::uint64_t read_lines = 0;
+    std::uint64_t write_lines = 0;
+  };
+
   /// Demand load of `line` by `core`.  Memory reads and any eviction
-  /// writebacks are accounted to the MemController.
-  Source load_line(std::uint32_t core, std::uint64_t line);
+  /// writebacks are accounted to the MemController (and to `t` if given).
+  Source load_line(std::uint32_t core, std::uint64_t line, Traffic* t = nullptr);
 
   /// Store with write-allocate: a miss reads the line from memory first
   /// (the paper's "read incurred by the hardware when writing").
-  Source store_line(std::uint32_t core, std::uint64_t line);
+  Source store_line(std::uint32_t core, std::uint64_t line, Traffic* t = nullptr);
 
   /// dcbtst-style software prefetch: fetch into the slice (clean), reading
   /// from memory on a miss.  Returns where the line came from.
-  Source prefetch_line(std::uint32_t core, std::uint64_t line);
+  Source prefetch_line(std::uint32_t core, std::uint64_t line, Traffic* t = nullptr);
 
-  /// Write back and drop every line held for `core` (its slice; the shared
-  /// victim store is flushed by flush_all()).
+  /// Write back and drop every line held in `core`'s slice (its victim
+  /// partition is drained by flush_all()).
   void flush_core(std::uint32_t core);
 
-  /// Write back and drop everything including the victim store.
+  /// Write back and drop everything including the victim partitions.
   void flush_all();
 
-  CacheLevel& slice(std::uint32_t core) { return *slices_[core]; }
-  const CacheLevel& victim_store() const { return *victim_; }
+  /// Direct slice access for tests/inspection (unsynchronized: do not call
+  /// while replay workers are driving this core).
+  CacheLevel& slice(std::uint32_t core) { return *stripes_[core]->slice; }
+  const CacheLevel& victim_store(std::uint32_t core = 0) const {
+    return *stripes_[core]->victim;
+  }
 
-  std::uint64_t victim_recoveries() const { return victim_recoveries_; }
-  std::uint64_t victim_retention_misses() const { return victim_retention_misses_; }
+  std::uint64_t victim_recoveries() const {
+    return victim_recoveries_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t victim_retention_misses() const {
+    return victim_retention_misses_.load(std::memory_order_relaxed);
+  }
+
+  /// Total slice-level lookups (hits + misses) across all cores, for the
+  /// concurrency-stress conservation check.  Unsynchronized snapshot.
+  std::uint64_t total_slice_lookups() const;
 
  private:
-  Source access_line(std::uint32_t core, std::uint64_t line, bool make_dirty);
-  void cast_out(std::uint64_t line, bool dirty);
-  bool retained(std::uint64_t line);
+  /// Per-core stripe: everything one core's accesses mutate, under one lock.
+  struct Stripe {
+    std::mutex mu;
+    std::unique_ptr<CacheLevel> slice;
+    std::unique_ptr<CacheLevel> victim;  ///< this core's lateral-cast-out share
+    std::uint64_t retention_events = 0;  ///< per-core: order-independent across cores
+  };
+
+  Source access_line(std::uint32_t core, std::uint64_t line, bool make_dirty,
+                     Traffic* t);
+  void cast_out(Stripe& stripe, std::uint64_t line, bool dirty, Traffic* t);
+  bool retained(Stripe& stripe, std::uint64_t line);
 
   const MachineConfig& cfg_;
   MemController& mem_;
-  std::vector<std::unique_ptr<CacheLevel>> slices_;
-  std::unique_ptr<CacheLevel> victim_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
   std::uint32_t active_cores_ = 1;
   std::uint64_t retention_threshold_;  ///< hash cutoff for deterministic retention
-  std::uint64_t retention_events_ = 0;
-  std::uint64_t victim_recoveries_ = 0;
-  std::uint64_t victim_retention_misses_ = 0;
+  std::atomic<std::uint64_t> victim_recoveries_{0};
+  std::atomic<std::uint64_t> victim_retention_misses_{0};
 };
 
 }  // namespace papisim::sim

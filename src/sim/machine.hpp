@@ -1,6 +1,7 @@
 // Top-level simulated machine: sockets, cores, clock, address space.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -28,22 +29,32 @@ struct Credentials {
 /// Trivial bump allocator handing out distinct simulated physical ranges.
 /// The simulator is trace-driven and stores no data; allocations only carve
 /// up the line-number space so that arrays never alias.
+///
+/// Thread safe: concurrent replay workers may allocate scratch regions; a
+/// CAS loop keeps the handed-out ranges disjoint.  (Concurrent allocation
+/// *order* is nondeterministic, so deterministic replays allocate up front,
+/// before fanning out -- the kernel drivers all do.)
 class AddressSpace {
  public:
   explicit AddressSpace(std::uint64_t base = 1ull << 20) : next_(base) {}
 
   /// Returns a `bytes`-sized region aligned to `align` (default 4 KiB page).
   std::uint64_t allocate(std::uint64_t bytes, std::uint64_t align = 4096) {
-    next_ = (next_ + align - 1) / align * align;
-    const std::uint64_t addr = next_;
-    next_ += bytes;
+    std::uint64_t cur = next_.load(std::memory_order_relaxed);
+    std::uint64_t addr;
+    do {
+      addr = (cur + align - 1) / align * align;
+    } while (!next_.compare_exchange_weak(cur, addr + bytes,
+                                          std::memory_order_relaxed));
     return addr;
   }
 
-  std::uint64_t bytes_allocated() const { return next_; }
+  std::uint64_t bytes_allocated() const {
+    return next_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t next_;
+  std::atomic<std::uint64_t> next_;
 };
 
 /// A complete simulated node.

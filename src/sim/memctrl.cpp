@@ -32,9 +32,10 @@ void MemController::add_spread(std::uint64_t bytes, MemDir dir) {
                                   std::memory_order_relaxed);
   }
   if (rem != 0) {
-    counter(spread_cursor_, dir).fetch_add(rem, std::memory_order_relaxed);
-    op_counter(spread_cursor_, dir).fetch_add(1, std::memory_order_relaxed);
-    spread_cursor_ = (spread_cursor_ + 1) % channels_;
+    const std::uint32_t cur =
+        spread_cursor_.fetch_add(1, std::memory_order_relaxed) % channels_;
+    counter(cur, dir).fetch_add(rem, std::memory_order_relaxed);
+    op_counter(cur, dir).fetch_add(1, std::memory_order_relaxed);
   }
 }
 

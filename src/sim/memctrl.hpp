@@ -17,7 +17,10 @@ enum class MemDir : std::uint8_t { Read = 0, Write = 1 };
 /// monotonically increasing READ/WRITE byte counters.
 ///
 /// Counters are atomics because the PCP daemon (PMCD) reads them from its own
-/// thread while the simulated workload increments them from the main thread.
+/// thread and the parallel replay engine increments them from one worker per
+/// simulated core.  All increments are commutative relaxed adds, so per-channel
+/// totals are independent of worker interleaving -- the property the
+/// serial-vs-parallel replay equivalence test pins down.
 class MemController {
  public:
   MemController(std::uint32_t channels, std::uint32_t line_bytes,
@@ -88,7 +91,7 @@ class MemController {
   std::uint32_t interleave_shift_ = 0;
   bool pow2_channels_ = true;
   std::uint32_t channel_mask_ = 0;
-  std::uint32_t spread_cursor_ = 0;
+  std::atomic<std::uint32_t> spread_cursor_{0};
   std::vector<std::atomic<std::uint64_t>> counters_;
   std::vector<std::atomic<std::uint64_t>> op_counters_;
 };

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 
 #include "sim/config.hpp"
 #include "sim/memctrl.hpp"
@@ -18,15 +19,30 @@ namespace papisim::sim {
 /// noisy (relative error ~ overhead / kernel traffic) and what the paper's
 /// adaptive repetition count (Eq. 5) amortizes; the rate term is minor.
 /// Disabling the model yields exact, deterministic counters (used by tests).
+///
+/// Thread safety: the jitter RNG is guarded by a mutex, so concurrent
+/// EventSet starts/stops (measurement_overhead) and background accrual are
+/// data-race-free.  The draw *order* across threads is of course
+/// nondeterministic, which is why deterministic replay modes disable noise
+/// and why the parallel replay engine defers per-core time and accrues noise
+/// once, on the submitting thread, after the max-merge join (the jitter
+/// stream then advances in program order exactly as in a serial replay).
 class NoiseModel {
  public:
   NoiseModel(const NoiseConfig& cfg, MemController& mem, std::uint64_t stream_id)
-      : cfg_(cfg), mem_(mem), rng_(cfg.seed ^ (stream_id * 0xd1342543de82ef95ULL)) {}
+      : cfg_(cfg), mem_(mem), rng_(seed_for(cfg.seed, stream_id)) {}
+
+  /// Deterministic per-stream seed derivation (sockets and, prospectively,
+  /// per-core noise sub-streams share one formula).
+  static std::uint64_t seed_for(std::uint64_t base_seed, std::uint64_t stream_id) {
+    return base_seed ^ (stream_id * 0xd1342543de82ef95ULL);
+  }
 
   void set_enabled(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
 
-  /// Background traffic over `dt_ns` of simulated time.
+  /// Background traffic over `dt_ns` of simulated time (no RNG involved:
+  /// safe and order-independent under concurrent callers).
   void advance(double dt_ns) {
     if (!enabled_ || dt_ns <= 0) return;
     const double sec = dt_ns * 1e-9;
@@ -49,7 +65,10 @@ class NoiseModel {
   }
 
  private:
-  double jitter() { return rng_.next_lognormal_unit_mean(cfg_.jitter_sigma); }
+  double jitter() {
+    std::lock_guard lock(rng_mu_);
+    return rng_.next_lognormal_unit_mean(cfg_.jitter_sigma);
+  }
 
   void add(double bytes, MemDir dir) {
     if (bytes > 0) mem_.add_spread(static_cast<std::uint64_t>(bytes), dir);
@@ -57,6 +76,7 @@ class NoiseModel {
 
   NoiseConfig cfg_;
   MemController& mem_;
+  std::mutex rng_mu_;
   SplitMix64 rng_;
   bool enabled_ = true;
 };

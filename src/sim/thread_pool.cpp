@@ -1,0 +1,82 @@
+#include "sim/thread_pool.hpp"
+
+namespace papisim::sim {
+
+ThreadPool::ThreadPool(std::uint32_t workers) {
+  threads_.reserve(workers);
+  for (std::uint32_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this](std::stop_token st) { worker_loop(st); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  for (auto& t : threads_) t.request_stop();
+  work_cv_.notify_all();
+}
+
+void ThreadPool::worker_loop(const std::stop_token& stop) {
+  while (true) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop.stop_requested() ||
+               (current_ != nullptr && current_->next < current_->n);
+      });
+      if (stop.stop_requested()) return;
+      batch = current_;
+    }
+    drain(batch);
+  }
+}
+
+void ThreadPool::drain(const std::shared_ptr<Batch>& batch) {
+  while (true) {
+    std::uint32_t idx;
+    {
+      std::lock_guard lock(mu_);
+      if (batch->next >= batch->n) return;
+      idx = batch->next++;
+    }
+    std::exception_ptr error;
+    try {
+      (*batch->fn)(idx);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mu_);
+      if (error && !batch->error) batch->error = error;
+      if (++batch->done == batch->n) {
+        done_cv_.notify_all();
+        return;
+      }
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::uint32_t n,
+                              const std::function<void(std::uint32_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    for (std::uint32_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->fn = &fn;
+  {
+    std::lock_guard lock(mu_);
+    current_ = batch;
+  }
+  work_cv_.notify_all();
+  drain(batch);  // the caller participates
+  {
+    std::unique_lock lock(mu_);
+    done_cv_.wait(lock, [&] { return batch->done == batch->n; });
+    if (current_ == batch) current_ = nullptr;
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace papisim::sim

@@ -1,0 +1,64 @@
+// Small reusable worker pool for concurrent multi-core kernel replay.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace papisim::sim {
+
+/// A fixed set of std::jthread workers executing index-parallel batches.
+///
+/// The pool exists so the replay engine can dispatch one simulated core per
+/// task without paying thread start-up cost per measurement repetition.
+/// parallel_for() blocks until the whole batch completed; the calling thread
+/// participates in the work, so a pool with 0 workers degenerates to an
+/// inline serial loop (the host_threads == 1 replay path).
+///
+/// Indices are claimed dynamically, so *which* worker runs which index is
+/// nondeterministic -- callers must only submit order-independent work (the
+/// serial/parallel bit-identity tests enforce exactly that property for the
+/// replay engine).
+class ThreadPool {
+ public:
+  /// `workers` background threads (the caller is an extra participant).
+  explicit ThreadPool(std::uint32_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::uint32_t workers() const { return static_cast<std::uint32_t>(threads_.size()); }
+
+  /// Run fn(i) for every i in [0, n) across the workers plus the calling
+  /// thread; returns when all n calls finished.  The first exception thrown
+  /// by any task is rethrown here (remaining indices still drain).
+  void parallel_for(std::uint32_t n, const std::function<void(std::uint32_t)>& fn);
+
+ private:
+  struct Batch {
+    std::uint32_t n = 0;
+    const std::function<void(std::uint32_t)>* fn = nullptr;
+    std::uint32_t next = 0;  ///< next unclaimed index (guarded by pool mutex)
+    std::uint32_t done = 0;  ///< completed indices (guarded by pool mutex)
+    std::exception_ptr error;
+  };
+
+  void worker_loop(const std::stop_token& stop);
+  /// Claim-and-run loop shared by workers and the submitting caller.
+  void drain(const std::shared_ptr<Batch>& batch);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< workers wait for a batch
+  std::condition_variable done_cv_;   ///< submitter waits for completion
+  std::shared_ptr<Batch> current_;
+  std::vector<std::jthread> threads_;
+};
+
+}  // namespace papisim::sim

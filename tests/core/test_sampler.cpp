@@ -1,0 +1,154 @@
+// Unit tests for Sampler: counter columns become delta/dt rates, gauge
+// columns pass through the instantaneous value, and the degenerate cases
+// (too few rows, zero dt) stay well defined.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/sampler.hpp"
+#include "sim/clock.hpp"
+#include "testing/fake_component.hpp"
+
+namespace papisim {
+namespace {
+
+using test_support::FakeComponent;
+
+class SamplerTest : public ::testing::Test {
+ protected:
+  FakeComponent& add_fake(const std::string& name, bool gauge) {
+    auto comp = std::make_unique<FakeComponent>(
+        name, std::vector<std::string>{"x", "y"});
+    comp->set_gauge(gauge);
+    return static_cast<FakeComponent&>(lib_.register_component(std::move(comp)));
+  }
+
+  Library lib_;
+  sim::SimClock clock_;
+};
+
+TEST_F(SamplerTest, CounterColumnsReportDeltaOverDt) {
+  FakeComponent& fake = add_fake("cnt", /*gauge=*/false);
+  auto es = lib_.create_eventset();
+  es->add_event("cnt:::x");
+  es->add_event("cnt:::y");
+
+  Sampler sampler(clock_);
+  sampler.add_eventset(*es);
+  ASSERT_EQ(sampler.columns().size(), 2u);
+  EXPECT_FALSE(sampler.column_is_gauge()[0]);
+  EXPECT_FALSE(sampler.column_is_gauge()[1]);
+
+  sampler.start_all();
+  sampler.sample();
+  fake.bump(0, 1000);
+  fake.bump(1, 250);
+  clock_.advance(2e9);  // 2 virtual seconds
+  sampler.sample();
+  sampler.stop_all();
+
+  const std::vector<RateRow> rates = sampler.rates();
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0].t1_sec - rates[0].t0_sec, 2.0);
+  EXPECT_DOUBLE_EQ(rates[0].values[0], 500.0);  // 1000 / 2 s
+  EXPECT_DOUBLE_EQ(rates[0].values[1], 125.0);  // 250 / 2 s
+}
+
+TEST_F(SamplerTest, GaugeColumnsReportRawValueNotRate) {
+  FakeComponent& fake = add_fake("pwr", /*gauge=*/true);
+  auto es = lib_.create_eventset();
+  es->add_event("pwr:::x");
+
+  Sampler sampler(clock_);
+  sampler.add_eventset(*es);
+  ASSERT_EQ(sampler.columns().size(), 1u);
+  EXPECT_TRUE(sampler.column_is_gauge()[0]);
+
+  sampler.start_all();
+  fake.bump(0, 300);  // e.g. 300 W instantaneous
+  sampler.sample();
+  clock_.advance(5e9);
+  fake.bump(0, 20);  // now reads 320
+  sampler.sample();
+
+  const std::vector<RateRow> rates = sampler.rates();
+  ASSERT_EQ(rates.size(), 1u);
+  // The interval reports the endpoint's instantaneous value, undivided.
+  EXPECT_DOUBLE_EQ(rates[0].values[0], 320.0);
+}
+
+TEST_F(SamplerTest, MixedComponentsShareOneTimeAxis) {
+  // The paper's multi-component timeline: a counter set and a gauge set
+  // sampled together, one row per sample, columns in registration order.
+  FakeComponent& cnt = add_fake("cnt", /*gauge=*/false);
+  FakeComponent& pwr = add_fake("pwr", /*gauge=*/true);
+  auto es_cnt = lib_.create_eventset();
+  es_cnt->add_event("cnt:::x");
+  auto es_pwr = lib_.create_eventset();
+  es_pwr->add_event("pwr:::y");
+
+  Sampler sampler(clock_);
+  sampler.add_eventset(*es_cnt);
+  sampler.add_eventset(*es_pwr);
+  ASSERT_EQ(sampler.columns().size(), 2u);
+  EXPECT_FALSE(sampler.column_is_gauge()[0]);
+  EXPECT_TRUE(sampler.column_is_gauge()[1]);
+
+  sampler.start_all();
+  sampler.sample();
+  cnt.bump(0, 64);
+  pwr.bump(1, 150);
+  clock_.advance(1e9);
+  sampler.sample();
+
+  const std::vector<RateRow> rates = sampler.rates();
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0].values[0], 64.0);   // counter: 64 / 1 s
+  EXPECT_DOUBLE_EQ(rates[0].values[1], 150.0);  // gauge: raw
+}
+
+TEST_F(SamplerTest, FewerThanTwoRowsYieldNoRates) {
+  add_fake("cnt", /*gauge=*/false);
+  auto es = lib_.create_eventset();
+  es->add_event("cnt:::x");
+
+  Sampler sampler(clock_);
+  sampler.add_eventset(*es);
+  EXPECT_TRUE(sampler.rates().empty());  // zero rows
+
+  sampler.start_all();
+  sampler.sample();
+  EXPECT_TRUE(sampler.rates().empty());  // one row
+}
+
+TEST_F(SamplerTest, ZeroDtIntervalReportsZeroRateButRawGauge) {
+  FakeComponent& cnt = add_fake("cnt", /*gauge=*/false);
+  FakeComponent& pwr = add_fake("pwr", /*gauge=*/true);
+  auto es_cnt = lib_.create_eventset();
+  es_cnt->add_event("cnt:::x");
+  auto es_pwr = lib_.create_eventset();
+  es_pwr->add_event("pwr:::x");
+
+  Sampler sampler(clock_);
+  sampler.add_eventset(*es_cnt);
+  sampler.add_eventset(*es_pwr);
+  sampler.start_all();
+  sampler.sample();
+  cnt.bump(0, 999);
+  pwr.bump(0, 42);
+  sampler.sample();  // no clock advance: dt == 0
+
+  const std::vector<RateRow> rates = sampler.rates();
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0].values[0], 0.0);   // counter rate undefined -> 0
+  EXPECT_DOUBLE_EQ(rates[0].values[1], 42.0);  // gauge unaffected by dt
+}
+
+TEST_F(SamplerTest, RejectsEmptyEventSet) {
+  Sampler sampler(clock_);
+  auto es = lib_.create_eventset();
+  EXPECT_THROW(sampler.add_eventset(*es), Error);
+}
+
+}  // namespace
+}  // namespace papisim
