@@ -3,7 +3,11 @@
 // round-trip per pmFetch (one per distinct cpu instance, regardless of the
 // metric count); the direct perf_nest route reads the counters in place.
 // The paper's accuracy equivalence holds *despite* this asymmetric cost.
+#include <chrono>
+
 #include "bench_util.hpp"
+#include "kernels/blas_sim.hpp"
+#include "selfmon/metrics.hpp"
 
 using namespace papisim;
 using namespace papisim::benchutil;
@@ -46,10 +50,116 @@ Cost measure_cost(Stack& stack, const std::vector<std::string>& events) {
   return cost;
 }
 
+// --selfmon mode: the same papi_cost question pointed at the harness's own
+// instrumentation.  Micro-times one recorder invocation (host wall clock,
+// the clock selfmon itself uses), counts how many invocations one real GEMM
+// replay generates, and reports the estimated overhead fraction against the
+// <2% budget that gates PAPISIM_SELFMON=ON.
+int run_selfmon_mode(bool csv) {
+  print_header("Selfmon instrumentation cost",
+               "what profiling the profiler costs: per-op recorder latency "
+               "and the per-replay overhead fraction");
+  if (!selfmon::kEnabled) {
+    std::cout << "selfmon was compiled out (-DPAPISIM_SELFMON=OFF): every "
+                 "recorder call is an empty inline\nfunction, overhead is "
+                 "exactly zero.  Rebuild with PAPISIM_SELFMON=ON to "
+                 "quantify it.\n";
+    return 0;
+  }
+
+  using HostClock = std::chrono::steady_clock;
+  constexpr int kOps = 1'000'000;
+
+  const auto time_per_op_ns = [](auto&& body) {
+    const auto t0 = HostClock::now();
+    for (int i = 0; i < kOps; ++i) body(i);
+    const auto dt = HostClock::now() - t0;
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                   .count()) /
+           kOps;
+  };
+
+  const double counter_ns = time_per_op_ns(
+      [](int) { selfmon::counter_add(selfmon::CounterId::PoolTasks); });
+  const double hist_ns = time_per_op_ns([](int i) {
+    selfmon::hist_record_ns(selfmon::HistId::PoolQueueWaitNs,
+                            static_cast<std::uint64_t>(i) & 0xFFFF);
+  });
+  const double stopwatch_ns = time_per_op_ns([](int) {
+    const selfmon::Stopwatch sw(selfmon::HistId::PoolDispatchNs);
+  });
+
+  Table ops({"recorder", "ns_per_op"});
+  ops.add_row({"counter_add", fmt(counter_ns, 1)});
+  ops.add_row({"hist_record_ns", fmt(hist_ns, 1)});
+  ops.add_row({"stopwatch (2x clock + record)", fmt(stopwatch_ns, 1)});
+
+  // One real replay: how many recorder invocations does it generate, and
+  // what fraction of its host wall time do they cost?
+  SummitStack summit;
+  summit.machine.set_noise_enabled(false);
+  kernels::KernelRunner runner(summit.machine, summit.lib, "pcp",
+                               summit.measure_cpu());
+  const std::uint64_t n = 384;
+  const kernels::GemmBuffers buf =
+      kernels::GemmBuffers::allocate(summit.machine.address_space(), n);
+
+  const selfmon::Snapshot before = selfmon::snapshot();
+  const auto w0 = HostClock::now();
+  kernels::RunnerOptions opt;
+  opt.reps = 3;
+  (void)runner.measure(
+      [&](std::uint32_t core) {
+        kernels::run_gemm(summit.machine, 0, core, n, buf);
+      },
+      opt);
+  const double replay_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(HostClock::now() -
+                                                           w0)
+          .count());
+  const selfmon::Snapshot after = selfmon::snapshot();
+
+  std::uint64_t counter_ops = 0, hist_ops = 0;
+  for (std::size_t c = 0; c < selfmon::kNumCounters; ++c) {
+    counter_ops += after.counters[c] - before.counters[c];
+  }
+  for (std::size_t h = 0; h < selfmon::kNumHists; ++h) {
+    hist_ops += after.hists[h].count - before.hists[h].count;
+  }
+  // Histogram records reached through Stopwatch/hist_record_since pay the
+  // clock reads too; counting them all at stopwatch cost is the upper bound.
+  const double est_ns = static_cast<double>(counter_ops) * counter_ns +
+                        static_cast<double>(hist_ops) * stopwatch_ns;
+  const double fraction = replay_ns > 0 ? est_ns / replay_ns : 0.0;
+
+  Table replay({"metric", "value"});
+  replay.add_row({"replay host time (ms)", fmt(replay_ns / 1e6, 3)});
+  replay.add_row({"counter ops recorded", std::to_string(counter_ops)});
+  replay.add_row({"histogram ops recorded", std::to_string(hist_ops)});
+  replay.add_row({"estimated selfmon time (us)", fmt(est_ns / 1e3, 2)});
+  replay.add_row({"estimated overhead", fmt(fraction * 100.0, 3) + " %"});
+
+  if (csv) {
+    ops.print_csv(std::cout);
+    replay.print_csv(std::cout);
+  } else {
+    ops.print();
+    std::cout << '\n';
+    replay.print();
+  }
+  std::cout << "\nBudget: selfmon must stay under 2% of replay throughput "
+               "(bench_sim_throughput ON-vs-OFF is the end-to-end check;\n"
+               "this estimate is ops x per-op cost, an upper bound since "
+               "per-op timing includes loop overhead).\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool csv = has_flag(argc, argv, "--csv");
+  if (has_flag(argc, argv, "--selfmon")) return run_selfmon_mode(csv);
   print_header("Measurement cost (papi_cost analogue)",
                "the PCP indirection layer the paper quantifies (Sec. I): "
                "per-fetch round trips vs direct counter reads");

@@ -1,0 +1,160 @@
+#include "components/selfmon_component.hpp"
+
+namespace papisim::components {
+
+namespace {
+
+constexpr std::string_view kSumSuffix = ".sum_ns";
+
+std::string_view strip_sum_suffix(std::string_view native, bool& is_sum) {
+  is_sum = native.size() > kSumSuffix.size() &&
+           native.substr(native.size() - kSumSuffix.size()) == kSumSuffix;
+  return is_sum ? native.substr(0, native.size() - kSumSuffix.size()) : native;
+}
+
+}  // namespace
+
+struct SelfmonComponent::State : ControlState {
+  std::vector<Resolved> events;
+  /// Start snapshot (counters and histogram windows are "since start").
+  selfmon::Snapshot start;
+};
+
+std::optional<SelfmonComponent::Resolved> SelfmonComponent::resolve(
+    std::string_view native) {
+  for (std::size_t c = 0; c < selfmon::kNumCounters; ++c) {
+    const auto id = static_cast<selfmon::CounterId>(c);
+    if (native == selfmon::counter_info(id).name) {
+      return Resolved{Kind::Counter, static_cast<std::uint16_t>(c)};
+    }
+  }
+  for (std::size_t g = 0; g < selfmon::kNumGauges; ++g) {
+    const auto id = static_cast<selfmon::GaugeId>(g);
+    if (native == selfmon::gauge_info(id).name) {
+      return Resolved{Kind::Gauge, static_cast<std::uint16_t>(g)};
+    }
+  }
+  bool is_sum = false;
+  const std::string_view base = strip_sum_suffix(native, is_sum);
+  for (std::size_t h = 0; h < selfmon::kNumHists; ++h) {
+    const auto id = static_cast<selfmon::HistId>(h);
+    if (base == selfmon::hist_info(id).name) {
+      return Resolved{is_sum ? Kind::HistSum : Kind::Hist,
+                      static_cast<std::uint16_t>(h)};
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<EventInfo> SelfmonComponent::events() const {
+  std::vector<EventInfo> out;
+  for (std::size_t c = 0; c < selfmon::kNumCounters; ++c) {
+    const selfmon::MetricInfo& mi =
+        selfmon::counter_info(static_cast<selfmon::CounterId>(c));
+    out.push_back({"selfmon:::" + std::string(mi.name),
+                   std::string(mi.description), std::string(mi.units), false});
+  }
+  for (std::size_t g = 0; g < selfmon::kNumGauges; ++g) {
+    const selfmon::MetricInfo& mi =
+        selfmon::gauge_info(static_cast<selfmon::GaugeId>(g));
+    out.push_back({"selfmon:::" + std::string(mi.name),
+                   std::string(mi.description), std::string(mi.units), true});
+  }
+  for (std::size_t h = 0; h < selfmon::kNumHists; ++h) {
+    const selfmon::MetricInfo& mi =
+        selfmon::hist_info(static_cast<selfmon::HistId>(h));
+    out.push_back({"selfmon:::" + std::string(mi.name),
+                   std::string(mi.description) +
+                       " (histogram: read = samples, percentiles via "
+                       "read_percentile)",
+                   "samples", false});
+    out.push_back({"selfmon:::" + std::string(mi.name) + std::string(kSumSuffix),
+                   std::string(mi.description) + " (summed latency)",
+                   std::string(mi.units), false});
+  }
+  return out;
+}
+
+bool SelfmonComponent::knows_event(std::string_view native) const {
+  return resolve(native).has_value();
+}
+
+bool SelfmonComponent::is_instantaneous(std::string_view native) const {
+  const auto r = resolve(native);
+  return r.has_value() && r->kind == Kind::Gauge;
+}
+
+EventKind SelfmonComponent::event_kind(std::string_view native) const {
+  const auto r = resolve(native);
+  if (!r) return EventKind::Counter;
+  switch (r->kind) {
+    case Kind::Gauge: return EventKind::Gauge;
+    case Kind::Hist: return EventKind::Histogram;
+    case Kind::Counter:
+    case Kind::HistSum: return EventKind::Counter;
+  }
+  return EventKind::Counter;
+}
+
+std::unique_ptr<ControlState> SelfmonComponent::create_state() {
+  return std::make_unique<State>();
+}
+
+void SelfmonComponent::add_event(ControlState& state, std::string_view native) {
+  const auto r = resolve(native);
+  if (!r) {
+    throw Error(Status::NoEvent,
+                "selfmon: unknown event '" + std::string(native) + "'");
+  }
+  static_cast<State&>(state).events.push_back(*r);
+}
+
+std::size_t SelfmonComponent::num_events(const ControlState& state) const {
+  return static_cast<const State&>(state).events.size();
+}
+
+void SelfmonComponent::start(ControlState& state) {
+  static_cast<State&>(state).start = selfmon::snapshot();
+}
+
+void SelfmonComponent::stop(ControlState& /*state*/) {}
+
+void SelfmonComponent::read(ControlState& state, std::span<long long> out) {
+  auto& st = static_cast<State&>(state);
+  const selfmon::Snapshot now = selfmon::snapshot();
+  for (std::size_t i = 0; i < st.events.size(); ++i) {
+    const Resolved& r = st.events[i];
+    switch (r.kind) {
+      case Kind::Counter:
+        out[i] = static_cast<long long>(now.counters[r.id] -
+                                        st.start.counters[r.id]);
+        break;
+      case Kind::Gauge:
+        out[i] = static_cast<long long>(now.gauges[r.id]);
+        break;
+      case Kind::Hist:
+        out[i] = static_cast<long long>(now.hists[r.id].count -
+                                        st.start.hists[r.id].count);
+        break;
+      case Kind::HistSum:
+        out[i] = static_cast<long long>(now.hists[r.id].sum_ns -
+                                        st.start.hists[r.id].sum_ns);
+        break;
+    }
+  }
+}
+
+void SelfmonComponent::reset(ControlState& state) { start(state); }
+
+double SelfmonComponent::read_percentile(ControlState& state,
+                                         std::string_view native, double q) {
+  const auto r = resolve(native);
+  if (!r || r->kind != Kind::Hist) {
+    return Component::read_percentile(state, native, q);  // throws
+  }
+  auto& st = static_cast<State&>(state);
+  const selfmon::Snapshot now = selfmon::snapshot();
+  return now.hists[r->id].since(st.start.hists[r->id]).percentile(q);
+}
+
+}  // namespace papisim::components

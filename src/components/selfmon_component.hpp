@@ -1,0 +1,69 @@
+// Selfmon component: the simulator's own runtime metrics (replay-pool
+// dispatch latency, L3 stripe contention, PMCD round trips, sampler and
+// runner overhead) exposed through the same multi-component API as the
+// hardware-domain components -- the paper's mechanism pointed back at the
+// harness itself, so a Profiler/RegionProfiler run can carry "cost of
+// measuring" columns next to the pcp/nvml/infiniband ones.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/component.hpp"
+#include "selfmon/metrics.hpp"
+
+namespace papisim::components {
+
+/// Event name grammar (all names live in selfmon::{counter,gauge,hist}_info):
+///   selfmon:::pool.tasks              counter   (delta since start)
+///   selfmon:::pcp.queue_depth         gauge     (instantaneous)
+///   selfmon:::pcp.fetch_rtt_ns        histogram (read = samples since start;
+///                                     percentiles via read_percentile)
+///   selfmon:::pcp.fetch_rtt_ns.sum_ns counter   (summed latency, for means)
+/// The component registers as disabled when the instrumentation was compiled
+/// out (-DPAPISIM_SELFMON=OFF), mirroring PAPI's disabled_reason.
+class SelfmonComponent : public Component {
+ public:
+  SelfmonComponent() = default;
+
+  std::string name() const override { return "selfmon"; }
+  std::string description() const override {
+    return "Harness self-monitoring: replay-pool, L3-stripe, PMCD and "
+           "sampler runtime metrics (profile the profiler)";
+  }
+  std::string disabled_reason() const override {
+    return selfmon::kEnabled
+               ? std::string{}
+               : "selfmon instrumentation compiled out (PAPISIM_SELFMON=OFF)";
+  }
+
+  std::vector<EventInfo> events() const override;
+  bool knows_event(std::string_view native) const override;
+  bool is_instantaneous(std::string_view native) const override;
+  EventKind event_kind(std::string_view native) const override;
+
+  std::unique_ptr<ControlState> create_state() override;
+  void add_event(ControlState& state, std::string_view native) override;
+  std::size_t num_events(const ControlState& state) const override;
+  void start(ControlState& state) override;
+  void stop(ControlState& state) override;
+  void read(ControlState& state, std::span<long long> out) override;
+  void reset(ControlState& state) override;
+  double read_percentile(ControlState& state, std::string_view native,
+                         double q) override;
+
+ private:
+  enum class Kind : std::uint8_t { Counter, Gauge, Hist, HistSum };
+  struct Resolved {
+    Kind kind = Kind::Counter;
+    std::uint16_t id = 0;  ///< index into the matching selfmon enum
+  };
+  struct State;
+
+  static std::optional<Resolved> resolve(std::string_view native);
+
+  friend struct State;
+};
+
+}  // namespace papisim::components

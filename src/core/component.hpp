@@ -19,6 +19,16 @@ struct EventInfo {
   bool instantaneous = false;  ///< gauge (e.g. power) rather than counter
 };
 
+/// Value semantics of an event's column.
+///
+/// Counter: monotonically accumulating; read() returns the delta since
+/// start() and timeline consumers plot per-interval rates.
+/// Gauge: instantaneous reading (e.g. power in mW); plotted raw.
+/// Histogram: a latency/size distribution; read() returns the number of
+/// samples recorded since start() and read_percentile() exposes the
+/// distribution's quantiles for the same window (selfmon latency tracks).
+enum class EventKind : std::uint8_t { Counter, Gauge, Histogram };
+
 /// Per-event-set component state.  Components subclass this to keep resolved
 /// event codes and start snapshots; the core never looks inside.
 class ControlState {
@@ -55,6 +65,13 @@ class Component {
     return false;
   }
 
+  /// Column semantics of `native`.  The default derives Counter/Gauge from
+  /// is_instantaneous(); components with distribution-valued events
+  /// (selfmon's latency histograms) override this to return Histogram.
+  virtual EventKind event_kind(std::string_view native) const {
+    return is_instantaneous(native) ? EventKind::Gauge : EventKind::Counter;
+  }
+
   virtual std::unique_ptr<ControlState> create_state() = 0;
 
   /// Add a native event to the state.  @throws Error(Status::NoEvent).
@@ -72,6 +89,19 @@ class Component {
 
   /// Re-zero the counters without stopping.
   virtual void reset(ControlState& state) = 0;
+
+  /// Quantile `q` in [0, 1] of a Histogram event's distribution, over the
+  /// samples recorded since start().  Only meaningful for events whose
+  /// event_kind() is Histogram; the default (no histogram events) throws
+  /// Error(Status::InvalidArgument).
+  virtual double read_percentile(ControlState& state, std::string_view native,
+                                 double q) {
+    (void)state;
+    (void)q;
+    throw Error(Status::InvalidArgument,
+                "component '" + name() + "' has no histogram event '" +
+                    std::string(native) + "'");
+  }
 };
 
 }  // namespace papisim

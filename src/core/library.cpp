@@ -104,6 +104,23 @@ void EventSet::add_event(std::string_view full_name) {
   }
   component_->add_event(*state_, native);
   names_.emplace_back(full_name);
+  natives_.push_back(std::move(native));
+}
+
+EventKind EventSet::kind(std::size_t idx) const {
+  if (idx >= natives_.size()) {
+    throw Error(Status::InvalidArgument, "kind: event index out of range");
+  }
+  return component_->event_kind(natives_[idx]);
+}
+
+double EventSet::read_percentile(std::size_t idx, double q) {
+  require_bound();
+  if (!running_) throw Error(Status::NotRunning, "event set not running");
+  if (idx >= natives_.size()) {
+    throw Error(Status::InvalidArgument, "read_percentile: event index out of range");
+  }
+  return component_->read_percentile(*state_, natives_[idx], q);
 }
 
 void EventSet::require_bound() const {

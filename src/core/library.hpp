@@ -76,6 +76,9 @@ class EventSet {
   std::size_t size() const { return names_.size(); }
   bool running() const { return running_; }
 
+  /// Column semantics of event `idx` (Counter / Gauge / Histogram).
+  EventKind kind(std::size_t idx) const;
+
   /// Component this set is bound to (nullptr before the first add_event).
   Component* component() const { return component_; }
 
@@ -87,6 +90,10 @@ class EventSet {
   std::vector<long long> read();
   void read(std::span<long long> out);
 
+  /// Quantile `q` of Histogram event `idx` over the window since start().
+  /// @throws Error for non-histogram events or when not running.
+  double read_percentile(std::size_t idx, double q);
+
  private:
   void require_bound() const;
 
@@ -94,6 +101,7 @@ class EventSet {
   Component* component_ = nullptr;
   std::unique_ptr<ControlState> state_;
   std::vector<std::string> names_;
+  std::vector<std::string> natives_;  ///< component-local names, same order
   bool running_ = false;
 };
 

@@ -61,6 +61,17 @@ std::vector<long long> Profiler::read_now() {
   return out;
 }
 
+void Profiler::dump_rates_csv(std::ostream& os) const {
+  os << "t0_sec,t1_sec";
+  for (const std::string& c : sampler_.columns()) os << ',' << c;
+  os << '\n';
+  for (const RateRow& row : sampler_.rates()) {
+    os << row.t0_sec << ',' << row.t1_sec;
+    for (const double v : row.values) os << ',' << v;
+    os << '\n';
+  }
+}
+
 void Profiler::write_csv(std::ostream& os) const {
   os << "t_sec";
   for (const std::string& c : sampler_.columns()) os << ',' << c;

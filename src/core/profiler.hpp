@@ -50,6 +50,11 @@ class Profiler {
   /// Dump the recorded timeline as CSV ("t_sec,<col>,<col>,...").
   void write_csv(std::ostream& os) const;
 
+  /// Dump per-interval rates ("t0_sec,t1_sec,<col>,...") -- counters as
+  /// delta/dt, gauges raw -- which is what the paper's Figs. 11/12 actually
+  /// plot (bandwidth over time, not cumulative bytes).
+  void dump_rates_csv(std::ostream& os) const;
+
  private:
   Library& lib_;
   Sampler sampler_;

@@ -1,6 +1,6 @@
 #include "core/sampler.hpp"
 
-#include "core/event_name.hpp"
+#include "selfmon/metrics.hpp"
 
 namespace papisim {
 
@@ -9,10 +9,13 @@ void Sampler::add_eventset(EventSet& es) {
     throw Error(Status::InvalidArgument, "Sampler: event set has no events");
   }
   sets_.push_back(&es);
-  for (const std::string& full : es.event_names()) {
-    columns_.push_back(full);
-    const ParsedEventName p = parse_event_name(full);
-    gauge_.push_back(es.component()->is_instantaneous(p.native));
+  for (std::size_t i = 0; i < es.event_names().size(); ++i) {
+    const EventKind kind = es.kind(i);
+    if (kind == EventKind::Histogram) hist_cols_.push_back(columns_.size());
+    columns_.push_back(es.event_names()[i]);
+    kinds_.push_back(kind);
+    gauge_.push_back(kind == EventKind::Gauge);
+    col_src_.push_back({&es, i});
   }
 }
 
@@ -29,6 +32,7 @@ void Sampler::stop_all() {
 }
 
 void Sampler::sample() {
+  const selfmon::Stopwatch probe(selfmon::HistId::SamplerSampleNs);
   TimelineRow row;
   row.t_sec = clock_.now_sec();
   row.values.reserve(columns_.size());
@@ -36,7 +40,17 @@ void Sampler::sample() {
     const std::vector<long long> v = es->read();
     row.values.insert(row.values.end(), v.begin(), v.end());
   }
+  row.hist.reserve(hist_cols_.size());
+  for (const std::size_t c : hist_cols_) {
+    const Column& src = col_src_[c];
+    std::array<double, 3> ps{};
+    for (std::size_t q = 0; q < kTracePercentiles.size(); ++q) {
+      ps[q] = src.set->read_percentile(src.local, kTracePercentiles[q]);
+    }
+    row.hist.push_back(ps);
+  }
   rows_.push_back(std::move(row));
+  selfmon::counter_add(selfmon::CounterId::SamplerRows);
 }
 
 std::vector<RateRow> Sampler::rates() const {

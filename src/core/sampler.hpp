@@ -1,6 +1,7 @@
 // Timeline sampler: simultaneous multi-component profiling (Figs. 11-12).
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -9,15 +10,24 @@
 
 namespace papisim {
 
+/// Percentiles recorded per histogram column on every row (p50/p95/p99),
+/// matching the tracks write_chrome_trace emits.
+inline constexpr std::array<double, 3> kTracePercentiles = {0.50, 0.95, 0.99};
+inline constexpr std::array<const char*, 3> kTracePercentileNames = {"p50", "p95",
+                                                                     "p99"};
+
 /// One timeline row: virtual timestamp plus the cumulative (or gauge) value
-/// of every column.
+/// of every column.  Histogram columns additionally carry their percentile
+/// triple, one entry per histogram column in column order.
 struct TimelineRow {
   double t_sec = 0.0;
   std::vector<long long> values;
+  std::vector<std::array<double, 3>> hist;  ///< kTracePercentiles per hist column
 };
 
 /// Per-interval view: rates for counter columns (delta/dt), raw values for
-/// gauge columns (e.g. power).
+/// gauge columns (e.g. power).  Histogram columns behave like counters here
+/// (the value is the recorded-sample count, so the rate is samples/sec).
 struct RateRow {
   double t0_sec = 0.0;
   double t1_sec = 0.0;
@@ -25,9 +35,10 @@ struct RateRow {
 };
 
 /// Samples several event sets -- typically one per component (PCP memory
-/// traffic, NVML power, Infiniband port data) -- against the shared virtual
-/// clock.  This is the mechanism behind the paper's "complete application
-/// profiling": disparate hardware domains on one time axis.
+/// traffic, NVML power, Infiniband port data, selfmon harness metrics) --
+/// against the shared virtual clock.  This is the mechanism behind the
+/// paper's "complete application profiling": disparate hardware domains on
+/// one time axis.
 class Sampler {
  public:
   explicit Sampler(const sim::SimClock& clock) : clock_(clock) {}
@@ -43,7 +54,11 @@ class Sampler {
   void sample();
 
   const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<EventKind>& column_kinds() const { return kinds_; }
   const std::vector<bool>& column_is_gauge() const { return gauge_; }
+  /// Column indices whose kind is Histogram, in column order; entry j of
+  /// TimelineRow::hist belongs to column hist_columns()[j].
+  const std::vector<std::size_t>& hist_columns() const { return hist_cols_; }
   const std::vector<TimelineRow>& rows() const { return rows_; }
 
   /// Consecutive-row rates; size() == rows().size() - 1.
@@ -52,10 +67,18 @@ class Sampler {
   void clear_rows() { rows_.clear(); }
 
  private:
+  struct Column {
+    EventSet* set = nullptr;
+    std::size_t local = 0;  ///< index within the set
+  };
+
   const sim::SimClock& clock_;
   std::vector<EventSet*> sets_;
+  std::vector<Column> col_src_;
   std::vector<std::string> columns_;
+  std::vector<EventKind> kinds_;
   std::vector<bool> gauge_;
+  std::vector<std::size_t> hist_cols_;
   std::vector<TimelineRow> rows_;
 };
 

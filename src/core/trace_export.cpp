@@ -68,6 +68,20 @@ void write_chrome_trace(std::ostream& os, const Sampler& sampler,
            std::to_string(r.values[c]) + "}}");
     }
   }
+
+  // Histogram columns: one percentile track per quantile, raw values (the
+  // distribution is already an aggregate; no rate conversion), every row.
+  for (const TimelineRow& row : sampler.rows()) {
+    for (std::size_t j = 0; j < sampler.hist_columns().size(); ++j) {
+      const std::string& col = sampler.columns()[sampler.hist_columns()[j]];
+      for (std::size_t q = 0; q < kTracePercentiles.size(); ++q) {
+        emit("{\"ph\":\"C\",\"pid\":1,\"name\":\"" + json_escape(col) + "." +
+             kTracePercentileNames[q] + "\",\"ts\":" +
+             std::to_string(row.t_sec * 1e6) + ",\"args\":{\"value\":" +
+             std::to_string(row.hist[j][q]) + "}}");
+      }
+    }
+  }
   os << "\n]}\n";
 }
 

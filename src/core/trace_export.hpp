@@ -23,7 +23,11 @@ struct TraceSpan {
 /// Writes a complete trace: one "X" (complete) event per span and one "C"
 /// (counter) event per sampler row and column.  Counter columns use the
 /// sampler's per-interval rates for counters and raw values for gauges, so
-/// the tracks look like the paper's Fig. 11/12 curves.
+/// the tracks look like the paper's Fig. 11/12 curves.  Histogram columns
+/// (selfmon latency distributions) additionally render as one counter track
+/// per percentile ("<column>.p50" / ".p95" / ".p99", kTracePercentiles) with
+/// the raw percentile value at each row; the base column stays a rate track
+/// of recorded samples per second.
 void write_chrome_trace(std::ostream& os, const Sampler& sampler,
                         std::span<const TraceSpan> spans,
                         const std::string& process_name = "papisim");

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "pcp/pmns.hpp"
+#include "selfmon/metrics.hpp"
 #include "sim/thread_pool.hpp"
 
 namespace papisim::kernels {
@@ -75,6 +76,8 @@ Measurement KernelRunner::measure(
   std::vector<std::array<std::uint64_t, 2>> rep_delta;
   double rep_time_ns = 0.0;
   for (std::uint32_t rep = 0; rep < opt.reps; ++rep) {
+    const selfmon::Stopwatch rep_probe(selfmon::HistId::RunnerRepNs);
+    selfmon::counter_add(selfmon::CounterId::RunnerReps);
     machine_.noise(opt.socket).repetition_overhead();
     if (rep == 0 || opt.literal_reps) {
       const auto snap0 = mem.snapshot();
@@ -127,6 +130,7 @@ Measurement KernelRunner::measure(
       // caches, disjoint addresses => identical traffic): replay the
       // recorded per-channel delta instead of re-simulating.  Validated
       // against literal_reps in tests.
+      selfmon::counter_add(selfmon::CounterId::RunnerRepsReplayed);
       for (std::uint32_t ch = 0; ch < mem.channels(); ++ch) {
         mem.add_channel_bytes(ch, sim::MemDir::Read, rep_delta[ch][0]);
         mem.add_channel_bytes(ch, sim::MemDir::Write, rep_delta[ch][1]);

@@ -1,5 +1,7 @@
 #include "pcp/pmcd.hpp"
 
+#include "selfmon/metrics.hpp"
+
 namespace papisim::pcp {
 
 Pmcd::Pmcd(sim::Machine& machine)
@@ -18,6 +20,8 @@ void Pmcd::post(Request req) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(req));
+    selfmon::gauge_set(selfmon::GaugeId::PcpQueueDepth,
+                       static_cast<std::int64_t>(queue_.size()));
   }
   cv_.notify_one();
 }
@@ -39,6 +43,9 @@ NamesReply Pmcd::names_under(const std::string& prefix) {
 }
 
 FetchReply Pmcd::fetch(const std::vector<PmId>& pmids, std::uint32_t cpu) {
+  // Client-visible round trip: enqueue to reply, the indirection latency the
+  // paper's Section I weighs against direct privileged reads.
+  const selfmon::Stopwatch rtt(selfmon::HistId::PcpFetchRttNs);
   FetchReq req;
   req.pmids = pmids;
   req.cpu = cpu;
@@ -54,11 +61,14 @@ void Pmcd::serve() {
       cv_.wait(lock, [this] { return !queue_.empty(); });
       Request r = std::move(queue_.front());
       queue_.pop_front();
+      selfmon::gauge_set(selfmon::GaugeId::PcpQueueDepth,
+                         static_cast<std::int64_t>(queue_.size()));
       return r;
     }();
 
     if (std::holds_alternative<StopReq>(req)) return;
     ++requests_served_;
+    selfmon::counter_add(selfmon::CounterId::PcpRequestsServed);
 
     if (auto* l = std::get_if<LookupReq>(&req)) {
       LookupReply reply;

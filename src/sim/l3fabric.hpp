@@ -39,6 +39,10 @@ namespace papisim::sim {
 /// set_active_cores()/flush_*() take the stripe locks one at a time and may
 /// run concurrently with accesses, but reconfiguring while a replay is in
 /// flight is a modelling error (the capacity change would apply mid-kernel).
+/// Every stripe acquisition is accounted by selfmon (l3.stripe_acquisitions,
+/// plus l3.stripe_contention estimated from sampled try_lock probes), so
+/// replay-pool contention on shared cores is observable through the selfmon
+/// component without burdening the per-access fast path (see lock_stripe).
 class L3Fabric {
  public:
   L3Fabric(const MachineConfig& cfg, MemController& mem);
@@ -104,7 +108,24 @@ class L3Fabric {
     std::unique_ptr<CacheLevel> slice;
     std::unique_ptr<CacheLevel> victim;  ///< this core's lateral-cast-out share
     std::uint64_t retention_events = 0;  ///< per-core: order-independent across cores
+    // Selfmon staging, guarded by mu: acquisitions/contention accumulate in
+    // plain fields (the stripe line is already exclusive while locked) and
+    // flush to the selfmon registry in batches, keeping the per-access
+    // instrumentation cost off the hot path.
+    std::uint64_t selfmon_acquisitions = 0;
+    std::uint64_t selfmon_contention = 0;
   };
+
+  /// Lock a stripe with selfmon accounting: batched acquisition counts,
+  /// plus a try_lock contention probe when `probe` is set (sampled by the
+  /// caller); a plain lock when the instrumentation is compiled out.
+  static std::unique_lock<std::mutex> lock_stripe(Stripe& stripe,
+                                                  bool probe = false);
+
+  /// Cold path of lock_stripe: push the staged counts into the selfmon
+  /// registry.  Deliberately out of line so the registry's TLS access never
+  /// burdens the per-access fast path.
+  static void flush_stripe_selfmon(Stripe& stripe);
 
   Source access_line(std::uint32_t core, std::uint64_t line, bool make_dirty,
                      Traffic* t);

@@ -1,5 +1,7 @@
 #include "sim/thread_pool.hpp"
 
+#include "selfmon/metrics.hpp"
+
 namespace papisim::sim {
 
 ThreadPool::ThreadPool(std::uint32_t workers) {
@@ -18,6 +20,7 @@ void ThreadPool::worker_loop(const std::stop_token& stop) {
   while (true) {
     std::shared_ptr<Batch> batch;
     {
+      const selfmon::TimePoint w0 = selfmon::clock_now();
       std::unique_lock lock(mu_);
       work_cv_.wait(lock, [&] {
         return stop.stop_requested() ||
@@ -25,6 +28,7 @@ void ThreadPool::worker_loop(const std::stop_token& stop) {
       });
       if (stop.stop_requested()) return;
       batch = current_;
+      selfmon::hist_record_since(selfmon::HistId::PoolQueueWaitNs, w0);
     }
     drain(batch);
   }
@@ -38,15 +42,25 @@ void ThreadPool::drain(const std::shared_ptr<Batch>& batch) {
       if (batch->next >= batch->n) return;
       idx = batch->next++;
     }
+    selfmon::counter_add(selfmon::CounterId::PoolClaims);
     std::exception_ptr error;
     try {
       (*batch->fn)(idx);
+      selfmon::counter_add(selfmon::CounterId::PoolTasks);
     } catch (...) {
       error = std::current_exception();
     }
     {
       std::lock_guard lock(mu_);
-      if (error && !batch->error) batch->error = error;
+      if (error) {
+        if (!batch->error) {
+          batch->error = error;
+        } else {
+          // Only the first exception is rethrown (see header contract);
+          // account for the ones the batch swallows.
+          selfmon::counter_add(selfmon::CounterId::PoolExceptionsDropped);
+        }
+      }
       if (++batch->done == batch->n) {
         done_cv_.notify_all();
         return;
@@ -58,8 +72,26 @@ void ThreadPool::drain(const std::shared_ptr<Batch>& batch) {
 void ThreadPool::parallel_for(std::uint32_t n,
                               const std::function<void(std::uint32_t)>& fn) {
   if (n == 0) return;
+  const selfmon::Stopwatch dispatch(selfmon::HistId::PoolDispatchNs);
+  selfmon::counter_add(selfmon::CounterId::PoolBatches);
   if (threads_.empty() || n == 1) {
-    for (std::uint32_t i = 0; i < n; ++i) fn(i);
+    // Inline serial path; same exception contract as the pooled path (all
+    // indices run, first exception rethrown, later ones counted + dropped).
+    std::exception_ptr first;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      selfmon::counter_add(selfmon::CounterId::PoolClaims);
+      try {
+        fn(i);
+        selfmon::counter_add(selfmon::CounterId::PoolTasks);
+      } catch (...) {
+        if (!first) {
+          first = std::current_exception();
+        } else {
+          selfmon::counter_add(selfmon::CounterId::PoolExceptionsDropped);
+        }
+      }
+    }
+    if (first) std::rethrow_exception(first);
     return;
   }
   auto batch = std::make_shared<Batch>();

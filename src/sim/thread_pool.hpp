@@ -37,8 +37,17 @@ class ThreadPool {
   std::uint32_t workers() const { return static_cast<std::uint32_t>(threads_.size()); }
 
   /// Run fn(i) for every i in [0, n) across the workers plus the calling
-  /// thread; returns when all n calls finished.  The first exception thrown
-  /// by any task is rethrown here (remaining indices still drain).
+  /// thread; returns when all n calls finished.
+  ///
+  /// Exception contract: every index is attempted even when tasks throw
+  /// (workers have already claimed indices, and the serial fallback matches
+  /// that behaviour deliberately).  The FIRST exception -- in completion
+  /// order, which is nondeterministic for the pooled path -- is rethrown
+  /// here; every later exception is swallowed.  Dropped exceptions are not
+  /// silent, though: each one increments the selfmon counter
+  /// `pool.exceptions_dropped` (selfmon::CounterId::PoolExceptionsDropped),
+  /// so a measurement run can detect that a batch lost failures.  Callers
+  /// that need all errors must capture them inside `fn`.
   void parallel_for(std::uint32_t n, const std::function<void(std::uint32_t)>& fn);
 
  private:

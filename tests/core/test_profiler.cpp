@@ -1,6 +1,7 @@
 // Tests for the high-level Profiler convenience API.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <sstream>
 
@@ -68,6 +69,31 @@ TEST_F(ProfilerFixture, TimelineAndCsvRoundTrip) {
   const std::string text = csv.str();
   EXPECT_NE(text.find("t_sec,mem:::reads,gpu:::power"), std::string::npos);
   EXPECT_NE(text.find("0.5,4242,90000"), std::string::npos);
+}
+
+TEST_F(ProfilerFixture, DumpRatesCsvEmitsPerIntervalRates) {
+  Profiler prof(profiler_lib, clock);
+  prof.add_events({"mem:::reads", "gpu:::power"});
+  prof.start();
+  prof.sample();
+  clock.advance(5e8);  // 0.5 s
+  mem->bump(0, 4242);
+  gpu->bump(0, 90000);
+  prof.sample();
+  clock.advance(2.5e8);  // 0.25 s
+  mem->bump(0, 1000);
+  prof.sample();
+  prof.stop();
+
+  std::ostringstream csv;
+  prof.dump_rates_csv(csv);
+  const std::string text = csv.str();
+  // N samples -> N-1 intervals; counters as delta/dt, gauges raw.
+  EXPECT_NE(text.find("t0_sec,t1_sec,mem:::reads,gpu:::power"), std::string::npos);
+  EXPECT_NE(text.find("0,0.5,8484,90000"), std::string::npos);
+  EXPECT_NE(text.find("0.5,0.75,4000,90000"), std::string::npos);
+  // Exactly header + two interval rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
 }
 
 TEST_F(ProfilerFixture, ReadNowDoesNotRecordARow) {

@@ -1,8 +1,13 @@
 // Tests for the Chrome trace-event exporter.
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <map>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "core/trace_export.hpp"
 #include "testing/fake_component.hpp"
@@ -11,6 +16,178 @@ namespace papisim {
 namespace {
 
 using test_support::FakeComponent;
+
+// ---------------------------------------------------------------------------
+// A deliberately small JSON parser, enough to round-trip the exporter's
+// output: the trace must be *parseable*, not merely contain substrings.
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> items;                       // Array
+  std::vector<std::pair<std::string, JsonValue>> members;  // Object
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  static JsonValue parse(const std::string& text) {
+    JsonParser p(text);
+    JsonValue v = p.value();
+    p.skip_ws();
+    if (p.pos_ != text.size()) throw std::runtime_error("trailing garbage");
+    return v;
+  }
+
+ private:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  char peek() {
+    if (pos_ >= text_.size()) throw std::runtime_error("unexpected end");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_));
+    }
+    ++pos_;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') return null();
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.type = JsonValue::Type::Object;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue key = string_value();
+      skip_ws();
+      expect(':');
+      v.members.emplace_back(key.str, value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.type = JsonValue::Type::Array;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.type = JsonValue::Type::String;
+    expect('"');
+    while (peek() != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        const char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '/': c = '/'; break;
+          default: throw std::runtime_error("unsupported escape");
+        }
+      }
+      v.str += c;
+    }
+    ++pos_;
+    return v;
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.type = JsonValue::Type::Bool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      throw std::runtime_error("bad literal");
+    }
+    return v;
+  }
+
+  JsonValue null() {
+    if (text_.compare(pos_, 4, "null") != 0) throw std::runtime_error("bad null");
+    pos_ += 4;
+    return {};
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) throw std::runtime_error("bad number");
+    JsonValue v;
+    v.type = JsonValue::Type::Number;
+    v.number = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
 
 struct TraceFixture : ::testing::Test {
   TraceFixture() {
@@ -65,6 +242,130 @@ TEST_F(TraceFixture, EscapesSpecialCharacters) {
   write_chrome_trace(out, sampler, spans);
   const std::string json = out.str();
   EXPECT_NE(json.find("with \\\"quotes\\\"\\nand\\\\slash"), std::string::npos);
+}
+
+TEST_F(TraceFixture, ParsedTraceHasExpectedEventsAndMonotoneTimestamps) {
+  // One counter column (mem) + one gauge column (gpu), 3 samples, 2 spans.
+  FakeComponent& gpu = static_cast<FakeComponent&>(lib.register_component(
+      std::make_unique<FakeComponent>("gpu", std::vector<std::string>{"power"})));
+  gpu.set_gauge(true);
+
+  auto es_mem = lib.create_eventset();
+  es_mem->add_event("mem:::bytes");
+  auto es_gpu = lib.create_eventset();
+  es_gpu->add_event("gpu:::power");
+
+  Sampler sampler(clock);
+  sampler.add_eventset(*es_mem);
+  sampler.add_eventset(*es_gpu);
+  sampler.start_all();
+  gpu.bump(0, 90000);
+  sampler.sample();             // t = 0
+  clock.advance(1e6);           // +1 ms
+  mem->bump(0, 500);
+  sampler.sample();             // t = 0.001
+  clock.advance(1e6);
+  mem->bump(0, 250);
+  gpu.bump(0, 10000);           // gauge now reads 100000
+  sampler.sample();             // t = 0.002
+  sampler.stop_all();
+
+  const TraceSpan spans[] = {{"fft_z", 0.0, 0.001, "phases"},
+                             {"all2all", 0.001, 0.002, "network"}};
+  std::ostringstream out;
+  write_chrome_trace(out, sampler, spans, "parse-me");
+  const JsonValue root = JsonParser::parse(out.str());
+
+  ASSERT_EQ(root.type, JsonValue::Type::Object);
+  const JsonValue* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->type, JsonValue::Type::Array);
+
+  std::size_t n_spans = 0, n_meta = 0;
+  std::map<std::string, std::vector<std::pair<double, double>>> counters;
+  for (const JsonValue& ev : events->items) {
+    ASSERT_EQ(ev.type, JsonValue::Type::Object);
+    const JsonValue* ph = ev.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->str == "X") {
+      ++n_spans;
+    } else if (ph->str == "M") {
+      ++n_meta;
+    } else if (ph->str == "C") {
+      const JsonValue* value = ev.find("args")->find("value");
+      ASSERT_NE(value, nullptr);
+      counters[ev.find("name")->str].emplace_back(ev.find("ts")->number,
+                                                  value->number);
+    }
+  }
+  EXPECT_EQ(n_spans, 2u);
+  // process_name + one thread_name per distinct span track.
+  EXPECT_EQ(n_meta, 3u);
+
+  // 3 samples -> 2 rate intervals per column; no histogram columns here.
+  ASSERT_EQ(counters.size(), 2u);
+  ASSERT_EQ(counters["mem:::bytes"].size(), 2u);
+  ASSERT_EQ(counters["gpu:::power"].size(), 2u);
+
+  // Counter column: per-interval rate (delta / dt).
+  EXPECT_DOUBLE_EQ(counters["mem:::bytes"][0].second, 500 / 1e-3);
+  EXPECT_DOUBLE_EQ(counters["mem:::bytes"][1].second, 250 / 1e-3);
+  // Gauge column: raw end-of-interval reading, no rate conversion.
+  EXPECT_DOUBLE_EQ(counters["gpu:::power"][0].second, 90000.0);
+  EXPECT_DOUBLE_EQ(counters["gpu:::power"][1].second, 100000.0);
+
+  // Timestamps strictly increase along every counter track.
+  for (const auto& [name, points] : counters) {
+    for (std::size_t i = 1; i < points.size(); ++i) {
+      EXPECT_LT(points[i - 1].first, points[i].first) << name;
+    }
+    EXPECT_GE(points.front().first, 0.0) << name;
+  }
+}
+
+TEST_F(TraceFixture, HistogramColumnsRenderPercentileTracks) {
+  FakeComponent& lat = static_cast<FakeComponent&>(lib.register_component(
+      std::make_unique<FakeComponent>("h", std::vector<std::string>{"lat"})));
+  lat.set_histogram(true);
+
+  auto es = lib.create_eventset();
+  es->add_event("h:::lat");
+  Sampler sampler(clock);
+  sampler.add_eventset(*es);
+  ASSERT_EQ(sampler.hist_columns().size(), 1u);
+
+  sampler.start_all();
+  sampler.sample();        // row 0: empty distribution
+  clock.advance(1e6);
+  for (const long long v : {10, 20, 30, 40, 1000}) lat.record(0, v);
+  sampler.sample();        // row 1: 5 samples
+  sampler.stop_all();
+
+  std::ostringstream out;
+  write_chrome_trace(out, sampler, {});
+  const JsonValue root = JsonParser::parse(out.str());
+  const JsonValue* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  std::map<std::string, std::vector<double>> tracks;
+  for (const JsonValue& ev : events->items) {
+    if (ev.find("ph")->str != "C") continue;
+    tracks[ev.find("name")->str].push_back(
+        ev.find("args")->find("value")->number);
+  }
+  // Base column renders as a rate track (samples/sec over 1 interval) plus
+  // one percentile track per quantile with one point per row.
+  ASSERT_EQ(tracks.size(), 4u);
+  ASSERT_EQ(tracks["h:::lat"].size(), 1u);
+  EXPECT_DOUBLE_EQ(tracks["h:::lat"][0], 5 / 1e-3);
+  for (const char* q : {"h:::lat.p50", "h:::lat.p95", "h:::lat.p99"}) {
+    ASSERT_EQ(tracks[q].size(), 2u) << q;
+    EXPECT_DOUBLE_EQ(tracks[q][0], 0.0) << q;  // row 0: nothing recorded yet
+  }
+  // Nearest-rank percentiles of {10,20,30,40,1000} at row 1.
+  EXPECT_DOUBLE_EQ(tracks["h:::lat.p50"][1], 30.0);
+  EXPECT_DOUBLE_EQ(tracks["h:::lat.p95"][1], 1000.0);
+  EXPECT_DOUBLE_EQ(tracks["h:::lat.p99"][1], 1000.0);
 }
 
 TEST_F(TraceFixture, EmptySamplerStillProducesValidSkeleton) {

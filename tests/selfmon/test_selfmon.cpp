@@ -1,0 +1,306 @@
+// Selfmon registry + component tests: the harness profiling itself through
+// the same multi-component API it applies to the simulated hardware.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "components/cpu_component.hpp"
+#include "components/pcp_component.hpp"
+#include "components/selfmon_component.hpp"
+#include "core/regions.hpp"
+#include "core/trace_export.hpp"
+#include "kernels/blas_sim.hpp"
+#include "kernels/runner.hpp"
+#include "pcp/client.hpp"
+#include "pcp/pmcd.hpp"
+#include "selfmon/metrics.hpp"
+
+namespace papisim {
+namespace {
+
+TEST(SelfmonRegistry, CounterAddIsVisibleInSnapshot) {
+  if (!selfmon::kEnabled) GTEST_SKIP() << "selfmon compiled out";
+  const std::uint64_t before =
+      selfmon::snapshot().counter(selfmon::CounterId::PoolBatches);
+  selfmon::counter_add(selfmon::CounterId::PoolBatches, 3);
+  const std::uint64_t after =
+      selfmon::snapshot().counter(selfmon::CounterId::PoolBatches);
+  EXPECT_EQ(after - before, 3u);
+}
+
+TEST(SelfmonRegistry, GaugeSetAndAdd) {
+  if (!selfmon::kEnabled) GTEST_SKIP() << "selfmon compiled out";
+  selfmon::gauge_set(selfmon::GaugeId::PcpQueueDepth, 7);
+  EXPECT_EQ(selfmon::snapshot().gauge(selfmon::GaugeId::PcpQueueDepth), 7);
+  selfmon::gauge_add(selfmon::GaugeId::PcpQueueDepth, -2);
+  EXPECT_EQ(selfmon::snapshot().gauge(selfmon::GaugeId::PcpQueueDepth), 5);
+  selfmon::gauge_set(selfmon::GaugeId::PcpQueueDepth, 0);
+}
+
+TEST(SelfmonRegistry, HistogramPercentilesLandInTheRecordedBucket) {
+  if (!selfmon::kEnabled) GTEST_SKIP() << "selfmon compiled out";
+  const selfmon::HistSnapshot before =
+      selfmon::snapshot().hist(selfmon::HistId::PcpFetchRttNs);
+  for (int i = 0; i < 100; ++i) {
+    selfmon::hist_record_ns(selfmon::HistId::PcpFetchRttNs, 1000);
+  }
+  const selfmon::HistSnapshot window =
+      selfmon::snapshot().hist(selfmon::HistId::PcpFetchRttNs).since(before);
+  EXPECT_EQ(window.count, 100u);
+  EXPECT_EQ(window.sum_ns, 100000u);
+  // 1000 ns has bit_width 10 -> bucket [512, 1024); every percentile
+  // interpolates inside that bucket.
+  for (const double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_GE(window.percentile(q), 512.0);
+    EXPECT_LE(window.percentile(q), 1024.0);
+  }
+  EXPECT_DOUBLE_EQ(window.mean_ns(), 1000.0);
+}
+
+TEST(SelfmonRegistry, PercentileOrderingAcrossBuckets) {
+  if (!selfmon::kEnabled) GTEST_SKIP() << "selfmon compiled out";
+  const selfmon::HistSnapshot before =
+      selfmon::snapshot().hist(selfmon::HistId::PoolDispatchNs);
+  // 90 fast samples, 10 slow ones: p50 stays fast, p99 lands slow.
+  for (int i = 0; i < 90; ++i) {
+    selfmon::hist_record_ns(selfmon::HistId::PoolDispatchNs, 100);
+  }
+  for (int i = 0; i < 10; ++i) {
+    selfmon::hist_record_ns(selfmon::HistId::PoolDispatchNs, 1 << 20);
+  }
+  const selfmon::HistSnapshot w =
+      selfmon::snapshot().hist(selfmon::HistId::PoolDispatchNs).since(before);
+  EXPECT_EQ(w.count, 100u);
+  EXPECT_LT(w.percentile(0.5), 256.0);
+  EXPECT_GT(w.percentile(0.99), 512.0 * 1024.0);
+  EXPECT_LE(w.percentile(0.5), w.percentile(0.95));
+  EXPECT_LE(w.percentile(0.95), w.percentile(0.99));
+}
+
+TEST(SelfmonRegistry, CountsFromExitedThreadsAreRetained) {
+  if (!selfmon::kEnabled) GTEST_SKIP() << "selfmon compiled out";
+  const std::uint64_t before =
+      selfmon::snapshot().counter(selfmon::CounterId::PoolTasks);
+  std::thread t([] { selfmon::counter_add(selfmon::CounterId::PoolTasks, 41); });
+  t.join();
+  const std::uint64_t after =
+      selfmon::snapshot().counter(selfmon::CounterId::PoolTasks);
+  EXPECT_EQ(after - before, 41u);
+}
+
+TEST(SelfmonComponent, EnumeratesEveryMetric) {
+  components::SelfmonComponent comp;
+  const std::vector<EventInfo> evs = comp.events();
+  // counters + gauges + 2 per histogram (base + .sum_ns).
+  EXPECT_EQ(evs.size(), selfmon::kNumCounters + selfmon::kNumGauges +
+                            2 * selfmon::kNumHists);
+  EXPECT_TRUE(comp.knows_event("pool.tasks"));
+  EXPECT_TRUE(comp.knows_event("pcp.queue_depth"));
+  EXPECT_TRUE(comp.knows_event("pcp.fetch_rtt_ns"));
+  EXPECT_TRUE(comp.knows_event("pcp.fetch_rtt_ns.sum_ns"));
+  EXPECT_FALSE(comp.knows_event("bogus.metric"));
+  EXPECT_EQ(comp.event_kind("pool.tasks"), EventKind::Counter);
+  EXPECT_EQ(comp.event_kind("pcp.queue_depth"), EventKind::Gauge);
+  EXPECT_EQ(comp.event_kind("pcp.fetch_rtt_ns"), EventKind::Histogram);
+  EXPECT_EQ(comp.event_kind("pcp.fetch_rtt_ns.sum_ns"), EventKind::Counter);
+  EXPECT_TRUE(comp.is_instantaneous("pcp.queue_depth"));
+  EXPECT_FALSE(comp.is_instantaneous("pool.tasks"));
+}
+
+TEST(SelfmonComponent, AvailabilityTracksCompileFlag) {
+  components::SelfmonComponent comp;
+  EXPECT_EQ(comp.available(), selfmon::kEnabled);
+}
+
+TEST(SelfmonComponent, CounterAndHistogramWindowsAreSinceStart) {
+  if (!selfmon::kEnabled) GTEST_SKIP() << "selfmon compiled out";
+  Library lib;
+  lib.register_component(std::make_unique<components::SelfmonComponent>());
+  auto es = lib.create_eventset();
+  es->add_event("selfmon:::pool.batches");
+  es->add_event("selfmon:::pool.dispatch_ns");
+  es->add_event("selfmon:::pool.dispatch_ns.sum_ns");
+
+  // Activity before start() must not leak into the measurement window.
+  selfmon::counter_add(selfmon::CounterId::PoolBatches, 5);
+  selfmon::hist_record_ns(selfmon::HistId::PoolDispatchNs, 64);
+
+  es->start();
+  selfmon::counter_add(selfmon::CounterId::PoolBatches, 2);
+  selfmon::hist_record_ns(selfmon::HistId::PoolDispatchNs, 2000);
+  selfmon::hist_record_ns(selfmon::HistId::PoolDispatchNs, 2000);
+
+  const std::vector<long long> v = es->read();
+  EXPECT_EQ(v[0], 2);          // counter delta
+  EXPECT_EQ(v[1], 2);          // histogram: samples since start
+  EXPECT_EQ(v[2], 4000);       // summed latency since start
+  EXPECT_EQ(es->kind(1), EventKind::Histogram);
+  const double p50 = es->read_percentile(1, 0.5);
+  EXPECT_GE(p50, 1024.0);  // 2000 ns -> bucket [1024, 2048)
+  EXPECT_LE(p50, 2048.0);
+  // Percentile of a non-histogram event throws.
+  EXPECT_THROW((void)es->read_percentile(0, 0.5), Error);
+  es->stop();
+}
+
+/// The acceptance-criterion scenario: one RegionProfiler run mixing
+/// selfmon:: events with pcp:: events, measuring a GEMM replay, and the
+/// trace export rendering selfmon histogram percentiles as counter tracks.
+TEST(SelfmonIntegration, RegionProfilerMixesSelfmonAndPcpEvents) {
+  if (!selfmon::kEnabled) GTEST_SKIP() << "selfmon compiled out";
+  sim::Machine machine(sim::MachineConfig::summit());
+  machine.set_noise_enabled(false);
+  pcp::Pmcd daemon(machine);
+  pcp::PcpClient client(daemon, machine, machine.user_credentials());
+
+  Library lib;
+  lib.register_component(std::make_unique<components::PcpComponent>(client));
+  lib.register_component(std::make_unique<components::SelfmonComponent>());
+
+  RegionProfiler prof(lib, machine.clock());
+  prof.add_events({
+      "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87",
+      "selfmon:::l3.stripe_acquisitions",
+      "selfmon:::pcp.requests_served",
+      "selfmon:::pcp.fetch_rtt_ns",
+  });
+  prof.start();
+  {
+    auto gemm = prof.region("gemm");
+    const std::uint64_t n = 128;
+    const kernels::GemmBuffers buf =
+        kernels::GemmBuffers::allocate(machine.address_space(), n);
+    kernels::run_gemm(machine, 0, 0, n, buf);
+    machine.flush_socket(0);
+  }
+  prof.stop();
+
+  const std::vector<RegionStats> report = prof.report();
+  ASSERT_EQ(report.size(), 1u);
+  const RegionStats& gemm = report[0];
+  EXPECT_EQ(gemm.path, "gemm");
+  ASSERT_EQ(gemm.inclusive.size(), 4u);
+  EXPECT_GT(gemm.inclusive[0], 0.0);  // pcp: memory reads happened
+  EXPECT_GT(gemm.inclusive[1], 0.0);  // selfmon: stripe locks taken
+  // Region entry/exit reads the pcp event set through the PMCD, so the
+  // requests-served counter moves within the region window too.
+  EXPECT_GE(gemm.inclusive[2], 0.0);
+}
+
+TEST(SelfmonIntegration, TraceExportEmitsPercentileTracksForSelfmonHistograms) {
+  if (!selfmon::kEnabled) GTEST_SKIP() << "selfmon compiled out";
+  sim::Machine machine(sim::MachineConfig::summit());
+  machine.set_noise_enabled(false);
+  pcp::Pmcd daemon(machine);
+  pcp::PcpClient client(daemon, machine, machine.user_credentials());
+
+  Library lib;
+  lib.register_component(std::make_unique<components::PcpComponent>(client));
+  lib.register_component(std::make_unique<components::SelfmonComponent>());
+
+  auto pcp_set = lib.create_eventset();
+  pcp_set->add_event(
+      "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87");
+  auto self_set = lib.create_eventset();
+  self_set->add_event("selfmon:::pcp.fetch_rtt_ns");
+
+  Sampler sampler(machine.clock());
+  sampler.add_eventset(*pcp_set);
+  sampler.add_eventset(*self_set);
+  ASSERT_EQ(sampler.hist_columns().size(), 1u);
+  EXPECT_EQ(sampler.hist_columns()[0], 1u);
+
+  const auto pmid =
+      client.lookup("perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES");
+  ASSERT_TRUE(pmid.has_value());
+
+  sampler.start_all();
+  sampler.sample();
+  machine.advance(1e6);
+  (void)client.fetch({*pmid}, 0);  // generate fetch RTT samples
+  sampler.sample();
+  sampler.stop_all();
+
+  std::ostringstream out;
+  write_chrome_trace(out, sampler, {}, "selfmon-test");
+  const std::string json = out.str();
+  EXPECT_NE(json.find("selfmon:::pcp.fetch_rtt_ns.p50"), std::string::npos);
+  EXPECT_NE(json.find("selfmon:::pcp.fetch_rtt_ns.p95"), std::string::npos);
+  EXPECT_NE(json.find("selfmon:::pcp.fetch_rtt_ns.p99"), std::string::npos);
+}
+
+TEST(SelfmonInstrumentation, PmcdFetchFeedsRttHistogramAndServedCounter) {
+  if (!selfmon::kEnabled) GTEST_SKIP() << "selfmon compiled out";
+  sim::Machine machine(sim::MachineConfig::summit());
+  machine.set_noise_enabled(false);
+  const selfmon::Snapshot before = selfmon::snapshot();
+  {
+    pcp::Pmcd daemon(machine);
+    pcp::PcpClient client(daemon, machine, machine.user_credentials());
+    const auto pmid =
+        client.lookup("perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES");
+    ASSERT_TRUE(pmid.has_value());
+    for (int i = 0; i < 5; ++i) (void)client.fetch({*pmid}, 0);
+  }
+  const selfmon::Snapshot after = selfmon::snapshot();
+  EXPECT_GE(after.counter(selfmon::CounterId::PcpRequestsServed) -
+                before.counter(selfmon::CounterId::PcpRequestsServed),
+            5u);
+  const selfmon::HistSnapshot rtt = after.hist(selfmon::HistId::PcpFetchRttNs)
+                                        .since(before.hist(selfmon::HistId::PcpFetchRttNs));
+  EXPECT_GE(rtt.count, 5u);
+  EXPECT_GT(rtt.sum_ns, 0u);
+  // Queue fully drained before the daemon stopped.
+  EXPECT_EQ(after.gauge(selfmon::GaugeId::PcpQueueDepth), 0);
+}
+
+TEST(SelfmonInstrumentation, KernelRunnerCountsSimulatedAndReplayedReps) {
+  if (!selfmon::kEnabled) GTEST_SKIP() << "selfmon compiled out";
+  sim::Machine machine(sim::MachineConfig::summit());
+  machine.set_noise_enabled(false);
+  pcp::Pmcd daemon(machine);
+  pcp::PcpClient client(daemon, machine, machine.user_credentials());
+  Library lib;
+  lib.register_component(std::make_unique<components::PcpComponent>(client));
+  kernels::KernelRunner runner(machine, lib, "pcp", 87);
+
+  const std::uint64_t n = 96;
+  const kernels::GemmBuffers buf =
+      kernels::GemmBuffers::allocate(machine.address_space(), n);
+  const selfmon::Snapshot before = selfmon::snapshot();
+  kernels::RunnerOptions opt;
+  opt.reps = 4;
+  (void)runner.measure(
+      [&](std::uint32_t core) { kernels::run_gemm(machine, 0, core, n, buf); },
+      opt);
+  const selfmon::Snapshot after = selfmon::snapshot();
+  EXPECT_EQ(after.counter(selfmon::CounterId::RunnerReps) -
+                before.counter(selfmon::CounterId::RunnerReps),
+            4u);
+  // Rep 0 simulates; reps 1-3 ride the recorded fast path (Eq. 5
+  // amortization), which selfmon separates out.
+  EXPECT_EQ(after.counter(selfmon::CounterId::RunnerRepsReplayed) -
+                before.counter(selfmon::CounterId::RunnerRepsReplayed),
+            3u);
+  const selfmon::HistSnapshot reps =
+      after.hist(selfmon::HistId::RunnerRepNs)
+          .since(before.hist(selfmon::HistId::RunnerRepNs));
+  EXPECT_EQ(reps.count, 4u);
+}
+
+TEST(SelfmonDisabled, ComponentRejectsEventsWhenCompiledOut) {
+  if (selfmon::kEnabled) GTEST_SKIP() << "selfmon compiled in";
+  Library lib;
+  lib.register_component(std::make_unique<components::SelfmonComponent>());
+  auto es = lib.create_eventset();
+  EXPECT_THROW(es->add_event("selfmon:::pool.tasks"), Error);
+  // And the registry reports zeros rather than garbage.
+  const selfmon::Snapshot s = selfmon::snapshot();
+  EXPECT_EQ(s.counter(selfmon::CounterId::PoolTasks), 0u);
+  EXPECT_EQ(s.hist(selfmon::HistId::PoolDispatchNs).count, 0u);
+}
+
+}  // namespace
+}  // namespace papisim

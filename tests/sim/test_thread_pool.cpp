@@ -1,0 +1,114 @@
+// Regression tests for the ThreadPool exception contract: every index is
+// attempted, the first exception (completion order) is rethrown, later ones
+// are dropped but accounted via selfmon's pool.exceptions_dropped counter.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+
+#include "selfmon/metrics.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace papisim {
+namespace {
+
+std::uint64_t dropped_count() {
+  return selfmon::snapshot().counter(
+      selfmon::CounterId::PoolExceptionsDropped);
+}
+
+TEST(ThreadPool, RunsEveryIndexOnceAcrossWorkers) {
+  sim::ThreadPool pool(3);
+  constexpr std::uint32_t kN = 64;
+  std::array<std::atomic<int>, kN> runs{};
+  pool.parallel_for(kN, [&](std::uint32_t i) {
+    runs[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::uint32_t i = 0; i < kN; ++i) EXPECT_EQ(runs[i].load(), 1);
+}
+
+TEST(ThreadPool, MultiTaskThrowRethrowsOneRunsAllCountsDropped) {
+  sim::ThreadPool pool(3);
+  constexpr std::uint32_t kN = 32;
+  constexpr std::uint32_t kThrowers = 5;  // indices 0..4 throw
+  std::array<std::atomic<int>, kN> runs{};
+  const std::uint64_t dropped_before = dropped_count();
+
+  auto task = [&](std::uint32_t i) {
+    runs[i].fetch_add(1, std::memory_order_relaxed);
+    if (i < kThrowers) throw std::runtime_error("task " + std::to_string(i));
+  };
+  EXPECT_THROW(pool.parallel_for(kN, task), std::runtime_error);
+
+  // The contract: all indices were attempted despite the failures...
+  for (std::uint32_t i = 0; i < kN; ++i) EXPECT_EQ(runs[i].load(), 1);
+  // ...and the N-1 swallowed exceptions are visible in selfmon.
+  if (selfmon::kEnabled) {
+    EXPECT_EQ(dropped_count() - dropped_before, kThrowers - 1);
+  }
+}
+
+TEST(ThreadPool, SerialFallbackMatchesPooledExceptionSemantics) {
+  sim::ThreadPool pool(0);  // caller-only: the inline serial path
+  constexpr std::uint32_t kN = 10;
+  std::array<std::atomic<int>, kN> runs{};
+  const std::uint64_t dropped_before = dropped_count();
+
+  auto task = [&](std::uint32_t i) {
+    runs[i].fetch_add(1, std::memory_order_relaxed);
+    if (i == 2 || i == 5 || i == 7) {
+      throw std::runtime_error("task " + std::to_string(i));
+    }
+  };
+  // Serial execution is in index order, so the FIRST exception is index 2's.
+  try {
+    pool.parallel_for(kN, task);
+    FAIL() << "expected parallel_for to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 2");
+  }
+  for (std::uint32_t i = 0; i < kN; ++i) EXPECT_EQ(runs[i].load(), 1);
+  if (selfmon::kEnabled) {
+    EXPECT_EQ(dropped_count() - dropped_before, 2u);
+  }
+}
+
+TEST(ThreadPool, PoolIsReusableAfterAThrowingBatch) {
+  sim::ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(8, [](std::uint32_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  std::atomic<int> ran{0};
+  pool.parallel_for(8, [&](std::uint32_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, SelfmonAccountsBatchesClaimsAndTasks) {
+  if (!selfmon::kEnabled) GTEST_SKIP() << "selfmon compiled out";
+  const selfmon::Snapshot before = selfmon::snapshot();
+  {
+    sim::ThreadPool pool(2);
+    pool.parallel_for(16, [](std::uint32_t) {});
+    pool.parallel_for(16, [](std::uint32_t) {});
+  }
+  const selfmon::Snapshot after = selfmon::snapshot();
+  EXPECT_EQ(after.counter(selfmon::CounterId::PoolBatches) -
+                before.counter(selfmon::CounterId::PoolBatches),
+            2u);
+  EXPECT_EQ(after.counter(selfmon::CounterId::PoolClaims) -
+                before.counter(selfmon::CounterId::PoolClaims),
+            32u);
+  EXPECT_EQ(after.counter(selfmon::CounterId::PoolTasks) -
+                before.counter(selfmon::CounterId::PoolTasks),
+            32u);
+  const selfmon::HistSnapshot dispatch =
+      after.hist(selfmon::HistId::PoolDispatchNs)
+          .since(before.hist(selfmon::HistId::PoolDispatchNs));
+  EXPECT_EQ(dispatch.count, 2u);
+  EXPECT_GT(dispatch.sum_ns, 0u);
+}
+
+}  // namespace
+}  // namespace papisim

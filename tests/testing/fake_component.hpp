@@ -2,6 +2,7 @@
 // isolation (shared by the core and profiler test suites).
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <string>
@@ -40,6 +41,12 @@ class FakeComponent : public Component {
     return gauge_ && knows_event(native);
   }
 
+  EventKind event_kind(std::string_view native) const override {
+    if (!knows_event(native)) return EventKind::Counter;
+    if (histogram_) return EventKind::Histogram;
+    return gauge_ ? EventKind::Gauge : EventKind::Counter;
+  }
+
   std::unique_ptr<ControlState> create_state() override {
     return std::make_unique<State>();
   }
@@ -72,11 +79,48 @@ class FakeComponent : public Component {
   }
   void reset(ControlState& state) override { start(state); }
 
+  double read_percentile(ControlState& state, std::string_view native,
+                         double q) override {
+    const auto idx = index_of(native);
+    if (!idx || !histogram_) return Component::read_percentile(state, native, q);
+    auto& st = static_cast<State&>(state);
+    // Window = samples recorded since start() (snapshot holds the start count).
+    std::size_t from = 0;
+    for (std::size_t i = 0; i < st.indices.size(); ++i) {
+      if (st.indices[i] == *idx) {
+        from = static_cast<std::size_t>(st.snapshots[i]);
+        break;
+      }
+    }
+    std::vector<long long> window(samples_[*idx].begin() +
+                                      static_cast<std::ptrdiff_t>(from),
+                                  samples_[*idx].end());
+    if (window.empty()) return 0.0;
+    std::sort(window.begin(), window.end());
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(window.size() - 1) + 0.5);
+    return static_cast<double>(window[std::min(rank, window.size() - 1)]);
+  }
+
   /// Advance a counter (by event index).
   void bump(std::size_t idx, long long delta) { counters_[idx] += delta; }
 
+  /// Record one histogram sample; the event's counter value becomes the
+  /// number of recorded samples (histogram read semantics).
+  void record(std::size_t idx, long long value) {
+    if (samples_.size() <= idx) samples_.resize(event_names_.size());
+    samples_[idx].push_back(value);
+    counters_[idx] = static_cast<long long>(samples_[idx].size());
+  }
+
   /// Make every event a gauge (instantaneous) instead of a counter.
   void set_gauge(bool on) { gauge_ = on; }
+
+  /// Make every event a histogram (read = sample count, record() feeds it).
+  void set_histogram(bool on) {
+    histogram_ = on;
+    if (on) samples_.resize(event_names_.size());
+  }
 
   int starts = 0;
   int stops = 0;
@@ -98,7 +142,9 @@ class FakeComponent : public Component {
   std::vector<std::string> event_names_;
   std::string disabled_;
   std::vector<long long> counters_;
+  std::vector<std::vector<long long>> samples_;
   bool gauge_ = false;
+  bool histogram_ = false;
 };
 
 }  // namespace papisim::test_support
