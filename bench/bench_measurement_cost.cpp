@@ -155,11 +155,109 @@ int run_selfmon_mode(bool csv) {
   return 0;
 }
 
+// --faults mode: fetch cost and resilience under an injected fault schedule.
+// The paper's trust argument assumes the PMCD round trip either completes or
+// fails visibly; this mode quantifies what the retry/deadline layer costs
+// when the daemon drops, delays, errors, or crashes on a seeded schedule.
+int run_faults_mode(bool csv) {
+  print_header("Fetch cost under injected PMCD faults",
+               "client-resilience layer: deadline + retry + supervisor "
+               "restart, exercised by a seeded FaultPlan");
+
+  struct PlanCase {
+    const char* name;
+    pcp::FaultPlan plan;
+  };
+  std::vector<PlanCase> cases;
+  cases.push_back({"healthy", pcp::FaultPlan{}});
+  {
+    pcp::FaultPlan p;
+    p.seed = 7;
+    p.drop_rate = 0.10;
+    cases.push_back({"drop10", p});
+  }
+  {
+    pcp::FaultPlan p;
+    p.seed = 7;
+    p.drop_rate = 0.05;
+    p.delay_rate = 0.03;
+    p.delay_us = 300;
+    p.error_rate = 0.05;
+    p.crash_rate = 0.02;
+    cases.push_back({"mixed15", p});
+  }
+
+  Table t({"plan", "reads_ok", "typed_failures", "faults", "retries",
+           "timeouts", "restarts", "host_us_per_read"});
+
+  for (const PlanCase& pc : cases) {
+    SummitStack summit;
+    summit.machine.set_noise_enabled(false);
+    pcp::RpcOptions opt;
+    opt.timeout = std::chrono::milliseconds(50);
+    opt.max_retries = 3;
+    opt.backoff_base = std::chrono::microseconds(200);
+    summit.daemon.set_rpc_options(opt);
+
+    std::vector<pcp::PmId> pmids;
+    for (const std::string& name : summit.client.names_under("")) {
+      if (const auto pmid = summit.client.lookup(name)) pmids.push_back(*pmid);
+    }
+    const std::uint64_t restarts0 = summit.daemon.restarts();
+    const selfmon::Snapshot before = selfmon::snapshot();
+    summit.daemon.set_fault_plan(pc.plan);
+
+    constexpr int kReads = 200;
+    int ok = 0, typed = 0;
+    const auto w0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kReads; ++i) {
+      try {
+        const pcp::FetchReply r =
+            summit.client.fetch(pmids, summit.measure_cpu());
+        if (r.ok) ++ok;
+      } catch (const Error&) {
+        ++typed;  // Timeout / Internal / Shutdown after retries exhausted
+      }
+    }
+    const double host_us =
+        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - w0)
+                                .count()) /
+        1e3 / kReads;
+    summit.daemon.set_fault_plan(pcp::FaultPlan{});
+    const selfmon::Snapshot after = selfmon::snapshot();
+
+    const auto delta = [&](selfmon::CounterId id) {
+      return std::to_string(after.counter(id) - before.counter(id));
+    };
+    t.add_row({pc.name, std::to_string(ok), std::to_string(typed),
+               delta(selfmon::CounterId::PcpFaultsInjected),
+               delta(selfmon::CounterId::PcpRetries),
+               delta(selfmon::CounterId::PcpTimeouts),
+               std::to_string(summit.daemon.restarts() - restarts0),
+               fmt(host_us, 1)});
+  }
+
+  if (csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print();
+  }
+  std::cout
+      << "\nTakeaways: a seeded FaultPlan makes the indirection layer "
+         "misbehave deterministically; the client rides out\nmost faults via "
+         "deadline+retry (reads_ok stays near the request count), surviving "
+         "failures surface as typed\nstatuses (never hangs, never broken "
+         "promises), and crashed daemons are restarted by the supervisor.\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool csv = has_flag(argc, argv, "--csv");
   if (has_flag(argc, argv, "--selfmon")) return run_selfmon_mode(csv);
+  if (has_flag(argc, argv, "--faults")) return run_faults_mode(csv);
   print_header("Measurement cost (papi_cost analogue)",
                "the PCP indirection layer the paper quantifies (Sec. I): "
                "per-fetch round trips vs direct counter reads");

@@ -1,19 +1,46 @@
 #include "components/pcp_component.hpp"
 
 #include <charconv>
+#include <limits>
 
 namespace papisim::components {
 
 struct PcpComponent::State : ControlState {
   std::vector<Resolved> events;
   std::vector<std::uint64_t> start_snapshot;
+  std::vector<std::uint64_t> last_seen;  ///< last successfully fetched values
+  std::vector<long long> accum;  ///< progress carried across daemon restarts
+  std::uint64_t generation = 0;  ///< daemon incarnation of start_snapshot
 };
+
+namespace {
+
+/// Delta of a monotonic counter against its start snapshot, clamped so a
+/// counter that re-baselined below the snapshot (daemon restart) yields 0
+/// rather than a wrapped huge positive value.
+long long clamped_delta(std::uint64_t now, std::uint64_t start) {
+  if (now < start) return 0;
+  const std::uint64_t d = now - start;
+  constexpr auto kMax =
+      static_cast<std::uint64_t>(std::numeric_limits<long long>::max());
+  return d > kMax ? std::numeric_limits<long long>::max()
+                  : static_cast<long long>(d);
+}
+
+}  // namespace
 
 PcpComponent::PcpComponent(pcp::PcpClient& client)
     : client_(client), max_cpu_(client.machine().config().usable_cpus()) {
   // Traverse the PMNS once and cache name -> pmid (pmLookupName round trips).
-  for (const std::string& name : client_.names_under("")) {
-    if (const auto pmid = client_.lookup(name)) metrics_.emplace(name, *pmid);
+  // A daemon that is already unreachable degrades the component instead of
+  // failing construction.
+  try {
+    for (const std::string& name : client_.names_under("")) {
+      if (const auto pmid = client_.lookup(name)) metrics_.emplace(name, *pmid);
+    }
+  } catch (const Error& e) {
+    disabled_reason_ = std::string("pcp: PMNS traversal failed: ") + e.what();
+    metrics_.clear();
   }
 }
 
@@ -71,14 +98,24 @@ void PcpComponent::add_event(ControlState& state, std::string_view native) {
   auto& st = static_cast<State&>(state);
   st.events.push_back(*r);
   st.start_snapshot.push_back(0);
+  st.last_seen.push_back(0);
+  st.accum.push_back(0);
 }
 
 std::size_t PcpComponent::num_events(const ControlState& state) const {
   return static_cast<const State&>(state).events.size();
 }
 
-void PcpComponent::fetch_all(State& st, std::vector<std::uint64_t>& out) {
+void PcpComponent::require_usable() const {
+  if (!disabled_reason_.empty()) {
+    throw Error(Status::ComponentDisabled, "pcp: disabled: " + disabled_reason_);
+  }
+}
+
+bool PcpComponent::fetch_all(State& st, std::vector<std::uint64_t>& out,
+                             std::uint64_t* generation_out) {
   out.assign(st.events.size(), 0);
+  std::uint64_t gen = st.generation;
   // Group events by cpu instance: one pmFetch round trip per distinct cpu.
   std::vector<bool> done(st.events.size(), false);
   for (std::size_t i = 0; i < st.events.size(); ++i) {
@@ -94,17 +131,42 @@ void PcpComponent::fetch_all(State& st, std::vector<std::uint64_t>& out) {
       }
     }
     ++fetches_;
-    const pcp::FetchReply reply = client_.fetch(ids, cpu);
+    pcp::FetchReply reply;
+    try {
+      reply = client_.fetch(ids, cpu);
+    } catch (const Error& e) {
+      // The client layer already retried with backoff; a typed error here is
+      // terminal (daemon down or persistently faulting).  Degrade instead of
+      // throwing from inside the caller's sampling loop.
+      disabled_reason_ =
+          std::string("pmFetch failed after retries (") +
+          papisim::to_string(e.status()) + "): " + e.what();
+      return false;
+    }
     if (!reply.ok) {
       throw Error(Status::Internal, "pcp: pmFetch failed: " + reply.error);
     }
+    if (reply.values.size() != ids.size()) {
+      throw Error(Status::Internal,
+                  "pcp: malformed pmFetch reply: " +
+                      std::to_string(reply.values.size()) + " values for " +
+                      std::to_string(ids.size()) + " pmids");
+    }
+    gen = std::max(gen, reply.generation);
     for (std::size_t k = 0; k < slots.size(); ++k) out[slots[k]] = reply.values[k];
   }
+  if (generation_out != nullptr) *generation_out = gen;
+  return true;
 }
 
 void PcpComponent::start(ControlState& state) {
+  require_usable();
   auto& st = static_cast<State&>(state);
-  fetch_all(st, st.start_snapshot);
+  std::uint64_t gen = st.generation;
+  if (!fetch_all(st, st.start_snapshot, &gen)) require_usable();
+  st.last_seen = st.start_snapshot;
+  st.accum.assign(st.events.size(), 0);
+  st.generation = gen;
   for (std::uint32_t s = 0; s < client_.machine().sockets(); ++s) {
     client_.machine().noise(s).measurement_overhead();
   }
@@ -114,16 +176,39 @@ void PcpComponent::stop(ControlState& /*state*/) {}
 
 void PcpComponent::read(ControlState& state, std::span<long long> out) {
   auto& st = static_cast<State&>(state);
-  std::vector<std::uint64_t> now;
-  fetch_all(st, now);
+  if (disabled_reason_.empty()) {
+    std::vector<std::uint64_t> now;
+    std::uint64_t gen = st.generation;
+    if (fetch_all(st, now, &gen)) {
+      if (gen != st.generation) {
+        // The daemon crash-restarted between fetches: its counters restart
+        // near zero.  Bank the progress observed before the crash and
+        // re-baseline the snapshot at the new incarnation's origin.
+        for (std::size_t i = 0; i < st.events.size(); ++i) {
+          st.accum[i] += clamped_delta(st.last_seen[i], st.start_snapshot[i]);
+          st.start_snapshot[i] = 0;
+        }
+        st.generation = gen;
+      }
+      st.last_seen = now;
+    }
+  }
+  // Healthy: accum + delta since start.  Degraded: the same expression over
+  // the last successful fetch -- values freeze, the sampling loop keeps
+  // running, and availability is reported through disabled_reason().
   for (std::size_t i = 0; i < st.events.size(); ++i) {
-    out[i] = static_cast<long long>(now[i] - st.start_snapshot[i]);
+    out[i] = st.accum[i] + clamped_delta(st.last_seen[i], st.start_snapshot[i]);
   }
 }
 
 void PcpComponent::reset(ControlState& state) {
+  require_usable();
   auto& st = static_cast<State&>(state);
-  fetch_all(st, st.start_snapshot);
+  std::uint64_t gen = st.generation;
+  if (!fetch_all(st, st.start_snapshot, &gen)) require_usable();
+  st.last_seen = st.start_snapshot;
+  st.accum.assign(st.events.size(), 0);
+  st.generation = gen;
 }
 
 }  // namespace papisim::components

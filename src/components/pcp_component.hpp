@@ -2,8 +2,10 @@
 // through the PMCD daemon (the paper's central subject).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -17,6 +19,19 @@ namespace papisim::components {
 ///        .value:cpu<N>
 /// The ":cpu<N>" instance qualifier picks the hardware thread whose socket's
 /// nest is read (the paper uses cpu87 / cpu175 for sockets 0 / 1).
+///
+/// Resilience (DESIGN.md "PCP fault model"):
+///  * Every pmFetch is deadline-bounded and retried by the client layer; if
+///    retries exhaust (daemon down, persistent faults), the component does
+///    NOT throw from inside a sampling loop -- it freezes its counter values
+///    and reports itself disabled through disabled_reason(), exactly as a
+///    PAPI component that lost its backend would.
+///  * A PMCD crash-restart re-baselines the daemon's counters near zero.
+///    The component detects the new FetchReply::generation, carries the
+///    progress observed before the crash into an accumulator, and clamps
+///    the per-read delta so a counter that restarted below the start
+///    snapshot can never produce a huge wrapped value.  Traffic between the
+///    last successful fetch and the crash is lost (documented deviation).
 class PcpComponent : public Component {
  public:
   explicit PcpComponent(pcp::PcpClient& client);
@@ -26,6 +41,10 @@ class PcpComponent : public Component {
     return "Performance Co-Pilot metrics via the PMCD daemon; exposes nest "
            "memory-traffic counters to unprivileged users";
   }
+
+  /// Empty while healthy; the terminal fetch failure once the client layer
+  /// has exhausted its retries (graceful degradation instead of throwing).
+  std::string disabled_reason() const override { return disabled_reason_; }
 
   std::vector<EventInfo> events() const override;
   bool knows_event(std::string_view native) const override;
@@ -51,12 +70,21 @@ class PcpComponent : public Component {
   std::optional<Resolved> resolve(std::string_view native) const;
 
   /// One pmFetch round-trip per distinct cpu instance in the state.
-  void fetch_all(State& st, std::vector<std::uint64_t>& out);
+  /// False (with disabled_reason_ set) when the client layer exhausted its
+  /// retries; `generation_out` gets the newest daemon incarnation seen.
+  /// @throws Error(Status::Internal) on malformed replies (short value
+  /// vector) and on in-band fetch errors (unknown pmid, bad instance).
+  bool fetch_all(State& st, std::vector<std::uint64_t>& out,
+                 std::uint64_t* generation_out);
+
+  /// @throws Error(Status::ComponentDisabled) once degraded.
+  void require_usable() const;
 
   pcp::PcpClient& client_;
   std::map<std::string, pcp::PmId, std::less<>> metrics_;  ///< PMNS cache
   std::uint32_t max_cpu_;
   std::uint64_t fetches_ = 0;
+  std::string disabled_reason_;
 };
 
 }  // namespace papisim::components

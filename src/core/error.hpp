@@ -17,6 +17,8 @@ enum class Status {
   InvalidArgument,
   PermissionDenied,
   Internal,
+  Timeout,           ///< daemon round-trip deadline expired (retries exhausted)
+  Shutdown,          ///< request raced or arrived after daemon shutdown
 };
 
 const char* to_string(Status s);

@@ -15,6 +15,8 @@ const char* to_string(Status s) {
     case Status::InvalidArgument: return "InvalidArgument";
     case Status::PermissionDenied: return "PermissionDenied";
     case Status::Internal: return "Internal";
+    case Status::Timeout: return "Timeout";
+    case Status::Shutdown: return "Shutdown";
   }
   return "Unknown";
 }

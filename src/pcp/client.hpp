@@ -14,6 +14,13 @@ namespace papisim::pcp {
 /// round-trip to the PMCD.  The client needs *no* privileges -- that is the
 /// entire point of the PCP route on Summit -- but each fetch pays the
 /// daemon-indirection latency, which is accounted on the virtual clock.
+///
+/// Resilience contract: every round-trip is deadline-bounded and retried
+/// with exponential backoff (Pmcd::RpcOptions; tune via set_rpc_options).
+/// Calls never hang and never leak std::future_error: on exhaustion they
+/// throw Error(Status::Timeout), on daemon shutdown Error(Status::Shutdown),
+/// and on persistent transient faults Error(Status::Internal).  Retries cost
+/// host time only; the virtual clock is charged one round-trip per call.
 class PcpClient {
  public:
   /// `creds` are the caller's credentials; they are deliberately unused for
@@ -38,6 +45,9 @@ class PcpClient {
     pay_round_trip();
     return daemon_.fetch(pmids, cpu);
   }
+
+  /// Deadline/retry policy for this client's daemon connection.
+  void set_rpc_options(const RpcOptions& opt) { daemon_.set_rpc_options(opt); }
 
   std::uint64_t round_trips() const { return round_trips_; }
   sim::Credentials credentials() const { return creds_; }

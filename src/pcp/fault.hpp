@@ -1,0 +1,57 @@
+// Deterministic fault injection for the PMCD mailbox protocol.
+//
+// The paper argues that indirect measurement through the PCP daemon is as
+// trustworthy as direct privileged reads.  That claim is only testable if
+// the indirection layer can be made to misbehave on demand: a FaultPlan
+// tells the daemon to drop, delay, error, or crash on a seeded, per-request
+// deterministic schedule, so client resilience (deadlines, retries,
+// re-baselining after a restart) can be exercised reproducibly.
+#pragma once
+
+#include <cstdint>
+
+namespace papisim::pcp {
+
+/// What the daemon does to one request instead of (or before) serving it.
+enum class FaultKind : std::uint8_t {
+  None,   ///< serve normally
+  Drop,   ///< swallow the request; the reply never comes (client must time out)
+  Delay,  ///< stall the service thread, then serve normally
+  Error,  ///< fail the request with a transient (retryable) error
+  Crash,  ///< fail the request, kill the service thread; supervisor restarts
+};
+
+/// Per-request fault schedule.  Rates are probabilities in [0, 1] drawn
+/// deterministically from `seed` and the request's service index, so the
+/// same plan against the same request sequence injects the same faults.
+struct FaultPlan {
+  std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+  double drop_rate = 0.0;
+  double delay_rate = 0.0;
+  double error_rate = 0.0;
+  double crash_rate = 0.0;
+  std::uint64_t delay_us = 200;  ///< host-time stall for Delay faults
+
+  bool any() const {
+    return drop_rate > 0 || delay_rate > 0 || error_rate > 0 || crash_rate > 0;
+  }
+
+  /// The fault (if any) for the request with service index `index`.
+  FaultKind roll(std::uint64_t index) const {
+    if (!any()) return FaultKind::None;
+    // splitmix64: full-avalanche mix of seed and index -> uniform [0, 1).
+    std::uint64_t z = seed + index * 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+    double acc = drop_rate;
+    if (u < acc) return FaultKind::Drop;
+    if (u < (acc += delay_rate)) return FaultKind::Delay;
+    if (u < (acc += error_rate)) return FaultKind::Error;
+    if (u < (acc += crash_rate)) return FaultKind::Crash;
+    return FaultKind::None;
+  }
+};
+
+}  // namespace papisim::pcp

@@ -1,5 +1,10 @@
 #include "pcp/pmcd.hpp"
 
+#include <algorithm>
+#include <exception>
+#include <type_traits>
+#include <utility>
+
 #include "selfmon/metrics.hpp"
 
 namespace papisim::pcp {
@@ -8,101 +13,278 @@ Pmcd::Pmcd(sim::Machine& machine)
     : machine_(machine),
       pmns_(machine.config()),
       pmu_(machine, sim::Credentials::root()) {
+  base_.assign(static_cast<std::size_t>(pmu_.sockets()) * pmu_.channels() *
+                   std::size(nest::kAllNestEventKinds),
+               0);
   thread_ = std::thread([this] { serve(); });
 }
 
-Pmcd::~Pmcd() {
-  post(StopReq{});
+Pmcd::~Pmcd() { shutdown(); }
+
+void Pmcd::shutdown() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    accepting_ = false;
+    if (!stop_posted_) {
+      // A crashed incarnation has already drained its mailbox and exited;
+      // posting a StopReq would go unserved.
+      if (!crashed_) queue_.push_back(StopReq{});
+      stop_posted_ = true;
+    }
+  }
+  cv_.notify_one();
   if (thread_.joinable()) thread_.join();
 }
 
-void Pmcd::post(Request req) {
+void Pmcd::set_fault_plan(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = plan;
+}
+
+void Pmcd::set_rpc_options(const RpcOptions& opt) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rpc_ = opt;
+}
+
+std::size_t Pmcd::counter_slot(std::uint32_t socket, std::uint32_t channel,
+                               nest::NestEventKind kind) const {
+  return (static_cast<std::size_t>(socket) * pmu_.channels() + channel) *
+             std::size(nest::kAllNestEventKinds) +
+         static_cast<std::size_t>(kind);
+}
+
+void Pmcd::fail_request(Request& req, const Error& err) {
+  std::visit(
+      [&](auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (!std::is_same_v<T, StopReq>) {
+          r.reply.set_exception(std::make_exception_ptr(err));
+        }
+      },
+      req);
+}
+
+bool Pmcd::post(Request req) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!accepting_) return false;
+    if (crashed_) restart_locked();  // supervisor: revive before enqueueing
     queue_.push_back(std::move(req));
     selfmon::gauge_set(selfmon::GaugeId::PcpQueueDepth,
                        static_cast<std::int64_t>(queue_.size()));
   }
   cv_.notify_one();
+  return true;
+}
+
+void Pmcd::restart_locked() {
+  if (thread_.joinable()) thread_.join();
+  // A restarted collector reports counters relative to its own start (as a
+  // real pmcd's perfevent PMDA does): capture the baseline the incarnation
+  // will subtract.  No service thread runs here, so base_ is write-safe.
+  for (std::uint32_t s = 0; s < pmu_.sockets(); ++s) {
+    for (std::uint32_t c = 0; c < pmu_.channels(); ++c) {
+      for (const nest::NestEventKind k : nest::kAllNestEventKinds) {
+        base_[counter_slot(s, c, k)] = pmu_.read({s, c, k});
+      }
+    }
+  }
+  crashed_ = false;
+  generation_.fetch_add(1, std::memory_order_relaxed);
+  selfmon::counter_add(selfmon::CounterId::PcpRestarts);
+  thread_ = std::thread([this] { serve(); });
+}
+
+template <typename Reply, typename MakeReq>
+Reply Pmcd::round_trip(MakeReq&& make_req) {
+  RpcOptions opt;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    opt = rpc_;
+  }
+  std::exception_ptr last;
+  bool timed_out = false;
+  for (int attempt = 0; attempt <= opt.max_retries; ++attempt) {
+    if (attempt > 0) {
+      selfmon::counter_add(selfmon::CounterId::PcpRetries);
+      std::this_thread::sleep_for(opt.backoff_base *
+                                  (1 << std::min(attempt - 1, 20)));
+    }
+    auto req = make_req();
+    std::future<Reply> f = req.reply.get_future();
+    if (!post(Request{std::move(req)})) {
+      throw Error(Status::Shutdown, "pmcd: daemon is shutting down");
+    }
+    if (f.wait_for(opt.timeout) != std::future_status::ready) {
+      // Abandon the reply (a late or dropped one is harmless) and retry.
+      selfmon::counter_add(selfmon::CounterId::PcpTimeouts);
+      timed_out = true;
+      continue;
+    }
+    try {
+      return f.get();
+    } catch (const Error& e) {
+      if (e.status() == Status::Shutdown) throw;
+      timed_out = false;
+      last = std::current_exception();  // transient: injected error or crash
+    } catch (const std::future_error&) {
+      // Unreachable under the drain-then-stop protocol (no promise is
+      // destroyed unserved); mapped to a typed error as a backstop.
+      timed_out = false;
+      last = std::make_exception_ptr(
+          Error(Status::Shutdown, "pmcd: reply promise broken"));
+    }
+  }
+  if (timed_out || last == nullptr) {
+    throw Error(Status::Timeout,
+                "pmcd: round trip missed its deadline after " +
+                    std::to_string(opt.max_retries + 1) + " attempts");
+  }
+  std::rethrow_exception(last);
 }
 
 LookupReply Pmcd::lookup(const std::string& name) {
-  LookupReq req;
-  req.name = name;
-  std::future<LookupReply> f = req.reply.get_future();
-  post(std::move(req));
-  return f.get();
+  return round_trip<LookupReply>([&] {
+    LookupReq req;
+    req.name = name;
+    return req;
+  });
 }
 
 NamesReply Pmcd::names_under(const std::string& prefix) {
-  NamesReq req;
-  req.prefix = prefix;
-  std::future<NamesReply> f = req.reply.get_future();
-  post(std::move(req));
-  return f.get();
+  return round_trip<NamesReply>([&] {
+    NamesReq req;
+    req.prefix = prefix;
+    return req;
+  });
 }
 
 FetchReply Pmcd::fetch(const std::vector<PmId>& pmids, std::uint32_t cpu) {
   // Client-visible round trip: enqueue to reply, the indirection latency the
   // paper's Section I weighs against direct privileged reads.
   const selfmon::Stopwatch rtt(selfmon::HistId::PcpFetchRttNs);
-  FetchReq req;
-  req.pmids = pmids;
-  req.cpu = cpu;
-  std::future<FetchReply> f = req.reply.get_future();
-  post(std::move(req));
-  return f.get();
+  return round_trip<FetchReply>([&] {
+    FetchReq req;
+    req.pmids = pmids;
+    req.cpu = cpu;
+    return req;
+  });
+}
+
+void Pmcd::serve_request(Request& req) {
+  if (auto* l = std::get_if<LookupReq>(&req)) {
+    LookupReply reply;
+    reply.pmid = pmns_.lookup(l->name);
+    reply.ok = reply.pmid.has_value();
+    l->reply.set_value(std::move(reply));
+  } else if (auto* n = std::get_if<NamesReq>(&req)) {
+    NamesReply reply;
+    reply.names = pmns_.names_under(n->prefix);
+    n->reply.set_value(std::move(reply));
+  } else if (auto* fr = std::get_if<FetchReq>(&req)) {
+    FetchReply reply;
+    reply.ok = true;
+    reply.generation = generation_.load(std::memory_order_relaxed);
+    reply.values.reserve(fr->pmids.size());
+    if (fr->cpu >= machine_.config().usable_cpus()) {
+      reply.ok = false;
+      reply.error = "instance (cpu) out of range";
+    } else {
+      const std::uint32_t socket = machine_.socket_of_cpu(fr->cpu);
+      for (const PmId pmid : fr->pmids) {
+        const MetricDesc* d = pmns_.descriptor(pmid);
+        if (d == nullptr) {
+          reply.ok = false;
+          reply.error = "unknown pmid " + std::to_string(pmid);
+          reply.values.clear();
+          break;
+        }
+        nest::NestEventId ev = d->event;
+        ev.socket = socket;
+        reply.values.push_back(pmu_.read(ev) -
+                               base_[counter_slot(ev.socket, ev.channel, ev.kind)]);
+      }
+    }
+    fr->reply.set_value(std::move(reply));
+  }
 }
 
 void Pmcd::serve() {
   for (;;) {
-    Request req = [this]() -> Request {
+    Request req;
+    FaultPlan plan;
+    {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return !queue_.empty(); });
-      Request r = std::move(queue_.front());
+      req = std::move(queue_.front());
       queue_.pop_front();
       selfmon::gauge_set(selfmon::GaugeId::PcpQueueDepth,
                          static_cast<std::int64_t>(queue_.size()));
-      return r;
-    }();
-
-    if (std::holds_alternative<StopReq>(req)) return;
-    ++requests_served_;
-    selfmon::counter_add(selfmon::CounterId::PcpRequestsServed);
-
-    if (auto* l = std::get_if<LookupReq>(&req)) {
-      LookupReply reply;
-      reply.pmid = pmns_.lookup(l->name);
-      reply.ok = reply.pmid.has_value();
-      l->reply.set_value(std::move(reply));
-    } else if (auto* n = std::get_if<NamesReq>(&req)) {
-      NamesReply reply;
-      reply.names = pmns_.names_under(n->prefix);
-      n->reply.set_value(std::move(reply));
-    } else if (auto* fr = std::get_if<FetchReq>(&req)) {
-      FetchReply reply;
-      reply.ok = true;
-      reply.values.reserve(fr->pmids.size());
-      if (fr->cpu >= machine_.config().usable_cpus()) {
-        reply.ok = false;
-        reply.error = "instance (cpu) out of range";
-      } else {
-        const std::uint32_t socket = machine_.socket_of_cpu(fr->cpu);
-        for (const PmId pmid : fr->pmids) {
-          const MetricDesc* d = pmns_.descriptor(pmid);
-          if (d == nullptr) {
-            reply.ok = false;
-            reply.error = "unknown pmid " + std::to_string(pmid);
-            reply.values.clear();
-            break;
-          }
-          nest::NestEventId ev = d->event;
-          ev.socket = socket;
-          reply.values.push_back(pmu_.read(ev));
-        }
-      }
-      fr->reply.set_value(std::move(reply));
+      plan = plan_;
     }
+
+    if (std::holds_alternative<StopReq>(req)) {
+      // Drain-then-stop: the mailbox protocol guarantees nothing is queued
+      // behind the StopReq (accepting_ flips under the same lock that posts
+      // it), so only parked Drop victims remain to be failed.
+      std::lock_guard<std::mutex> lock(mu_);
+      for (Request& d : dropped_) {
+        fail_request(d, Error(Status::Shutdown,
+                              "pmcd: shut down with the reply outstanding"));
+      }
+      dropped_.clear();
+      return;
+    }
+
+    const FaultKind fault = plan.roll(service_index_++);
+    if (fault != FaultKind::None) {
+      faults_injected_.fetch_add(1, std::memory_order_relaxed);
+      selfmon::counter_add(selfmon::CounterId::PcpFaultsInjected);
+    }
+    switch (fault) {
+      case FaultKind::Drop: {
+        // Swallow the request but keep its promise alive: the client sees
+        // silence (and must time out), not a broken promise.
+        std::lock_guard<std::mutex> lock(mu_);
+        dropped_.push_back(std::move(req));
+        continue;
+      }
+      case FaultKind::Delay:
+        std::this_thread::sleep_for(std::chrono::microseconds(plan.delay_us));
+        break;  // then serve normally
+      case FaultKind::Error:
+        fail_request(req, Error(Status::Internal,
+                                "pmcd: injected transient fault"));
+        continue;
+      case FaultKind::Crash: {
+        // The daemon dies mid-request: the in-flight request and everything
+        // queued behind it fail like lost connections, then the service
+        // thread exits.  The supervisor (post) restarts it on demand.
+        fail_request(req, Error(Status::Internal,
+                                "pmcd: daemon crashed serving the request"));
+        std::lock_guard<std::mutex> lock(mu_);
+        for (Request& q : queue_) {
+          fail_request(q, Error(Status::Internal,
+                                "pmcd: daemon crashed with the request queued"));
+        }
+        queue_.clear();
+        selfmon::gauge_set(selfmon::GaugeId::PcpQueueDepth, 0);
+        for (Request& d : dropped_) {
+          fail_request(d, Error(Status::Internal,
+                                "pmcd: daemon crashed with the reply outstanding"));
+        }
+        dropped_.clear();
+        crashed_ = true;
+        return;
+      }
+      case FaultKind::None:
+        break;
+    }
+
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    selfmon::counter_add(selfmon::CounterId::PcpRequestsServed);
+    serve_request(req);
   }
 }
 

@@ -6,8 +6,26 @@
 // to it through a mailbox protocol (request queue + per-request promise),
 // which preserves the essential property the paper studies: user-space reads
 // go through an indirection layer with a round-trip cost.
+//
+// Because the indirection layer is a failure domain of its own, the daemon
+// carries a fault-injection and resilience model (DESIGN.md "PCP fault
+// model"):
+//  * A seeded FaultPlan can drop, delay, error, or crash-and-restart the
+//    service thread per request, deterministically.
+//  * Every client round-trip has a deadline (wait-with-timeout on the reply
+//    future) and bounded retry with exponential backoff; exhaustion surfaces
+//    Error(Status::Timeout), never an indefinite hang.
+//  * Shutdown is drain-then-stop: requests accepted before shutdown are
+//    served; requests racing with or arriving after shutdown fail fast with
+//    Error(Status::Shutdown).  No promise is ever silently broken.
+//  * A crashed service thread is restarted by a supervisor on the next post;
+//    each incarnation re-baselines the monotonic counters (values restart
+//    near zero, like a real collector that reports since-daemon-start), and
+//    FetchReply::generation lets clients detect the discontinuity.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -19,7 +37,9 @@
 #include <variant>
 #include <vector>
 
+#include "core/error.hpp"
 #include "nest/nest_pmu.hpp"
+#include "pcp/fault.hpp"
 #include "pcp/pmns.hpp"
 #include "sim/machine.hpp"
 
@@ -30,6 +50,11 @@ struct FetchReply {
   bool ok = false;
   std::string error;
   std::vector<std::uint64_t> values;
+  /// Daemon incarnation that served the fetch (starts at 1, +1 per crash
+  /// restart).  A change means the counters re-baselined: absolute values
+  /// restarted near zero and deltas against pre-restart snapshots are
+  /// meaningless (see PcpComponent::read).
+  std::uint64_t generation = 0;
 };
 
 struct LookupReply {
@@ -39,6 +64,15 @@ struct LookupReply {
 
 struct NamesReply {
   std::vector<std::string> names;
+};
+
+/// Client-side round-trip policy: per-attempt deadline, bounded retry with
+/// exponential backoff.  Transient failures (timeout, injected error, daemon
+/// crash) are retried; Status::Shutdown is terminal.
+struct RpcOptions {
+  std::chrono::milliseconds timeout{2000};   ///< per-attempt reply deadline
+  int max_retries = 3;                       ///< attempts = max_retries + 1
+  std::chrono::microseconds backoff_base{100};  ///< doubles per retry
 };
 
 /// The daemon.  Owns the PMNS and the privileged nest handle.
@@ -53,6 +87,10 @@ class Pmcd {
   Pmcd& operator=(const Pmcd&) = delete;
 
   // --- client-side entry points (thread-safe, synchronous round-trips) ---
+  // Each call is a deadline-bounded round trip with retry (RpcOptions).
+  // @throws Error(Status::Timeout) when every attempt missed its deadline,
+  // Error(Status::Shutdown) when the daemon is (or goes) down, and
+  // Error(Status::Internal) when retries exhaust on transient faults.
 
   /// pmLookupName.
   LookupReply lookup(const std::string& name);
@@ -63,8 +101,31 @@ class Pmcd {
   /// pmFetch: read `pmids` for the instance (hardware thread) `cpu`.
   FetchReply fetch(const std::vector<PmId>& pmids, std::uint32_t cpu);
 
+  // --- lifecycle & fault injection ---
+
+  /// Drain-then-stop: requests already accepted are served, then the service
+  /// thread exits; posts racing with or following shutdown fail fast with
+  /// Error(Status::Shutdown).  Idempotent; the destructor calls it.
+  void shutdown();
+
+  /// Install a fault schedule (thread-safe; applies to subsequent requests).
+  void set_fault_plan(const FaultPlan& plan);
+
+  /// Override the round-trip policy (thread-safe).
+  void set_rpc_options(const RpcOptions& opt);
+
   const Pmns& pmns() const { return pmns_; }
-  std::uint64_t requests_served() const { return requests_served_; }
+  std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+  /// Current daemon incarnation (1 = never crashed).
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t restarts() const { return generation() - 1; }
+  std::uint64_t faults_injected() const {
+    return faults_injected_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct LookupReq {
@@ -84,7 +145,29 @@ class Pmcd {
   using Request = std::variant<LookupReq, NamesReq, FetchReq, StopReq>;
 
   void serve();
-  void post(Request req);
+
+  /// Enqueue under the mailbox lock; restarts a crashed service thread
+  /// first (the supervisor path).  False when shutting down -- the request
+  /// was NOT enqueued and its promise is untouched.
+  bool post(Request req);
+
+  /// Join the crashed incarnation, re-baseline the counters, start the
+  /// next incarnation.  Caller holds mu_.
+  void restart_locked();
+
+  /// Fail a pending request's promise with `err` (no-op for StopReq).
+  static void fail_request(Request& req, const Error& err);
+
+  /// Deadline + retry loop shared by lookup/names_under/fetch.
+  template <typename Reply, typename MakeReq>
+  Reply round_trip(MakeReq&& make_req);
+
+  /// Serve one non-stop request (sets the promise).  `index` is the
+  /// deterministic service index used for the fault roll.
+  void serve_request(Request& req);
+
+  std::size_t counter_slot(std::uint32_t socket, std::uint32_t channel,
+                           nest::NestEventKind kind) const;
 
   sim::Machine& machine_;
   Pmns pmns_;
@@ -93,7 +176,30 @@ class Pmcd {
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Request> queue_;
-  std::uint64_t requests_served_ = 0;
+  /// Requests swallowed by Drop faults: parked (promise kept alive) so the
+  /// client sees silence, not a broken promise; failed with Shutdown at
+  /// drain time.
+  std::vector<Request> dropped_;
+  bool accepting_ = true;   ///< guarded by mu_
+  bool crashed_ = false;    ///< guarded by mu_; true between crash and restart
+  bool stop_posted_ = false;  ///< guarded by mu_
+  FaultPlan plan_;          ///< guarded by mu_
+  RpcOptions rpc_;          ///< guarded by mu_
+
+  /// Per-counter baseline subtracted from raw PMU reads; rewritten only
+  /// between incarnations (no service thread running), read lock-free by
+  /// the service thread.
+  std::vector<std::uint64_t> base_;
+
+  /// Deterministic fault-roll index; touched only by the service thread
+  /// (successive incarnations are ordered by join/create).
+  std::uint64_t service_index_ = 0;
+
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> generation_{1};
+  std::atomic<std::uint64_t> faults_injected_{0};
+
+  std::mutex lifecycle_mu_;  ///< serializes shutdown()/destructor joins
   std::thread thread_;
 };
 

@@ -19,6 +19,13 @@ constexpr MetricInfo kCounterInfo[kNumCounters] = {
      "contended stripe acquisitions, estimated from sampled try_lock probes",
      "locks"},
     {"pcp.requests_served", "requests completed by the PMCD service thread", "requests"},
+    {"pcp.retries", "PMCD round-trip retries after a timeout or transient fault",
+     "retries"},
+    {"pcp.timeouts", "PMCD round-trip attempts that missed the client deadline",
+     "timeouts"},
+    {"pcp.faults_injected", "PMCD requests faulted by the active FaultPlan", "faults"},
+    {"pcp.restarts", "crashed PMCD service threads revived by the supervisor",
+     "restarts"},
     {"sampler.rows", "timeline rows recorded by Sampler::sample()", "rows"},
     {"runner.reps", "kernel repetitions executed by KernelRunner", "reps"},
     {"runner.reps_replayed",

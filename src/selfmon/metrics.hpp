@@ -51,6 +51,10 @@ enum class CounterId : std::uint16_t {
   L3StripeAcquisitions,    ///< stripe mutex acquisitions
   L3StripeContention,      ///< contended acquisitions (sampled-probe estimate)
   PcpRequestsServed,       ///< requests the PMCD thread completed
+  PcpRetries,              ///< round-trip retries after timeout or transient fault
+  PcpTimeouts,             ///< round-trip attempts that missed the client deadline
+  PcpFaultsInjected,       ///< requests faulted by the active FaultPlan
+  PcpRestarts,             ///< crashed PMCD service threads revived by the supervisor
   SamplerRows,             ///< timeline rows recorded by Sampler::sample()
   RunnerReps,              ///< kernel repetitions executed (simulated or replayed)
   RunnerRepsReplayed,      ///< repetitions served from the recorded fast path

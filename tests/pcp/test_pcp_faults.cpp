@@ -1,0 +1,504 @@
+// Fault-injection and resilience tests for the PCP path: the FaultPlan on
+// the PMCD, client deadlines/retries, the drain-then-stop shutdown protocol,
+// crash-restart counter re-baselining, and PcpComponent's graceful
+// degradation.  The harness wraps every potentially-hanging section in its
+// own deadline so a resilience regression fails fast instead of wedging the
+// suite.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <future>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "components/pcp_component.hpp"
+#include "core/library.hpp"
+#include "core/sampler.hpp"
+#include "pcp/client.hpp"
+#include "pcp/fault.hpp"
+#include "pcp/pmcd.hpp"
+
+namespace papisim::pcp {
+namespace {
+
+using namespace std::chrono_literals;
+
+using sim::Machine;
+using sim::MachineConfig;
+using sim::MemDir;
+
+/// Fast-failing round-trip policy for fault tests: short per-attempt
+/// deadline, a couple of retries, negligible backoff.
+RpcOptions fast_rpc() {
+  RpcOptions opt;
+  opt.timeout = 50ms;
+  opt.max_retries = 2;
+  opt.backoff_base = std::chrono::microseconds(200);
+  return opt;
+}
+
+/// Harness-side deadline: run `fn` on a worker and fail (rather than hang
+/// the suite) if it does not finish in time.  The worker is joined on
+/// success; on a genuine hang the join would block, so it is only joined
+/// when the deadline was met.
+void run_with_deadline(const std::function<void()>& fn,
+                       std::chrono::seconds deadline = 120s) {
+  std::packaged_task<void()> task(fn);
+  std::future<void> done = task.get_future();
+  std::thread worker(std::move(task));
+  if (done.wait_for(deadline) != std::future_status::ready) {
+    ADD_FAILURE() << "operation exceeded the harness deadline (hang)";
+    worker.detach();  // unreachable unless the resilience layer regressed
+    return;
+  }
+  worker.join();
+  done.get();  // propagate assertions/exceptions
+}
+
+PmId read_bytes_pmid(Pmcd& daemon) {
+  const auto pmid =
+      daemon.lookup("perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES");
+  EXPECT_TRUE(pmid.ok);
+  return *pmid.pmid;
+}
+
+// ------------------------------------------------------------------------
+// Parameterized fault matrix: {drop, delay, error, crash} x {lookup, names,
+// fetch}.  Every call must succeed, fail with a typed Status, or degrade --
+// never hang, never surface std::future_error.
+
+struct FaultSpec {
+  const char* name;
+  FaultPlan plan;
+};
+
+FaultSpec fault_specs(int i) {
+  FaultPlan drop;
+  drop.drop_rate = 0.45;
+  FaultPlan delay;
+  delay.delay_rate = 0.45;
+  delay.delay_us = 500;
+  FaultPlan error;
+  error.error_rate = 0.45;
+  FaultPlan crash;
+  crash.crash_rate = 0.45;
+  const FaultSpec specs[] = {
+      {"drop", drop}, {"delay", delay}, {"error", error}, {"crash", crash}};
+  return specs[i];
+}
+
+enum class Op { Lookup, Names, Fetch };
+using MatrixParam = std::tuple<int, Op>;
+
+class PcpFaultMatrix : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(PcpFaultMatrix, NeverHangsAlwaysTyped) {
+  const FaultSpec spec = fault_specs(std::get<0>(GetParam()));
+  const Op op = std::get<1>(GetParam());
+
+  Machine machine(MachineConfig::summit());
+  machine.set_noise_enabled(false);
+  Pmcd daemon(machine);
+  daemon.set_rpc_options(fast_rpc());
+  const auto pmid = read_bytes_pmid(daemon);
+  daemon.set_fault_plan(spec.plan);
+
+  int ok = 0, typed = 0;
+  run_with_deadline([&] {
+    for (int i = 0; i < 40; ++i) {
+      try {
+        switch (op) {
+          case Op::Lookup:
+            (void)daemon.lookup(
+                "perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES");
+            break;
+          case Op::Names:
+            (void)daemon.names_under("perfevent");
+            break;
+          case Op::Fetch: {
+            const FetchReply r = daemon.fetch({pmid}, 0);
+            EXPECT_TRUE(r.ok);
+            break;
+          }
+        }
+        ++ok;
+      } catch (const Error& e) {
+        ++typed;
+        EXPECT_TRUE(e.status() == Status::Timeout ||
+                    e.status() == Status::Internal ||
+                    e.status() == Status::Shutdown)
+            << "unexpected status " << to_string(e.status());
+      } catch (const std::exception& e) {
+        ADD_FAILURE() << "untyped exception escaped: " << e.what();
+      }
+    }
+  });
+
+  EXPECT_EQ(ok + typed, 40);
+  EXPECT_GT(daemon.faults_injected(), 0u) << "plan injected nothing";
+  // With per-attempt retries, most calls ride out a 45% fault rate.
+  EXPECT_GT(ok, 0);
+
+  // The daemon must still be (or become) healthy once faults stop.
+  daemon.set_fault_plan(FaultPlan{});
+  const FetchReply healthy = daemon.fetch({pmid}, 0);
+  EXPECT_TRUE(healthy.ok);
+}
+
+std::string matrix_case_name(const ::testing::TestParamInfo<MatrixParam>& info) {
+  const char* ops[] = {"lookup", "names", "fetch"};
+  return std::string(fault_specs(std::get<0>(info.param)).name) + "_" +
+         ops[static_cast<int>(std::get<1>(info.param))];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFaultsAllOps, PcpFaultMatrix,
+    ::testing::Combine(::testing::Range(0, 4),
+                       ::testing::Values(Op::Lookup, Op::Names, Op::Fetch)),
+    matrix_case_name);
+
+// ------------------------------------------------------------------------
+// Individual fault semantics.
+
+TEST(PcpFaults, DropEveryRequestSurfacesTimeoutNotBrokenPromise) {
+  Machine machine(MachineConfig::summit());
+  Pmcd daemon(machine);
+  RpcOptions opt = fast_rpc();
+  opt.timeout = 20ms;
+  opt.max_retries = 1;
+  daemon.set_rpc_options(opt);
+  FaultPlan plan;
+  plan.drop_rate = 1.0;
+  daemon.set_fault_plan(plan);
+
+  run_with_deadline([&] {
+    try {
+      (void)daemon.fetch({0}, 0);
+      FAIL() << "fetch succeeded despite 100% drop";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.status(), Status::Timeout);
+    }
+  });
+}
+
+TEST(PcpFaults, InjectedErrorsExhaustRetriesAsInternal) {
+  Machine machine(MachineConfig::summit());
+  Pmcd daemon(machine);
+  daemon.set_rpc_options(fast_rpc());
+  FaultPlan plan;
+  plan.error_rate = 1.0;
+  daemon.set_fault_plan(plan);
+
+  run_with_deadline([&] {
+    try {
+      (void)daemon.names_under("");
+      FAIL() << "names_under succeeded despite 100% error injection";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.status(), Status::Internal);
+    }
+  });
+  // 1 initial attempt + 2 retries, each faulted.
+  EXPECT_EQ(daemon.faults_injected(), 3u);
+}
+
+TEST(PcpFaults, DelayedRequestsStillSucceed) {
+  Machine machine(MachineConfig::summit());
+  machine.set_noise_enabled(false);
+  Pmcd daemon(machine);
+  FaultPlan plan;
+  plan.delay_rate = 1.0;
+  plan.delay_us = 2000;
+  daemon.set_fault_plan(plan);
+
+  machine.memctrl(0).add_line(0, MemDir::Read);
+  run_with_deadline([&] {
+    const auto pmid = read_bytes_pmid(daemon);
+    const FetchReply r = daemon.fetch({pmid}, 0);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.values[0], 64u);
+  });
+}
+
+TEST(PcpFaults, CrashIsRestartedBySupervisor) {
+  Machine machine(MachineConfig::summit());
+  Pmcd daemon(machine);
+  daemon.set_rpc_options(fast_rpc());
+  const auto pmid = read_bytes_pmid(daemon);
+  FaultPlan plan;
+  plan.crash_rate = 1.0;
+  daemon.set_fault_plan(plan);
+
+  run_with_deadline([&] {
+    EXPECT_THROW((void)daemon.fetch({pmid}, 0), Error);
+  });
+  daemon.set_fault_plan(FaultPlan{});
+
+  const FetchReply healthy = daemon.fetch({pmid}, 0);
+  EXPECT_TRUE(healthy.ok);
+  EXPECT_GE(daemon.restarts(), 1u);
+  EXPECT_GE(daemon.generation(), 2u);
+}
+
+TEST(PcpFaults, RestartRebaselinesCountersAndStampsGeneration) {
+  Machine machine(MachineConfig::summit());
+  machine.set_noise_enabled(false);
+  Pmcd daemon(machine);
+  RpcOptions opt = fast_rpc();
+  opt.max_retries = 0;  // a single crash, not one per retry
+  daemon.set_rpc_options(opt);
+  const auto pmid = read_bytes_pmid(daemon);
+
+  machine.memctrl(0).add_line(0, MemDir::Read);
+  machine.memctrl(0).add_line(0, MemDir::Read);
+  FetchReply before = daemon.fetch({pmid}, 0);
+  ASSERT_TRUE(before.ok);
+  EXPECT_EQ(before.values[0], 128u);
+  EXPECT_EQ(before.generation, 1u);
+
+  FaultPlan plan;
+  plan.crash_rate = 1.0;
+  daemon.set_fault_plan(plan);
+  run_with_deadline([&] {
+    EXPECT_THROW((void)daemon.fetch({pmid}, 0), Error);
+  });
+  daemon.set_fault_plan(FaultPlan{});
+
+  // The restarted incarnation reports since-restart values: re-baselined to
+  // zero, stamped with the new generation.
+  FetchReply after = daemon.fetch({pmid}, 0);
+  ASSERT_TRUE(after.ok);
+  EXPECT_EQ(after.values[0], 0u);
+  EXPECT_EQ(after.generation, 2u);
+
+  machine.memctrl(0).add_line(0, MemDir::Read);
+  FetchReply more = daemon.fetch({pmid}, 0);
+  ASSERT_TRUE(more.ok);
+  EXPECT_EQ(more.values[0], 64u);
+}
+
+// ------------------------------------------------------------------------
+// Drain-then-stop shutdown protocol.
+
+TEST(PmcdShutdown, PostAfterShutdownFailsFastWithTypedStatus) {
+  Machine machine(MachineConfig::summit());
+  Pmcd daemon(machine);
+  daemon.shutdown();
+  run_with_deadline([&] {
+    try {
+      (void)daemon.fetch({0}, 0);
+      FAIL() << "fetch succeeded after shutdown";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.status(), Status::Shutdown);
+    }
+  });
+  EXPECT_NO_THROW(daemon.shutdown());  // idempotent
+}
+
+TEST(PmcdShutdown, ParkedDropVictimsAreFailedNotBroken) {
+  Machine machine(MachineConfig::summit());
+  auto daemon = std::make_unique<Pmcd>(machine);
+  RpcOptions opt = fast_rpc();
+  opt.timeout = 10ms;
+  opt.max_retries = 0;
+  daemon->set_rpc_options(opt);
+  FaultPlan plan;
+  plan.drop_rate = 1.0;
+  daemon->set_fault_plan(plan);
+  run_with_deadline([&] {
+    EXPECT_THROW((void)daemon->fetch({0}, 0), Error);
+  });
+  // Destruction must fail the parked promise (Status::Shutdown), not break
+  // it; a broken promise would abort via std::terminate in the daemon.
+  EXPECT_NO_THROW(daemon.reset());
+}
+
+// The destruction-vs-post race the drain-then-stop protocol fixes: clients
+// hammering the daemon while it shuts down must each see either a served
+// reply or Error(Status::Shutdown) -- never std::future_error.
+TEST(PmcdShutdown, DestructionVsPostStress) {
+  constexpr int kRounds = 20;
+  constexpr int kThreads = 4;
+
+  run_with_deadline([&] {
+    for (int round = 0; round < kRounds; ++round) {
+      Machine machine(MachineConfig::summit());
+      machine.set_noise_enabled(false);
+      Pmcd daemon(machine);
+      std::atomic<int> untyped{0};
+      std::atomic<int> served{0};
+      std::vector<std::thread> threads;
+      threads.reserve(kThreads);
+      for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+          for (;;) {
+            try {
+              const FetchReply r = daemon.fetch({0}, 0);
+              if (r.ok) ++served;
+            } catch (const Error& e) {
+              if (e.status() != Status::Shutdown &&
+                  e.status() != Status::Timeout) {
+                ++untyped;
+              }
+              return;  // daemon is going away
+            } catch (...) {
+              ++untyped;  // future_error or anything else: protocol broken
+              return;
+            }
+          }
+        });
+      }
+      // Let the clients get in flight, then shut down concurrently.
+      while (served.load() < kThreads) std::this_thread::yield();
+      daemon.shutdown();
+      for (auto& th : threads) th.join();
+      ASSERT_EQ(untyped.load(), 0) << "round " << round;
+    }
+  }, 300s);
+}
+
+// ------------------------------------------------------------------------
+// PcpComponent resilience: EventSet deltas across a daemon restart, and
+// graceful degradation (disabled_reason, frozen values) once retries
+// exhaust -- the Sampler keeps looping either way.
+
+constexpr const char* kReadEvent =
+    "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu0";
+
+struct PcpResilienceFixture : ::testing::Test {
+  PcpResilienceFixture()
+      : machine(MachineConfig::summit()),
+        daemon(machine),
+        client(daemon, machine, machine.user_credentials()) {
+    machine.set_noise_enabled(false);
+    component = &static_cast<components::PcpComponent&>(
+        lib.register_component(std::make_unique<components::PcpComponent>(client)));
+  }
+
+  void crash_daemon_once() {
+    RpcOptions opt = fast_rpc();
+    opt.max_retries = 0;
+    daemon.set_rpc_options(opt);
+    FaultPlan plan;
+    plan.crash_rate = 1.0;
+    daemon.set_fault_plan(plan);
+    EXPECT_THROW((void)daemon.fetch({0}, 0), Error);
+    daemon.set_fault_plan(FaultPlan{});
+    daemon.set_rpc_options(RpcOptions{});
+  }
+
+  Machine machine;
+  Pmcd daemon;
+  PcpClient client;
+  Library lib;
+  components::PcpComponent* component = nullptr;
+};
+
+TEST_F(PcpResilienceFixture, EventSetDeltaSurvivesDaemonRestart) {
+  // Pre-start traffic makes the start snapshot nonzero, so the restarted
+  // daemon's re-baselined (near-zero) values would wrap the unsigned delta
+  // without the clamp + generation re-baseline.
+  machine.memctrl(0).add_line(0, MemDir::Read);
+  machine.memctrl(0).add_line(0, MemDir::Read);  // 128 B before start
+
+  auto es = lib.create_eventset();
+  es->add_event(kReadEvent);
+  es->start();
+  machine.memctrl(0).add_line(0, MemDir::Read);  // +64 B
+  EXPECT_EQ(es->read()[0], 64);
+
+  run_with_deadline([&] { crash_daemon_once(); });
+
+  // Across the restart the banked progress is kept and the delta stays
+  // sane (the unclamped subtraction would report ~2^64).
+  EXPECT_EQ(es->read()[0], 64);
+  machine.memctrl(0).add_line(0, MemDir::Read);  // +64 B after restart
+  EXPECT_EQ(es->read()[0], 128);
+  es->stop();
+}
+
+TEST_F(PcpResilienceFixture, ExhaustedRetriesDegradeComponentInsteadOfThrowing) {
+  auto es = lib.create_eventset();
+  es->add_event(kReadEvent);
+  es->start();
+  machine.memctrl(0).add_line(0, MemDir::Read);
+  EXPECT_EQ(es->read()[0], 64);
+  ASSERT_TRUE(component->available());
+
+  // Kill the daemon for good: every subsequent round trip fails fast.
+  daemon.shutdown();
+
+  run_with_deadline([&] {
+    // The sampling-loop call does NOT throw: values freeze and the
+    // component reports itself disabled.
+    std::vector<long long> v;
+    EXPECT_NO_THROW(v = es->read());
+    EXPECT_EQ(v[0], 64);
+    EXPECT_NO_THROW(v = es->read());  // stays degraded, still no throw
+    EXPECT_EQ(v[0], 64);
+  });
+  EXPECT_FALSE(component->available());
+  EXPECT_NE(component->disabled_reason().find("Shutdown"), std::string::npos)
+      << component->disabled_reason();
+  // Control-plane operations on a disabled component fail with the typed
+  // ComponentDisabled status (PAPI semantics).
+  try {
+    es->reset();
+    FAIL() << "reset succeeded on a disabled component";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status(), Status::ComponentDisabled);
+  }
+}
+
+TEST_F(PcpResilienceFixture, SamplerLoopCompletesUnderSeededFaultPlan) {
+  // The acceptance scenario: >=10% of requests faulted, a Sampler loop over
+  // pcp::: events completes without hanging or crashing, and every column
+  // stays monotone (clamped deltas + banked restarts never go backwards).
+  RpcOptions opt = fast_rpc();
+  opt.timeout = 30ms;
+  opt.max_retries = 3;
+  daemon.set_rpc_options(opt);
+
+  auto es = lib.create_eventset();
+  es->add_event(kReadEvent);
+  es->add_event(
+      "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_WRITE_BYTES.value:cpu0");
+  Sampler sampler(machine.clock());
+  sampler.add_eventset(*es);
+  sampler.start_all();
+
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.drop_rate = 0.05;
+  plan.delay_rate = 0.03;
+  plan.delay_us = 300;
+  plan.error_rate = 0.05;
+  plan.crash_rate = 0.02;  // 15% total
+  daemon.set_fault_plan(plan);
+
+  run_with_deadline([&] {
+    for (int i = 0; i < 50; ++i) {
+      machine.memctrl(0).add_line(static_cast<std::uint64_t>(i) * 64,
+                                  i % 3 == 0 ? MemDir::Write : MemDir::Read);
+      machine.clock().advance(1000.0);
+      sampler.sample();
+    }
+  }, 300s);
+
+  ASSERT_EQ(sampler.rows().size(), 50u);
+  EXPECT_GT(daemon.faults_injected(), 0u);
+  for (std::size_t col = 0; col < sampler.columns().size(); ++col) {
+    long long prev = 0;
+    for (const TimelineRow& row : sampler.rows()) {
+      EXPECT_GE(row.values[col], prev)
+          << "column " << sampler.columns()[col] << " went backwards";
+      prev = row.values[col];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace papisim::pcp
