@@ -7,8 +7,12 @@
 // re-sorts, ~equal reads/writes during the 2nd/4th; network spikes only in
 // the two All2All phases.
 #include <algorithm>
+#include <fstream>
 
+#include "analysis/report.hpp"
+#include "analysis/score.hpp"
 #include "bench_util.hpp"
+#include "core/trace_export.hpp"
 #include "fft/fft3d.hpp"
 
 using namespace papisim;
@@ -16,6 +20,7 @@ using namespace papisim::benchutil;
 
 int main(int argc, char** argv) {
   const bool csv = has_flag(argc, argv, "--csv");
+  const std::string trace_path = flag_value(argc, argv, "--trace");
   print_header("Fig. 11: performance profile of a single 3D-FFT rank",
                "paper Fig. 11 (32 nodes, 8x8 grid, GPU 1D-FFTs)");
 
@@ -99,6 +104,42 @@ int main(int argc, char** argv) {
                wr > 0 ? fmt(rd / wr, 2) : "-", fmt_sci(static_cast<double>(ph.net_bytes))});
   }
   s.print();
+
+  // Inference pass: segment + label the same timeline with no ground truth,
+  // then score it against the application's phase record.
+  const analysis::Timeline tl = analysis::timeline_from_sampler(sampler);
+  const analysis::Segmentation seg = analysis::analyze(tl);
+  std::cout << "\nInferred profile (" << seg.num_segments()
+            << " segments, no instrumentation consulted):\n";
+  analysis::write_report_text(std::cout, analysis::attribute(tl, seg));
+
+  std::vector<analysis::TruthSpan> truth;
+  for (const fft::PhaseStats& ph : app.phases()) {
+    truth.push_back({analysis::fft_phase_class(ph.name), ph.t0_sec, ph.t1_sec});
+  }
+  const analysis::SegmentationScore sc =
+      analysis::score_segmentation(tl, seg, truth, tl.median_interval_sec());
+  std::cout << "\nSegmentation vs ground truth: " << sc.matched_boundaries << "/"
+            << sc.truth_boundaries << " boundaries within one sample interval ("
+            << fmt(sc.tolerance_sec * 1e3, 2) << " ms), max err "
+            << fmt(sc.max_boundary_err_sec * 1e3, 2) << " ms, label accuracy "
+            << fmt(sc.label_accuracy * 100.0, 1) << "%\n";
+
+  if (!trace_path.empty()) {
+    std::vector<TraceSpan> spans;
+    for (const fft::PhaseStats& ph : app.phases()) {
+      spans.push_back({ph.name, ph.t0_sec, ph.t1_sec, "phases"});
+    }
+    for (TraceSpan& s : analysis::to_trace_spans(seg)) spans.push_back(std::move(s));
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "cannot open '" << trace_path << "' for writing\n";
+      return 1;
+    }
+    write_chrome_trace(out, sampler, spans, "fig11_fft");
+    std::cout << "wrote chrome trace (truth + inferred tracks) to " << trace_path
+              << "\n";
+  }
 
   std::cout << "\nTakeaway (paper Sec. IV-C): each pipeline region is uniquely "
                "identifiable from native events of three different PAPI\n"

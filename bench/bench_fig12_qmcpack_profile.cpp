@@ -8,8 +8,13 @@
 //
 // Uses the high-level Profiler API: one flat event list spanning three
 // components, grouped into per-component event sets automatically.
+#include <fstream>
+
+#include "analysis/report.hpp"
+#include "analysis/score.hpp"
 #include "bench_util.hpp"
 #include "core/profiler.hpp"
+#include "core/trace_export.hpp"
 #include "qmc/qmc_app.hpp"
 
 using namespace papisim;
@@ -17,6 +22,7 @@ using namespace papisim::benchutil;
 
 int main(int argc, char** argv) {
   const bool csv = has_flag(argc, argv, "--csv");
+  const std::string trace_path = flag_value(argc, argv, "--trace");
   print_header("Fig. 12: performance profile of a single QMCPACK rank",
                "paper Fig. 12 (VMC no drift -> VMC drift -> DMC)");
 
@@ -74,6 +80,44 @@ int main(int argc, char** argv) {
     t.print_csv(std::cout);
   } else {
     t.print();
+  }
+
+  // Inference pass with the QMCPACK rule table, scored against the stage
+  // record the application kept.
+  const analysis::Timeline tl = analysis::timeline_from_sampler(prof.sampler());
+  analysis::AnalysisConfig acfg;
+  acfg.rules = analysis::qmc_rules();
+  const analysis::Segmentation seg = analysis::analyze(tl, acfg);
+  std::cout << "\nInferred profile (" << seg.num_segments()
+            << " segments, no instrumentation consulted):\n";
+  analysis::write_report_text(std::cout, analysis::attribute(tl, seg));
+
+  std::vector<analysis::TruthSpan> truth;
+  for (const qmc::QmcPhase& ph : app.phases()) {
+    truth.push_back({ph.name, ph.t0_sec, ph.t1_sec});
+  }
+  const analysis::SegmentationScore sc =
+      analysis::score_segmentation(tl, seg, truth, tl.median_interval_sec());
+  std::cout << "\nSegmentation vs ground truth: " << sc.matched_boundaries << "/"
+            << sc.truth_boundaries << " boundaries within one sample interval ("
+            << fmt(sc.tolerance_sec * 1e3, 2) << " ms), max err "
+            << fmt(sc.max_boundary_err_sec * 1e3, 2) << " ms, label accuracy "
+            << fmt(sc.label_accuracy * 100.0, 1) << "%\n";
+
+  if (!trace_path.empty()) {
+    std::vector<TraceSpan> spans;
+    for (const qmc::QmcPhase& ph : app.phases()) {
+      spans.push_back({ph.name, ph.t0_sec, ph.t1_sec, "phases"});
+    }
+    for (TraceSpan& s : analysis::to_trace_spans(seg)) spans.push_back(std::move(s));
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "cannot open '" << trace_path << "' for writing\n";
+      return 1;
+    }
+    write_chrome_trace(out, prof.sampler(), spans, "fig12_qmcpack");
+    std::cout << "wrote chrome trace (truth + inferred tracks) to " << trace_path
+              << "\n";
   }
 
   std::cout << "\nTakeaway (paper Sec. IV-C): as with the 3D-FFT (Fig. 11), "

@@ -97,6 +97,15 @@ inline bool has_flag(int argc, char** argv, const std::string& flag) {
   return false;
 }
 
+/// Value of `--flag <value>`; `fallback` when absent or value-less.
+inline std::string flag_value(int argc, char** argv, const std::string& flag,
+                              const std::string& fallback = {}) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == flag) return argv[i + 1];
+  }
+  return fallback;
+}
+
 /// Summit software stack: unprivileged user, PMCD daemon, PCP + (disabled)
 /// perf_nest components.
 struct SummitStack {

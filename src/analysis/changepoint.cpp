@@ -1,0 +1,90 @@
+#include "analysis/changepoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace papisim::analysis {
+
+namespace {
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  return v[mid];
+}
+
+}  // namespace
+
+std::vector<double> merged_change_scores(const Timeline& tl,
+                                         const DetectorConfig& cfg) {
+  const std::size_t n = tl.num_rows();
+  if (n < 2) return {};
+  std::vector<double> merged(n - 1, 0.0);
+
+  // Fold columns into detection series: one summed series per aggregatable
+  // role, plus each unrecognized column by itself.
+  std::vector<std::vector<std::size_t>> series;
+  for (const ColumnRole role :
+       {ColumnRole::MemRead, ColumnRole::MemWrite, ColumnRole::GpuPower,
+        ColumnRole::NetRecv, ColumnRole::NetXmit}) {
+    std::vector<std::size_t> cols = tl.columns_with_role(role);
+    if (!cols.empty()) series.push_back(std::move(cols));
+  }
+  for (const std::size_t c : tl.columns_with_role(ColumnRole::Other)) {
+    series.push_back({c});
+  }
+
+  std::vector<double> value(n);
+  std::vector<double> deltas(n - 1);
+  std::vector<double> abs_dev(n - 1);
+  for (const std::vector<std::size_t>& cols : series) {
+    double lo = 0, hi = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = 0;
+      for (const std::size_t c : cols) s += tl.rates[i].values[c];
+      value[i] = s;
+      lo = i == 0 ? s : std::min(lo, s);
+      hi = i == 0 ? s : std::max(hi, s);
+    }
+    const double range = hi - lo;
+    if (range <= 0.0) continue;  // constant series: nothing to detect
+    for (std::size_t i = 0; i + 1 < n; ++i) deltas[i] = value[i + 1] - value[i];
+
+    // Robust scale: 1.4826 * MAD ~= sigma for Gaussian jitter, floored so
+    // piecewise-constant series do not divide by (almost) zero.
+    const double med = median(std::vector<double>(deltas.begin(), deltas.end()));
+    for (std::size_t i = 0; i + 1 < n; ++i) abs_dev[i] = std::abs(deltas[i] - med);
+    const double mad = median(std::vector<double>(abs_dev.begin(), abs_dev.end()));
+    const double sigma = std::max(1.4826 * mad, cfg.sigma_floor_frac * range);
+
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      merged[i] = std::max(merged[i], std::abs(deltas[i]) / sigma);
+    }
+  }
+  return merged;
+}
+
+std::vector<std::size_t> detect_boundaries(const Timeline& tl,
+                                           const DetectorConfig& cfg) {
+  const std::vector<double> z = merged_change_scores(tl, cfg);
+  const std::size_t n = tl.num_rows();
+  std::vector<std::size_t> out;
+  bool armed = true;
+  std::size_t last = 0;  // first row of the currently open segment
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    if (armed && z[i] >= cfg.enter_z) {
+      const std::size_t b = i + 1;  // new regime starts at row i+1
+      if (b - last >= cfg.min_segment_rows && n - b >= cfg.min_segment_rows) {
+        out.push_back(b);
+        last = b;
+      }
+      armed = false;
+    } else if (!armed && z[i] < cfg.exit_z) {
+      armed = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace papisim::analysis

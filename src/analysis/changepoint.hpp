@@ -1,0 +1,51 @@
+// Multi-column change-point detection over a rate timeline (DESIGN.md §3e).
+//
+// Columns are first folded into detection series by role -- all MemRead
+// channels sum into one total-read series, MemWrite into total-write,
+// GpuPower / NetRecv / NetXmit likewise, unrecognized columns stay
+// individual -- because multi-channel controllers interleave: a planewise
+// re-sort hops MBA channels row to row, so raw per-channel deltas oscillate
+// full-range inside a perfectly steady phase while the totals (the curves
+// the paper actually plots) hold still.  Per series, the inter-row rate
+// deltas are normalized by a robust scale (median absolute deviation with a
+// range-relative floor) so the within-phase jitter injected by
+// sim/noise.hpp sets the unit; the normalized scores are merged across
+// series by max and walked with a hysteresis trigger plus a
+// minimum-segment-length guard.  A phase transition that ramps over several
+// samples (GPU power climbing to its compute plateau) produces exactly one
+// boundary: the trigger fires on the first large delta and cannot re-arm
+// until the merged score falls back below the exit threshold.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/timeline.hpp"
+
+namespace papisim::analysis {
+
+struct DetectorConfig {
+  double enter_z = 8.0;  ///< merged score that opens a boundary
+  double exit_z = 4.0;   ///< score the signal must drop below to re-arm
+  /// Reject boundaries that would create a segment shorter than this many
+  /// rate rows (also enforced against the timeline's ends).
+  std::size_t min_segment_rows = 2;
+  /// Floor on each column's delta scale, as a fraction of the column's
+  /// value range: keeps noiseless step-function columns (MAD == 0) from
+  /// flagging numerical dust, without muting real steps.
+  double sigma_floor_frac = 0.01;
+};
+
+/// The merged per-edge change score; entry i scores the edge between rate
+/// rows i and i+1 (size == num_rows() - 1, empty for < 2 rows).  Exposed
+/// for tests and for tuning against recorded timelines.
+std::vector<double> merged_change_scores(const Timeline& timeline,
+                                         const DetectorConfig& cfg = {});
+
+/// Detected boundaries: ascending indices b in (0, num_rows()), each the
+/// first rate row of a new segment.  Columns with role SelfOverheadNs are
+/// excluded (harness overhead tracks the sampler, not the application).
+std::vector<std::size_t> detect_boundaries(const Timeline& timeline,
+                                           const DetectorConfig& cfg = {});
+
+}  // namespace papisim::analysis

@@ -1,0 +1,155 @@
+#include "analysis/classify.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace papisim::analysis {
+
+namespace {
+
+/// Sum of `cols` values in one rate row.
+double row_sum(const RateRow& r, const std::vector<std::size_t>& cols) {
+  double s = 0;
+  for (const std::size_t c : cols) s += r.values[c];
+  return s;
+}
+
+}  // namespace
+
+std::vector<SegmentFeatures> segment_features(
+    const Timeline& tl, const std::vector<std::size_t>& boundaries) {
+  std::vector<SegmentFeatures> out;
+  if (tl.num_rows() == 0) return out;
+
+  const std::vector<std::size_t> rd = tl.columns_with_role(ColumnRole::MemRead);
+  const std::vector<std::size_t> wr = tl.columns_with_role(ColumnRole::MemWrite);
+  const std::vector<std::size_t> pw = tl.columns_with_role(ColumnRole::GpuPower);
+  std::vector<std::size_t> net = tl.columns_with_role(ColumnRole::NetRecv);
+  for (const std::size_t c : tl.columns_with_role(ColumnRole::NetXmit)) {
+    net.push_back(c);
+  }
+
+  // Timeline-wide power range: idle..peak over every row (gauges are
+  // instantaneous, so rows -- not segment means -- set the extremes).
+  double p_lo = 0, p_hi = 0;
+  if (!pw.empty()) {
+    p_lo = p_hi = row_sum(tl.rates[0], pw);
+    for (const RateRow& r : tl.rates) {
+      const double p = row_sum(r, pw);
+      p_lo = std::min(p_lo, p);
+      p_hi = std::max(p_hi, p);
+    }
+  }
+
+  // Segment boundaries -> [first, end) row ranges.
+  std::vector<std::size_t> edges;
+  edges.push_back(0);
+  for (const std::size_t b : boundaries) edges.push_back(b);
+  edges.push_back(tl.num_rows());
+
+  for (std::size_t s = 0; s + 1 < edges.size(); ++s) {
+    SegmentFeatures f;
+    f.first_row = edges[s];
+    f.end_row = edges[s + 1];
+    f.t0_sec = tl.rates[f.first_row].t0_sec;
+    f.t1_sec = tl.rates[f.end_row - 1].t1_sec;
+    double dur = 0, rd_acc = 0, wr_acc = 0, pw_acc = 0, net_acc = 0;
+    for (std::size_t i = f.first_row; i < f.end_row; ++i) {
+      const RateRow& r = tl.rates[i];
+      const double dt = tl.dt(i);
+      dur += dt;
+      rd_acc += row_sum(r, rd) * dt;
+      wr_acc += row_sum(r, wr) * dt;
+      pw_acc += row_sum(r, pw) * dt;
+      net_acc += row_sum(r, net) * dt;
+    }
+    f.dur_sec = dur;
+    if (dur > 0) {
+      f.read_bps = rd_acc / dur;
+      f.write_bps = wr_acc / dur;
+      f.gpu_power_w = pw_acc / dur / 1000.0;  // NVML gauges are milliwatts
+      f.net_bps = net_acc / dur;
+    }
+    out.push_back(f);
+  }
+
+  // Normalized levels against the busiest segment / the power range.
+  double mem_hi = 0, read_hi = 0, write_hi = 0, net_hi = 0;
+  for (const SegmentFeatures& f : out) {
+    mem_hi = std::max(mem_hi, f.read_bps + f.write_bps);
+    read_hi = std::max(read_hi, f.read_bps);
+    write_hi = std::max(write_hi, f.write_bps);
+    net_hi = std::max(net_hi, f.net_bps);
+  }
+  for (SegmentFeatures& f : out) {
+    f.mem_level = mem_hi > 0 ? (f.read_bps + f.write_bps) / mem_hi : 0.0;
+    f.read_level = read_hi > 0 ? f.read_bps / read_hi : 0.0;
+    f.write_level = write_hi > 0 ? f.write_bps / write_hi : 0.0;
+    f.net_level = net_hi > 0 ? f.net_bps / net_hi : 0.0;
+    const double p_span = (p_hi - p_lo) / 1000.0;
+    f.gpu_level = p_span > 0 ? (f.gpu_power_w - p_lo / 1000.0) / p_span : 0.0;
+    // read:write with a scale-relative floor so one-sided copies get a
+    // large-but-finite ratio and idle segments a neutral 0.
+    const double floor = std::max(mem_hi * 1e-9, 1e-12);
+    f.rw_ratio = f.read_bps / std::max(f.write_bps, floor);
+  }
+  return out;
+}
+
+std::string classify(const SegmentFeatures& f, std::span<const Rule> rules) {
+  for (const Rule& r : rules) {
+    if (r.rw_ratio.contains(f.rw_ratio) && r.mem_level.contains(f.mem_level) &&
+        r.gpu_level.contains(f.gpu_level) && r.net_level.contains(f.net_level) &&
+        r.read_level.contains(f.read_level) &&
+        r.write_level.contains(f.write_level)) {
+      return r.label;
+    }
+  }
+  return "unknown";
+}
+
+const std::vector<Rule>& fft_rules() {
+  static const std::vector<Rule> rules = {
+      // Network burst: only the All2All exchanges touch the fabric.
+      {.label = "all2all", .net_level = {0.3, 1.0}},
+      // GPU active (H2D at the copy plateau, the compute peak, D2H).
+      {.label = "fft", .gpu_level = {0.12, 1.0}},
+      // Strided re-sort: ~2 reads per write (S1CF), ~1.25 planewise (S1PF).
+      {.label = "resort_strided", .rw_ratio = {1.15, 3.6}, .mem_level = {0.05, 1.0}},
+      // Sequential re-sort: balanced streams.
+      {.label = "resort_sequential", .rw_ratio = {0.45, 1.15}, .mem_level = {0.05, 1.0}},
+      // Memory-only timelines (archives): the copies are one-sided.
+      {.label = "fft", .rw_ratio = {3.6, std::numeric_limits<double>::infinity()},
+       .mem_level = {0.05, 1.0}},
+      {.label = "fft", .rw_ratio = {0.0, 0.45}, .mem_level = {0.05, 1.0}},
+      // Nothing measurable on any component.
+      {.label = "idle", .mem_level = {0.0, 0.05}, .gpu_level = {0.0, 0.12},
+       .net_level = {0.0, 0.3}},
+  };
+  return rules;
+}
+
+const std::vector<Rule>& qmc_rules() {
+  static const std::vector<Rule> rules = {
+      // Walker redistribution over MPI happens only while branching in DMC.
+      {.label = "DMC", .net_level = {0.3, 1.0}},
+      // DMC runs the GPU at its peak plateau.
+      {.label = "DMC", .gpu_level = {0.8, 1.0}},
+      // Drift gradients: the intermediate power plateau.
+      {.label = "VMC_drift", .gpu_level = {0.15, 0.8}},
+      // Walker moves over the spline tables: memory-bound, GPU near idle.
+      {.label = "VMC_no_drift", .mem_level = {0.05, 1.0}, .gpu_level = {0.0, 0.15}},
+      {.label = "idle", .mem_level = {0.0, 0.05}},
+  };
+  return rules;
+}
+
+std::string fft_phase_class(const std::string& phase_name) {
+  if (phase_name.find("all2all") != std::string::npos) return "all2all";
+  if (phase_name.rfind("fft", 0) == 0) return "fft";
+  if (phase_name.find("S1") != std::string::npos) return "resort_strided";
+  if (phase_name.find("S2") != std::string::npos) return "resort_sequential";
+  return phase_name;
+}
+
+}  // namespace papisim::analysis

@@ -1,0 +1,79 @@
+// Signature-based phase classification (DESIGN.md §3e).
+//
+// Each segment between change points is reduced to a feature vector of the
+// component ratios the paper reads off its Fig. 11/12 plots -- read:write
+// ratio, GPU-power level, network level -- and labeled by the first matching
+// entry of a small declarative rule table.  Levels are normalized within
+// the timeline (power against its observed idle..peak range, traffic
+// against the busiest segment), so one table covers machines with very
+// different absolute rates.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/timeline.hpp"
+
+namespace papisim::analysis {
+
+/// dt-weighted per-segment means plus the normalized levels the rules read.
+struct SegmentFeatures {
+  std::size_t first_row = 0;  ///< rate-row range [first_row, end_row)
+  std::size_t end_row = 0;
+  double t0_sec = 0, t1_sec = 0, dur_sec = 0;
+  double read_bps = 0, write_bps = 0;
+  double rw_ratio = 0;      ///< read/write; large when writes are ~absent
+  double gpu_power_w = 0;   ///< mean gauge value, watts (0: no power column)
+  double net_bps = 0;       ///< recv + xmit
+  double mem_level = 0;     ///< (read+write) / busiest segment's (read+write)
+  double read_level = 0, write_level = 0;  ///< per-direction analogues
+  double gpu_level = 0;     ///< (power - idle) / (peak - idle), 0 w/o column
+  double net_level = 0;     ///< net_bps / busiest segment's net_bps
+};
+
+/// Closed interval [lo, hi]; default accepts everything, so rules name only
+/// the features they constrain.
+struct Band {
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  bool contains(double v) const { return v >= lo && v <= hi; }
+};
+
+/// One row of the rule table; all bands must accept (conjunction).  Rules
+/// are evaluated in order and the first match wins.
+struct Rule {
+  std::string label;
+  Band rw_ratio{};
+  Band mem_level{};
+  Band gpu_level{};
+  Band net_level{};
+  Band read_level{};
+  Band write_level{};
+};
+
+/// Feature extraction for the segments induced by `boundaries` (as returned
+/// by detect_boundaries: ascending first-row indices, 0 excluded).
+std::vector<SegmentFeatures> segment_features(
+    const Timeline& timeline, const std::vector<std::size_t>& boundaries);
+
+/// First-match rule evaluation; "unknown" when no rule accepts.
+std::string classify(const SegmentFeatures& f, std::span<const Rule> rules);
+
+/// Rule table for the paper's 3D-FFT pipeline (Fig. 11): all2all by network
+/// burst, fft by GPU power (or, on memory-only timelines, by one-sided
+/// H2D/D2H copy traffic), the two re-sort flavors by read:write ratio.
+const std::vector<Rule>& fft_rules();
+
+/// Rule table for the QMCPACK stages (Fig. 12): DMC by walker-exchange
+/// network spikes or peak GPU power, VMC-with-drift by the intermediate
+/// power plateau, VMC-without-drift as the remaining memory-bound stage.
+const std::vector<Rule>& qmc_rules();
+
+/// Canonical class of a ground-truth FFT phase name ("resort1_S1CF" ->
+/// "resort_strided", "fft_z" -> "fft", "all2all_1" -> "all2all"), matching
+/// the labels fft_rules() emits -- the oracle side of SegmentationScore.
+std::string fft_phase_class(const std::string& phase_name);
+
+}  // namespace papisim::analysis

@@ -1,0 +1,54 @@
+#include "analysis/pipeline.hpp"
+
+namespace papisim::analysis {
+
+Segmentation analyze(const Timeline& tl, const AnalysisConfig& cfg) {
+  Segmentation seg;
+  if (tl.num_rows() == 0) return seg;
+
+  seg.boundaries = detect_boundaries(tl, cfg.detector);
+  seg.features = segment_features(tl, seg.boundaries);
+  seg.labels.reserve(seg.features.size());
+  for (const SegmentFeatures& f : seg.features) {
+    seg.labels.push_back(classify(f, cfg.rules));
+  }
+
+  // Coalesce to a fixpoint: merging can shift a merged segment's features
+  // (and thus its label), which may expose another same-label pair.
+  while (cfg.coalesce_same_label) {
+    std::vector<std::size_t> kept;
+    for (std::size_t b = 0; b < seg.boundaries.size(); ++b) {
+      if (seg.labels[b] != seg.labels[b + 1]) kept.push_back(seg.boundaries[b]);
+    }
+    if (kept.size() == seg.boundaries.size()) break;
+    seg.boundaries = std::move(kept);
+    seg.features = segment_features(tl, seg.boundaries);
+    seg.labels.clear();
+    for (const SegmentFeatures& f : seg.features) {
+      seg.labels.push_back(classify(f, cfg.rules));
+    }
+  }
+
+  seg.boundary_times_sec.reserve(seg.boundaries.size());
+  for (const std::size_t b : seg.boundaries) {
+    seg.boundary_times_sec.push_back(tl.rates[b].t0_sec);
+  }
+  return seg;
+}
+
+std::vector<TraceSpan> to_trace_spans(const Segmentation& seg,
+                                      const std::string& track) {
+  std::vector<TraceSpan> spans;
+  spans.reserve(seg.num_segments());
+  for (std::size_t s = 0; s < seg.num_segments(); ++s) {
+    TraceSpan span;
+    span.name = seg.labels[s];
+    span.t0_sec = seg.features[s].t0_sec;
+    span.t1_sec = seg.features[s].t1_sec;
+    span.track = track;
+    spans.push_back(std::move(span));
+  }
+  return spans;
+}
+
+}  // namespace papisim::analysis

@@ -1,0 +1,43 @@
+// The full segmentation pipeline: detect change points, extract features,
+// label each segment from a rule table, coalesce adjacent segments that got
+// the same label (a GPU-FFT phase's H2D / compute / D2H sub-regimes fold
+// back into one "fft" segment).  Runs identically on a live Sampler
+// timeline and on one recovered from a saved pcp::Archive.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/changepoint.hpp"
+#include "analysis/classify.hpp"
+#include "core/trace_export.hpp"
+
+namespace papisim::analysis {
+
+struct AnalysisConfig {
+  DetectorConfig detector{};
+  /// Rule table; defaults to the FFT pipeline table (the paper's flagship
+  /// Fig. 11 workload).  Swap in qmc_rules() or a custom table.
+  std::vector<Rule> rules = fft_rules();
+  /// Merge neighboring segments whose labels agree.
+  bool coalesce_same_label = true;
+};
+
+/// The inferred, labeled segmentation of one timeline.
+struct Segmentation {
+  std::vector<std::size_t> boundaries;      ///< ascending, in (0, num_rows)
+  std::vector<std::string> labels;          ///< size boundaries.size() + 1
+  std::vector<SegmentFeatures> features;    ///< parallel to labels
+  std::vector<double> boundary_times_sec;   ///< t0 of each boundary row
+
+  std::size_t num_segments() const { return labels.size(); }
+};
+
+Segmentation analyze(const Timeline& timeline, const AnalysisConfig& cfg = {});
+
+/// The inferred segments as trace spans, ready to sit next to the
+/// ground-truth "phases" track in write_chrome_trace.
+std::vector<TraceSpan> to_trace_spans(const Segmentation& seg,
+                                      const std::string& track = "inferred");
+
+}  // namespace papisim::analysis

@@ -1,0 +1,149 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/json_util.hpp"
+
+namespace papisim::analysis {
+
+namespace {
+
+double integrate(const Timeline& tl, const std::vector<std::size_t>& cols,
+                 std::size_t first, std::size_t end) {
+  double acc = 0;
+  for (std::size_t i = first; i < end; ++i) {
+    double s = 0;
+    for (const std::size_t c : cols) s += tl.rates[i].values[c];
+    acc += s * tl.dt(i);
+  }
+  return acc;
+}
+
+std::string num(double v, int prec = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string sci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3e", v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<PhaseAttribution> attribute(const Timeline& tl,
+                                        const Segmentation& seg) {
+  const std::vector<std::size_t> rd = tl.columns_with_role(ColumnRole::MemRead);
+  const std::vector<std::size_t> wr = tl.columns_with_role(ColumnRole::MemWrite);
+  const std::vector<std::size_t> pw = tl.columns_with_role(ColumnRole::GpuPower);
+  const std::vector<std::size_t> self =
+      tl.columns_with_role(ColumnRole::SelfOverheadNs);
+  std::vector<std::size_t> net = tl.columns_with_role(ColumnRole::NetRecv);
+  for (const std::size_t c : tl.columns_with_role(ColumnRole::NetXmit)) {
+    net.push_back(c);
+  }
+
+  std::vector<PhaseAttribution> out;
+  out.reserve(seg.num_segments());
+  for (std::size_t s = 0; s < seg.num_segments(); ++s) {
+    const SegmentFeatures& f = seg.features[s];
+    PhaseAttribution a;
+    a.label = seg.labels[s];
+    a.t0_sec = f.t0_sec;
+    a.t1_sec = f.t1_sec;
+    a.dur_sec = f.dur_sec;
+    a.read_bytes = integrate(tl, rd, f.first_row, f.end_row);
+    a.write_bytes = integrate(tl, wr, f.first_row, f.end_row);
+    a.rw_ratio = a.write_bytes > 0 ? a.read_bytes / a.write_bytes : 0.0;
+    a.net_bytes = integrate(tl, net, f.first_row, f.end_row);
+    // Power gauges are milliwatts: mW * s = mJ.
+    a.energy_j = integrate(tl, pw, f.first_row, f.end_row) / 1000.0;
+    // The ".sum_ns" counter rate is harness-ns per wall-second; its
+    // integral over the segment is harness-ns, so share = ns / wall-ns.
+    if (!self.empty() && f.dur_sec > 0) {
+      a.selfmon_share =
+          integrate(tl, self, f.first_row, f.end_row) / (f.dur_sec * 1e9);
+    }
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+void write_report_text(std::ostream& os,
+                       std::span<const PhaseAttribution> report) {
+  const std::vector<std::string> headers = {
+      "segment", "t0_ms",  "t1_ms",      "read_B", "write_B",
+      "r/w",     "net_B",  "energy_J",   "selfmon"};
+  std::vector<std::vector<std::string>> rows;
+  PhaseAttribution total;
+  total.label = "TOTAL";
+  for (const PhaseAttribution& a : report) {
+    rows.push_back({a.label, num(a.t0_sec * 1e3, 2), num(a.t1_sec * 1e3, 2),
+                    sci(a.read_bytes), sci(a.write_bytes),
+                    a.rw_ratio > 0 ? num(a.rw_ratio, 2) : "-", sci(a.net_bytes),
+                    num(a.energy_j, 2), num(a.selfmon_share * 100, 3) + "%"});
+    total.read_bytes += a.read_bytes;
+    total.write_bytes += a.write_bytes;
+    total.net_bytes += a.net_bytes;
+    total.energy_j += a.energy_j;
+    total.selfmon_share += a.selfmon_share * a.dur_sec;
+    total.dur_sec += a.dur_sec;
+  }
+  if (!report.empty()) {
+    total.t0_sec = report.front().t0_sec;
+    total.t1_sec = report.back().t1_sec;
+    total.rw_ratio =
+        total.write_bytes > 0 ? total.read_bytes / total.write_bytes : 0.0;
+    if (total.dur_sec > 0) total.selfmon_share /= total.dur_sec;
+    rows.push_back({total.label, num(total.t0_sec * 1e3, 2),
+                    num(total.t1_sec * 1e3, 2), sci(total.read_bytes),
+                    sci(total.write_bytes),
+                    total.rw_ratio > 0 ? num(total.rw_ratio, 2) : "-",
+                    sci(total.net_bytes), num(total.energy_j, 2),
+                    num(total.selfmon_share * 100, 3) + "%"});
+  }
+
+  std::vector<std::size_t> width(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c) width[c] = headers[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers.size(); ++c) {
+      os << "  " << cells[c] << std::string(width[c] - cells[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  line(headers);
+  std::size_t tot = 0;
+  for (const std::size_t w : width) tot += w + 2;
+  os << std::string(tot, '-') << '\n';
+  for (const auto& row : rows) line(row);
+}
+
+void write_report_json(std::ostream& os, const Timeline& tl,
+                       std::span<const PhaseAttribution> report) {
+  os << "{\"columns\":[";
+  for (std::size_t c = 0; c < tl.columns.size(); ++c) {
+    if (c) os << ',';
+    os << '"' << json_escape(tl.columns[c]) << '"';
+  }
+  os << "],\n\"segments\":[\n";
+  for (std::size_t s = 0; s < report.size(); ++s) {
+    const PhaseAttribution& a = report[s];
+    if (s) os << ",\n";
+    os << "{\"label\":\"" << json_escape(a.label) << "\",\"t0_sec\":" << a.t0_sec
+       << ",\"t1_sec\":" << a.t1_sec << ",\"read_bytes\":" << a.read_bytes
+       << ",\"write_bytes\":" << a.write_bytes << ",\"rw_ratio\":" << a.rw_ratio
+       << ",\"net_bytes\":" << a.net_bytes << ",\"energy_j\":" << a.energy_j
+       << ",\"selfmon_share\":" << a.selfmon_share << "}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace papisim::analysis

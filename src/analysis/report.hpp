@@ -1,0 +1,41 @@
+// Per-phase attribution: integrate each inferred segment's rates back into
+// totals (traffic, energy proxy, network bytes, harness-overhead share) and
+// emit the labeled profile as a text table or JSON -- the paper's Fig. 11/12
+// "per-phase summary", produced from measurements instead of ground truth.
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "analysis/pipeline.hpp"
+
+namespace papisim::analysis {
+
+struct PhaseAttribution {
+  std::string label;
+  double t0_sec = 0, t1_sec = 0, dur_sec = 0;
+  double read_bytes = 0;   ///< integral of MemRead rates
+  double write_bytes = 0;  ///< integral of MemWrite rates
+  double rw_ratio = 0;     ///< read_bytes / write_bytes (0 when no writes)
+  double net_bytes = 0;    ///< integral of NetRecv + NetXmit rates
+  double energy_j = 0;     ///< integral of GPU power (energy proxy, joules)
+  /// Fraction of the segment's wall time spent in harness code (from a
+  /// selfmon ".sum_ns" column); 0 when the timeline carries none.
+  double selfmon_share = 0;
+};
+
+std::vector<PhaseAttribution> attribute(const Timeline& timeline,
+                                        const Segmentation& seg);
+
+/// Aligned text table, one row per segment plus a totals row.
+void write_report_text(std::ostream& os,
+                       std::span<const PhaseAttribution> report);
+
+/// JSON document: {"columns": [...], "segments": [...]} with one object per
+/// segment (label, interval, traffic, energy, overhead share).  All strings
+/// pass through json_escape.
+void write_report_json(std::ostream& os, const Timeline& timeline,
+                       std::span<const PhaseAttribution> report);
+
+}  // namespace papisim::analysis

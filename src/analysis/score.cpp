@@ -1,0 +1,72 @@
+#include "analysis/score.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace papisim::analysis {
+
+SegmentationScore score_segmentation(const Timeline& tl, const Segmentation& seg,
+                                     std::span<const TruthSpan> truth,
+                                     double tolerance_sec) {
+  SegmentationScore sc;
+  sc.tolerance_sec = tolerance_sec;
+  sc.inferred_boundaries = seg.boundaries.size();
+
+  // Boundary distances: every interior truth transition against the nearest
+  // inferred boundary time.
+  double err_sum = 0;
+  for (std::size_t k = 0; k + 1 < truth.size(); ++k) {
+    const double t = truth[k + 1].t0_sec;
+    ++sc.truth_boundaries;
+    double best = tl.duration_sec();  // "infinitely far" within the window
+    for (const double b : seg.boundary_times_sec) {
+      best = std::min(best, std::abs(b - t));
+    }
+    err_sum += best;
+    sc.max_boundary_err_sec = std::max(sc.max_boundary_err_sec, best);
+    if (best <= tolerance_sec) ++sc.matched_boundaries;
+  }
+  if (sc.truth_boundaries > 0) {
+    sc.mean_boundary_err_sec = err_sum / static_cast<double>(sc.truth_boundaries);
+  }
+
+  // dt-weighted row label agreement.
+  double covered = 0, agreed = 0;
+  std::size_t s = 0;
+  for (std::size_t i = 0; i < tl.num_rows(); ++i) {
+    while (s < seg.boundaries.size() && i >= seg.boundaries[s]) ++s;
+    const double mid = 0.5 * (tl.rates[i].t0_sec + tl.rates[i].t1_sec);
+    const TruthSpan* span = nullptr;
+    for (const TruthSpan& ts : truth) {
+      if (mid >= ts.t0_sec && mid <= ts.t1_sec) {
+        span = &ts;
+        break;
+      }
+    }
+    if (span == nullptr) continue;  // gap in the oracle: not scored
+    const double w = tl.dt(i);
+    covered += w;
+    if (s < seg.labels.size() && seg.labels[s] == span->label) agreed += w;
+  }
+  sc.label_accuracy = covered > 0 ? agreed / covered : 0.0;
+  return sc;
+}
+
+std::vector<TruthSpan> truth_from_regions(const std::vector<RegionInterval>& tl,
+                                          std::size_t depth) {
+  std::vector<TruthSpan> out;
+  for (const RegionInterval& r : tl) {
+    if (r.depth != depth) continue;
+    const std::size_t slash = r.path.rfind('/');
+    TruthSpan ts;
+    ts.label = slash == std::string::npos ? r.path : r.path.substr(slash + 1);
+    ts.t0_sec = r.t0_sec;
+    ts.t1_sec = r.t1_sec;
+    out.push_back(std::move(ts));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TruthSpan& a, const TruthSpan& b) { return a.t0_sec < b.t0_sec; });
+  return out;
+}
+
+}  // namespace papisim::analysis

@@ -1,0 +1,50 @@
+// Segmentation quality against a ground-truth oracle (fft::PhaseStats,
+// qmc::QmcPhase, or a RegionProfiler timeline): boundary distance and
+// dt-weighted label agreement.  Ground truth is demoted to validation --
+// the pipeline never sees it; this API measures how close inference got.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/pipeline.hpp"
+#include "core/regions.hpp"
+
+namespace papisim::analysis {
+
+/// One oracle interval; `label` should already be in the classifier's
+/// vocabulary (e.g. via fft_phase_class for FFT phase names).
+struct TruthSpan {
+  std::string label;
+  double t0_sec = 0;
+  double t1_sec = 0;
+};
+
+struct SegmentationScore {
+  std::size_t truth_boundaries = 0;     ///< interior truth transitions
+  std::size_t inferred_boundaries = 0;
+  std::size_t matched_boundaries = 0;   ///< truth transitions with an inferred
+                                        ///< boundary within tolerance
+  double mean_boundary_err_sec = 0;     ///< truth -> nearest inferred distance
+  double max_boundary_err_sec = 0;
+  double label_accuracy = 0;  ///< dt-weighted fraction of rows whose inferred
+                              ///< label equals the truth label at the row mid
+  double tolerance_sec = 0;
+};
+
+/// Score `seg` against `truth` spans.  `tolerance_sec` is typically one
+/// sample interval (Timeline::median_interval_sec()).  Rows whose midpoint
+/// no truth span covers are excluded from the accuracy denominator.
+SegmentationScore score_segmentation(const Timeline& timeline,
+                                     const Segmentation& seg,
+                                     std::span<const TruthSpan> truth,
+                                     double tolerance_sec);
+
+/// Oracle spans from a RegionProfiler recording, keeping intervals at the
+/// given stack depth (1 = top-level regions); the region's leaf name is the
+/// label.
+std::vector<TruthSpan> truth_from_regions(const std::vector<RegionInterval>& tl,
+                                          std::size_t depth = 1);
+
+}  // namespace papisim::analysis

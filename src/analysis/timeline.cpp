@@ -1,0 +1,138 @@
+#include "analysis/timeline.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "pcp/pmlogger.hpp"
+
+namespace papisim::analysis {
+
+namespace {
+
+std::string lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  return v[mid];
+}
+
+}  // namespace
+
+const char* to_string(ColumnRole role) {
+  switch (role) {
+    case ColumnRole::MemRead: return "mem_read";
+    case ColumnRole::MemWrite: return "mem_write";
+    case ColumnRole::GpuPower: return "gpu_power";
+    case ColumnRole::NetRecv: return "net_recv";
+    case ColumnRole::NetXmit: return "net_xmit";
+    case ColumnRole::SelfOverheadNs: return "self_overhead_ns";
+    case ColumnRole::Other: return "other";
+  }
+  return "other";
+}
+
+ColumnRole infer_role(const std::string& column) {
+  const std::string c = lower(column);
+  if (c.find("read_bytes") != std::string::npos) return ColumnRole::MemRead;
+  if (c.find("write_bytes") != std::string::npos) return ColumnRole::MemWrite;
+  if (c.find("power") != std::string::npos) return ColumnRole::GpuPower;
+  if (c.find("port_recv") != std::string::npos || c.find("rcv_data") != std::string::npos) {
+    return ColumnRole::NetRecv;
+  }
+  if (c.find("port_xmit") != std::string::npos || c.find("port_send") != std::string::npos) {
+    return ColumnRole::NetXmit;
+  }
+  if (c.rfind("selfmon", 0) == 0 && c.find(".sum_ns") != std::string::npos) {
+    return ColumnRole::SelfOverheadNs;
+  }
+  return ColumnRole::Other;
+}
+
+double Timeline::median_interval_sec() const {
+  std::vector<double> dts;
+  dts.reserve(rates.size());
+  for (std::size_t i = 0; i < rates.size(); ++i) dts.push_back(dt(i));
+  return median(std::move(dts));
+}
+
+double Timeline::max_interval_sec() const {
+  double mx = 0.0;
+  for (std::size_t i = 0; i < rates.size(); ++i) mx = std::max(mx, dt(i));
+  return mx;
+}
+
+std::vector<std::size_t> Timeline::columns_with_role(ColumnRole role) const {
+  std::vector<std::size_t> out;
+  for (std::size_t c = 0; c < roles.size(); ++c) {
+    if (roles[c] == role) out.push_back(c);
+  }
+  return out;
+}
+
+Timeline Timeline::select_columns(const std::vector<std::size_t>& keep) const {
+  Timeline out;
+  out.columns.reserve(keep.size());
+  for (const std::size_t c : keep) {
+    out.columns.push_back(columns[c]);
+    out.gauge.push_back(gauge[c]);
+    out.roles.push_back(roles[c]);
+  }
+  out.rates.reserve(rates.size());
+  for (const RateRow& r : rates) {
+    RateRow nr;
+    nr.t0_sec = r.t0_sec;
+    nr.t1_sec = r.t1_sec;
+    nr.values.reserve(keep.size());
+    for (const std::size_t c : keep) nr.values.push_back(r.values[c]);
+    out.rates.push_back(std::move(nr));
+  }
+  return out;
+}
+
+Timeline timeline_from_sampler(const Sampler& sampler) {
+  Timeline tl;
+  tl.columns = sampler.columns();
+  tl.gauge.assign(sampler.column_is_gauge().begin(),
+                  sampler.column_is_gauge().end());
+  tl.roles.reserve(tl.columns.size());
+  for (const std::string& c : tl.columns) tl.roles.push_back(infer_role(c));
+  tl.rates = sampler.rates();
+  return tl;
+}
+
+Timeline timeline_from_archive(const pcp::Archive& archive) {
+  Timeline tl;
+  tl.columns = archive.metrics;
+  tl.gauge.assign(tl.columns.size(), false);  // archives log raw counters
+  tl.roles.reserve(tl.columns.size());
+  for (const std::string& c : tl.columns) tl.roles.push_back(infer_role(c));
+  if (archive.records.size() < 2) return tl;
+  tl.rates.reserve(archive.records.size() - 1);
+  for (std::size_t i = 1; i < archive.records.size(); ++i) {
+    const pcp::ArchiveRecord& a = archive.records[i - 1];
+    const pcp::ArchiveRecord& b = archive.records[i];
+    RateRow r;
+    r.t0_sec = a.t_sec;
+    r.t1_sec = b.t_sec;
+    const double dt = b.t_sec - a.t_sec;
+    r.values.reserve(tl.columns.size());
+    for (std::size_t c = 0; c < tl.columns.size(); ++c) {
+      // Signed delta clamped at 0: a restarted daemon re-baselines counters
+      // and the logger may catch one record across the seam.
+      const auto delta = static_cast<long long>(b.values[c] - a.values[c]);
+      r.values.push_back(dt > 0 && delta > 0 ? static_cast<double>(delta) / dt
+                                             : 0.0);
+    }
+    tl.rates.push_back(std::move(r));
+  }
+  return tl;
+}
+
+}  // namespace papisim::analysis

@@ -1,0 +1,83 @@
+// Neutral timeline model for the phase-segmentation engine (DESIGN.md §3e).
+//
+// Both producers of multi-component timelines -- a live Sampler and a saved
+// pcp::Archive -- are lowered into the same Timeline of per-interval rates,
+// so the change-point detector, classifier, and attribution report run
+// identically online and offline (the paper's post-hoc Vampir analysis,
+// without hand labels).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/sampler.hpp"
+
+namespace papisim::pcp {
+struct Archive;
+}
+
+namespace papisim::analysis {
+
+/// What a column measures, inferred from its event name.  Roles drive the
+/// classifier features and the attribution report; columns that match no
+/// pattern participate in change-point detection as Other.
+enum class ColumnRole {
+  MemRead,        ///< host memory-controller read traffic (bytes)
+  MemWrite,       ///< host memory-controller write traffic (bytes)
+  GpuPower,       ///< GPU board power gauge (milliwatts, NVML semantics)
+  NetRecv,        ///< Infiniband port receive traffic (bytes)
+  NetXmit,        ///< Infiniband port transmit traffic (bytes)
+  SelfOverheadNs, ///< selfmon summed harness latency (ns counter)
+  Other,
+};
+
+const char* to_string(ColumnRole role);
+
+/// Role inference from event / PMNS metric names ("READ_BYTES", ":power",
+/// "port_recv_data", ...), case-insensitive.  Works for fully qualified
+/// component names ("pcp:::...PM_MBA3_READ_BYTES.value:cpu87") and for the
+/// dotted names stored in archives.
+ColumnRole infer_role(const std::string& column);
+
+/// A multi-component timeline reduced to per-interval rates: counters as
+/// delta/dt, gauges raw (exactly Sampler::rates() semantics).
+struct Timeline {
+  std::vector<std::string> columns;
+  std::vector<bool> gauge;
+  std::vector<ColumnRole> roles;
+  std::vector<RateRow> rates;
+
+  std::size_t num_rows() const { return rates.size(); }
+  std::size_t num_columns() const { return columns.size(); }
+  double dt(std::size_t row) const {
+    return rates[row].t1_sec - rates[row].t0_sec;
+  }
+  double t_begin_sec() const { return rates.empty() ? 0.0 : rates.front().t0_sec; }
+  double t_end_sec() const { return rates.empty() ? 0.0 : rates.back().t1_sec; }
+  double duration_sec() const { return t_end_sec() - t_begin_sec(); }
+
+  /// Median row interval: the "one sample interval" unit used for boundary
+  /// tolerances.  0 for an empty timeline.
+  double median_interval_sec() const;
+  /// Longest row interval (phases tick at different cadences).
+  double max_interval_sec() const;
+
+  /// Column indices carrying `role`, in column order.
+  std::vector<std::size_t> columns_with_role(ColumnRole role) const;
+
+  /// A reduced timeline keeping only `keep` (column indices, in the given
+  /// order).  Used to run the identical pipeline on the column subset a
+  /// saved archive carries (offline/live equivalence).
+  Timeline select_columns(const std::vector<std::size_t>& keep) const;
+};
+
+/// Lower a live Sampler's recorded rows into a Timeline.
+Timeline timeline_from_sampler(const Sampler& sampler);
+
+/// Lower a saved pmlogger archive into a Timeline.  Archive values are raw
+/// cumulative counters; consecutive-record deltas become rates (negative
+/// deltas -- counter re-baselining across a daemon restart -- clamp to 0).
+Timeline timeline_from_archive(const pcp::Archive& archive);
+
+}  // namespace papisim::analysis

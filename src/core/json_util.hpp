@@ -1,0 +1,40 @@
+// Minimal JSON string escaping shared by every JSON emitter in the tree
+// (Chrome trace export, analysis reports).  Escapes the two structural
+// characters, the named control escapes, and any other control byte as
+// \u00XX, so arbitrary span/track/column names survive a round trip through
+// a strict parser.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace papisim {
+
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace papisim

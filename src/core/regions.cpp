@@ -37,6 +37,9 @@ void RegionProfiler::pop() {
   const std::vector<long long> now = prof_.read_now();
   const double now_sec = clock_.now_sec();
 
+  timeline_.push_back(
+      {frame.path, frame.entry_sec, now_sec, stack_.size() + 1});
+
   RegionStats& st = stats_for(frame.path);
   ++st.visits;
   const double dt = now_sec - frame.entry_sec;

@@ -14,6 +14,17 @@
 
 namespace papisim {
 
+/// One closed visit of a region: the timestamped interval a region path
+/// occupied, recorded in completion (pop) order.  This is the ground-truth
+/// oracle the phase-segmentation engine scores itself against
+/// (analysis::truth_from_regions).
+struct RegionInterval {
+  std::string path;
+  double t0_sec = 0;
+  double t1_sec = 0;
+  std::size_t depth = 0;  ///< stack depth of the visit (1 = top level)
+};
+
 /// Aggregated measurements of one region path (e.g. "app/solver/fft").
 struct RegionStats {
   std::string path;
@@ -77,6 +88,10 @@ class RegionProfiler {
   /// Per-region-path statistics, sorted by path.
   std::vector<RegionStats> report() const;
 
+  /// Every completed region visit as a timestamped interval, in completion
+  /// order (children precede their parent).
+  const std::vector<RegionInterval>& timeline() const { return timeline_; }
+
  private:
   struct Frame {
     std::string path;
@@ -93,6 +108,7 @@ class RegionProfiler {
   Profiler prof_;
   std::vector<Frame> stack_;
   std::map<std::string, RegionStats> totals_;
+  std::vector<RegionInterval> timeline_;
 };
 
 }  // namespace papisim

@@ -1,5 +1,7 @@
 #include "core/sampler.hpp"
 
+#include <algorithm>
+
 #include "selfmon/metrics.hpp"
 
 namespace papisim {
@@ -51,6 +53,19 @@ void Sampler::sample() {
   }
   rows_.push_back(std::move(row));
   selfmon::counter_add(selfmon::CounterId::SamplerRows);
+}
+
+double Sampler::median_interval_sec() const {
+  if (rows_.size() < 2) return 0.0;
+  std::vector<double> dts;
+  dts.reserve(rows_.size() - 1);
+  for (std::size_t i = 1; i < rows_.size(); ++i) {
+    dts.push_back(rows_[i].t_sec - rows_[i - 1].t_sec);
+  }
+  const std::size_t mid = dts.size() / 2;
+  std::nth_element(dts.begin(), dts.begin() + static_cast<std::ptrdiff_t>(mid),
+                   dts.end());
+  return dts[mid];
 }
 
 std::vector<RateRow> Sampler::rates() const {

@@ -64,6 +64,10 @@ class Sampler {
   /// Consecutive-row rates; size() == rows().size() - 1.
   std::vector<RateRow> rates() const;
 
+  /// Median inter-row interval -- the "one sample interval" unit used by
+  /// the analysis layer for boundary tolerances.  0 with fewer than 2 rows.
+  double median_interval_sec() const;
+
   void clear_rows() { rows_.clear(); }
 
  private:

@@ -1,27 +1,8 @@
 #include "core/trace_export.hpp"
 
+#include "core/json_util.hpp"
+
 namespace papisim {
-
-namespace {
-
-/// Minimal JSON string escaping (names are ASCII event identifiers).
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) >= 0x20) out += c;
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 void write_chrome_trace(std::ostream& os, const Sampler& sampler,
                         std::span<const TraceSpan> spans,

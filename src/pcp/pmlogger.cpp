@@ -1,9 +1,27 @@
 #include "pcp/pmlogger.hpp"
 
 #include <sstream>
-#include <stdexcept>
+
+#include "core/error.hpp"
 
 namespace papisim::pcp {
+
+namespace {
+
+/// Strip a trailing CR (archives written on Windows or shuttled through a
+/// CRLF-normalizing transport) and trailing spaces/tabs.
+void rstrip(std::string& line) {
+  while (!line.empty() &&
+         (line.back() == '\r' || line.back() == ' ' || line.back() == '\t')) {
+    line.pop_back();
+  }
+}
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw Error(Status::Internal, "Archive::load: " + what);
+}
+
+}  // namespace
 
 void Archive::save(std::ostream& os) const {
   os << "# papisim-archive v1\n";
@@ -19,31 +37,40 @@ void Archive::save(std::ostream& os) const {
 Archive Archive::load(std::istream& is) {
   Archive ar;
   std::string line;
-  if (!std::getline(is, line) || line != "# papisim-archive v1") {
-    throw std::runtime_error("Archive::load: missing or unknown header");
-  }
+  if (!std::getline(is, line)) malformed("empty stream");
+  rstrip(line);
+  if (line != "# papisim-archive v1") malformed("missing or unknown header");
   while (std::getline(is, line)) {
+    rstrip(line);
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
     std::string tag;
     ls >> tag;
     if (tag == "cpu") {
-      ls >> ar.cpu;
+      if (!(ls >> ar.cpu)) malformed("unparsable cpu line '" + line + "'");
     } else if (tag == "metric") {
       std::string name;
-      ls >> name;
+      if (!(ls >> name)) malformed("metric line without a name");
       ar.metrics.push_back(std::move(name));
     } else if (tag == "record") {
       ArchiveRecord r;
-      ls >> r.t_sec;
+      if (!(ls >> r.t_sec)) {
+        malformed("record with unparsable timestamp '" + line + "'");
+      }
       std::uint64_t v = 0;
       while (ls >> v) r.values.push_back(v);
+      // `ls >> v` stops on the first non-numeric token; reaching EOF is the
+      // only clean exit -- anything else is a corrupt value, and silently
+      // truncating the record would fabricate a short row.
+      if (!ls.eof()) malformed("record with non-numeric value '" + line + "'");
       if (r.values.size() != ar.metrics.size()) {
-        throw std::runtime_error("Archive::load: record width mismatch");
+        malformed("record width mismatch (got " +
+                  std::to_string(r.values.size()) + " values, expected " +
+                  std::to_string(ar.metrics.size()) + ")");
       }
       ar.records.push_back(std::move(r));
     } else {
-      throw std::runtime_error("Archive::load: unknown line tag '" + tag + "'");
+      malformed("unknown line tag '" + tag + "'");
     }
   }
   return ar;
@@ -58,7 +85,7 @@ PmLogger::PmLogger(PcpClient& client, std::vector<std::string> metrics,
   for (const std::string& name : archive_.metrics) {
     const auto pmid = client_.lookup(name);
     if (!pmid) {
-      throw std::runtime_error("PmLogger: unknown metric '" + name + "'");
+      throw Error(Status::NoEvent, "PmLogger: unknown metric '" + name + "'");
     }
     pmids_.push_back(*pmid);
   }
@@ -67,7 +94,7 @@ PmLogger::PmLogger(PcpClient& client, std::vector<std::string> metrics,
 void PmLogger::poll() {
   const FetchReply reply = client_.fetch(pmids_, archive_.cpu);
   if (!reply.ok) {
-    throw std::runtime_error("PmLogger: pmFetch failed: " + reply.error);
+    throw Error(Status::Internal, "PmLogger: pmFetch failed: " + reply.error);
   }
   ArchiveRecord r;
   r.t_sec = client_.machine().clock().now_sec();

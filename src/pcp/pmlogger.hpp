@@ -28,6 +28,11 @@ struct Archive {
   /// Plain-text serialization ("# papisim-archive v1" header, one record
   /// per line).  Round-trips through load().
   void save(std::ostream& os) const;
+
+  /// Parse a saved archive.  Tolerates CRLF line endings and trailing
+  /// whitespace; @throws Error(Status::Internal) on any malformed record
+  /// (unknown tag, non-numeric value, width mismatch) rather than silently
+  /// truncating.
   static Archive load(std::istream& is);
 };
 

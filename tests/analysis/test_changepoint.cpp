@@ -1,0 +1,134 @@
+// Unit tests for the change-point detector: step detection, hysteresis over
+// ramps, minimum-segment suppression, jitter immunity, and role aggregation
+// (per-channel striping must not mask aggregate boundaries).
+#include <gtest/gtest.h>
+
+#include "analysis/changepoint.hpp"
+
+namespace papisim::analysis {
+namespace {
+
+Timeline make_timeline(const std::vector<std::string>& columns,
+                       const std::vector<std::vector<double>>& rows,
+                       double dt = 0.1) {
+  Timeline tl;
+  tl.columns = columns;
+  tl.gauge.assign(columns.size(), false);
+  for (const std::string& c : columns) tl.roles.push_back(infer_role(c));
+  double t = 0;
+  for (const std::vector<double>& r : rows) {
+    RateRow row;
+    row.t0_sec = t;
+    t += dt;
+    row.t1_sec = t;
+    row.values = r;
+    tl.rates.push_back(std::move(row));
+  }
+  return tl;
+}
+
+std::vector<std::vector<double>> repeat(std::vector<double> row, std::size_t n) {
+  return std::vector<std::vector<double>>(n, std::move(row));
+}
+
+TEST(Changepoint, TooFewRowsYieldNothing) {
+  Timeline tl = make_timeline({"x"}, {});
+  EXPECT_TRUE(merged_change_scores(tl).empty());
+  EXPECT_TRUE(detect_boundaries(tl).empty());
+  tl = make_timeline({"x"}, {{1.0}});
+  EXPECT_TRUE(merged_change_scores(tl).empty());
+  EXPECT_TRUE(detect_boundaries(tl).empty());
+}
+
+TEST(Changepoint, DetectsASingleStep) {
+  std::vector<std::vector<double>> rows = repeat({1.0}, 8);
+  const auto high = repeat({5.0}, 8);
+  rows.insert(rows.end(), high.begin(), high.end());
+  const Timeline tl = make_timeline({"x"}, rows);
+  EXPECT_EQ(detect_boundaries(tl), (std::vector<std::size_t>{8}));
+}
+
+TEST(Changepoint, ConstantAndJitteredSeriesStayQuiet) {
+  EXPECT_TRUE(detect_boundaries(make_timeline({"x"}, repeat({3.0}, 12))).empty());
+
+  // Alternating +-2% jitter around a plateau: the MAD *is* the jitter, so
+  // every normalized delta lands near 1/1.4826, far under enter_z.
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 16; ++i) rows.push_back({100.0 + (i % 2 == 0 ? 2.0 : -2.0)});
+  EXPECT_TRUE(detect_boundaries(make_timeline({"x"}, rows)).empty());
+}
+
+TEST(Changepoint, HysteresisCollapsesARampIntoOneBoundary) {
+  // 0 ... 0, 25, 50, 75, 100 ... 100: the transition spreads over several
+  // rows (a GPU power climb); the trigger fires once and cannot re-arm
+  // until the score drops below exit_z after the plateau.
+  std::vector<std::vector<double>> rows = repeat({0.0}, 8);
+  for (const double v : {25.0, 50.0, 75.0}) rows.push_back({v});
+  const auto plateau = repeat({100.0}, 8);
+  rows.insert(rows.end(), plateau.begin(), plateau.end());
+  const Timeline tl = make_timeline({"x"}, rows);
+  EXPECT_EQ(detect_boundaries(tl), (std::vector<std::size_t>{8}));
+}
+
+TEST(Changepoint, MinSegmentRowsSuppressesSlivers) {
+  // A one-row blip near the start and a step one row before the end: both
+  // would create segments shorter than min_segment_rows.
+  std::vector<std::vector<double>> rows = repeat({1.0}, 10);
+  rows[0] = {50.0};                 // step at edge 0 -> segment of 1 row
+  rows.back() = {50.0};             // step at the last edge
+  DetectorConfig cfg;
+  cfg.min_segment_rows = 2;
+  const Timeline tl = make_timeline({"x"}, rows);
+  EXPECT_TRUE(detect_boundaries(tl, cfg).empty());
+}
+
+TEST(Changepoint, ChannelStripingDoesNotMaskAggregateBoundaries) {
+  // Two memory-read channels in antiphase (a planewise re-sort hopping MBA
+  // channels row to row): each raw column swings full range on every edge,
+  // but the per-role total is flat, so the only boundary is the aggregate
+  // drop to zero.  Regression test for the role-aggregation in
+  // merged_change_scores.
+  const std::vector<std::string> cols = {
+      "perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES",
+      "perfevent.hwcounters.nest_mba1_imc.PM_MBA1_READ_BYTES"};
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 8; ++i) {
+    rows.push_back(i % 2 == 0 ? std::vector<double>{100.0, 0.0}
+                              : std::vector<double>{0.0, 100.0});
+  }
+  const auto quiet = repeat({0.0, 0.0}, 8);
+  rows.insert(rows.end(), quiet.begin(), quiet.end());
+  const Timeline tl = make_timeline(cols, rows);
+  ASSERT_EQ(tl.roles[0], ColumnRole::MemRead);
+  EXPECT_EQ(detect_boundaries(tl), (std::vector<std::size_t>{8}));
+}
+
+TEST(Changepoint, SelfmonOverheadColumnIsIgnored) {
+  // A wildly stepping selfmon ".sum_ns" column must not create boundaries:
+  // harness overhead tracks the sampler, not the application.
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 12; ++i) rows.push_back({i % 3 == 0 ? 1e9 : 0.0});
+  const Timeline tl =
+      make_timeline({"selfmon:::sampler.sample_ns.sum_ns"}, rows);
+  ASSERT_EQ(tl.roles[0], ColumnRole::SelfOverheadNs);
+  EXPECT_TRUE(detect_boundaries(tl).empty());
+}
+
+TEST(Changepoint, MergedScoresTakeTheMaxAcrossSeries) {
+  // One quiet series and one stepping series: the merged score at the step
+  // edge reflects the stepping one.
+  std::vector<std::vector<double>> rows = repeat({7.0, 1.0}, 6);
+  for (auto& r : repeat({7.0, 9.0}, 6)) rows.push_back(std::move(r));
+  const Timeline tl = make_timeline({"a", "b"}, rows);
+  const std::vector<double> z = merged_change_scores(tl);
+  ASSERT_EQ(z.size(), 11u);
+  std::size_t argmax = 0;
+  for (std::size_t i = 1; i < z.size(); ++i) {
+    if (z[i] > z[argmax]) argmax = i;
+  }
+  EXPECT_EQ(argmax, 5u);  // the edge between rows 5 and 6
+  EXPECT_GE(z[5], DetectorConfig{}.enter_z);
+}
+
+}  // namespace
+}  // namespace papisim::analysis

@@ -1,0 +1,156 @@
+// Unit tests for role inference, segment feature extraction, and the
+// declarative rule tables.
+#include <gtest/gtest.h>
+
+#include "analysis/classify.hpp"
+#include "analysis/pipeline.hpp"
+
+namespace papisim::analysis {
+namespace {
+
+TEST(InferRole, RecognizesComponentAndArchiveNames) {
+  // Fully qualified PAPI-style event names.
+  EXPECT_EQ(infer_role("pcp:::perfevent.hwcounters.nest_mba3_imc.PM_MBA3_"
+                       "READ_BYTES.value:cpu87"),
+            ColumnRole::MemRead);
+  EXPECT_EQ(infer_role("pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_"
+                       "WRITE_BYTES.value:cpu87"),
+            ColumnRole::MemWrite);
+  EXPECT_EQ(infer_role("nvml:::Tesla_V100-SXM2-16GB:device_0:power"),
+            ColumnRole::GpuPower);
+  EXPECT_EQ(infer_role("infiniband:::mlx5_0_1_ext:port_recv_data"),
+            ColumnRole::NetRecv);
+  EXPECT_EQ(infer_role("infiniband:::mlx5_0_1_ext:port_xmit_data"),
+            ColumnRole::NetXmit);
+  EXPECT_EQ(infer_role("selfmon:::sampler.sample_ns.sum_ns"),
+            ColumnRole::SelfOverheadNs);
+  // The dotted PMNS names a pmlogger archive stores.
+  EXPECT_EQ(infer_role("perfevent.hwcounters.nest_mba7_imc.PM_MBA7_READ_BYTES"),
+            ColumnRole::MemRead);
+  EXPECT_EQ(infer_role("cpu:::instructions"), ColumnRole::Other);
+}
+
+TEST(FftPhaseClass, CanonicalizesGroundTruthNames) {
+  EXPECT_EQ(fft_phase_class("resort1_S1CF"), "resort_strided");
+  EXPECT_EQ(fft_phase_class("resort3_S1PF"), "resort_strided");
+  EXPECT_EQ(fft_phase_class("resort2_S2CF"), "resort_sequential");
+  EXPECT_EQ(fft_phase_class("resort4_S2PF"), "resort_sequential");
+  EXPECT_EQ(fft_phase_class("fft_z"), "fft");
+  EXPECT_EQ(fft_phase_class("fft_x"), "fft");
+  EXPECT_EQ(fft_phase_class("all2all_2"), "all2all");
+  EXPECT_EQ(fft_phase_class("warmup"), "warmup");
+}
+
+/// A 4-column (read / write / power-gauge / net) timeline with four
+/// piecewise-constant regimes of 4 rows each, dt = 0.1 s.
+Timeline four_phase_timeline() {
+  Timeline tl;
+  tl.columns = {
+      "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87",
+      "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_WRITE_BYTES.value:cpu87",
+      "nvml:::Tesla_V100-SXM2-16GB:device_0:power",
+      "infiniband:::mlx5_0_1_ext:port_recv_data"};
+  tl.gauge = {false, false, true, false};
+  for (const std::string& c : tl.columns) tl.roles.push_back(infer_role(c));
+
+  // rd_bps, wr_bps, power_mW, net_bps per regime.
+  const double regimes[4][4] = {
+      {2e9, 1e9, 52000, 0},    // strided re-sort: 2:1, GPU idle
+      {0, 0, 200000, 0},       // GPU FFT: no host traffic, power spike
+      {0, 0, 52000, 1.2e10},   // all2all: network burst
+      {1e9, 1e9, 52000, 0},    // sequential re-sort: 1:1
+  };
+  double t = 0;
+  for (const auto& regime : regimes) {
+    for (int i = 0; i < 4; ++i) {
+      RateRow r;
+      r.t0_sec = t;
+      t += 0.1;
+      r.t1_sec = t;
+      r.values.assign(regime, regime + 4);
+      tl.rates.push_back(std::move(r));
+    }
+  }
+  return tl;
+}
+
+TEST(Classify, FftRulesLabelTheFourRegimes) {
+  const Timeline tl = four_phase_timeline();
+  const std::vector<std::size_t> boundaries = {4, 8, 12};
+  const std::vector<SegmentFeatures> feats = segment_features(tl, boundaries);
+  ASSERT_EQ(feats.size(), 4u);
+
+  EXPECT_NEAR(feats[0].rw_ratio, 2.0, 1e-9);
+  EXPECT_NEAR(feats[0].mem_level, 1.0, 1e-9);   // busiest memory segment
+  EXPECT_NEAR(feats[0].gpu_level, 0.0, 1e-9);   // at the idle floor
+  EXPECT_NEAR(feats[1].gpu_level, 1.0, 1e-9);   // at the peak
+  EXPECT_NEAR(feats[1].gpu_power_w, 200.0, 1e-9);
+  EXPECT_NEAR(feats[2].net_level, 1.0, 1e-9);
+  EXPECT_NEAR(feats[3].rw_ratio, 1.0, 1e-9);
+
+  const std::vector<Rule>& rules = fft_rules();
+  EXPECT_EQ(classify(feats[0], rules), "resort_strided");
+  EXPECT_EQ(classify(feats[1], rules), "fft");
+  EXPECT_EQ(classify(feats[2], rules), "all2all");
+  EXPECT_EQ(classify(feats[3], rules), "resort_sequential");
+}
+
+TEST(Classify, EmptyRuleTableFallsBackToUnknown) {
+  const Timeline tl = four_phase_timeline();
+  const std::vector<SegmentFeatures> feats = segment_features(tl, {4, 8, 12});
+  EXPECT_EQ(classify(feats[0], std::span<const Rule>{}), "unknown");
+}
+
+TEST(Classify, PipelineDetectsClassifiesAndCoalesces) {
+  // End-to-end on the synthetic timeline: analyze() must find the three
+  // boundaries itself and reproduce the labels.
+  const Timeline tl = four_phase_timeline();
+  const Segmentation seg = analyze(tl);
+  EXPECT_EQ(seg.boundaries, (std::vector<std::size_t>{4, 8, 12}));
+  EXPECT_EQ(seg.labels,
+            (std::vector<std::string>{"resort_strided", "fft", "all2all",
+                                      "resort_sequential"}));
+  ASSERT_EQ(seg.boundary_times_sec.size(), 3u);
+  EXPECT_NEAR(seg.boundary_times_sec[0], 0.4, 1e-9);
+}
+
+TEST(Classify, CoalescingMergesAdjacentSameLabelSegments) {
+  // Two distinct GPU-power plateaus (H2D copy level, compute level) both
+  // classify as "fft"; coalescing folds them into one segment.
+  Timeline tl;
+  tl.columns = {"nvml:::gpu:power",
+                "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_"
+                "BYTES.value:cpu87",
+                "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_WRITE_"
+                "BYTES.value:cpu87"};
+  tl.gauge = {true, false, false};
+  for (const std::string& c : tl.columns) tl.roles.push_back(infer_role(c));
+  const double power[3] = {52000, 150000, 231000};  // idle, copy, compute
+  double t = 0;
+  for (const double p : power) {
+    for (int i = 0; i < 4; ++i) {
+      RateRow r;
+      r.t0_sec = t;
+      t += 0.1;
+      r.t1_sec = t;
+      const double mem = p > 52000.0 ? 0.0 : 2e9;  // balanced re-sort streams
+      r.values = {p, mem, mem};
+      tl.rates.push_back(std::move(r));
+    }
+  }
+  AnalysisConfig cfg;
+  const Segmentation merged = analyze(tl, cfg);
+  ASSERT_EQ(merged.num_segments(), 2u);
+  EXPECT_EQ(merged.labels[0], "resort_sequential");
+  EXPECT_EQ(merged.labels[1], "fft");
+  EXPECT_EQ(merged.boundaries, (std::vector<std::size_t>{4}));
+
+  cfg.coalesce_same_label = false;
+  const Segmentation raw = analyze(tl, cfg);
+  EXPECT_EQ(raw.num_segments(), 3u);
+  EXPECT_EQ(raw.labels[1], "fft");
+  EXPECT_EQ(raw.labels[2], "fft");
+}
+
+}  // namespace
+}  // namespace papisim::analysis

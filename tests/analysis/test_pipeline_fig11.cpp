@@ -1,0 +1,198 @@
+// End-to-end acceptance for the analysis pipeline on the paper's flagship
+// workload (Fig. 11): a GPU-accelerated 3D-FFT rank profiled across PCP
+// memory traffic, NVML power, and Infiniband counters.
+//
+//  - inferred boundaries land within one sample interval of ground truth;
+//  - dt-weighted label accuracy >= 90%;
+//  - per-phase read/write attribution within 5% of the application's own
+//    byte counts;
+//  - a pmlogger archive recorded in the same run yields the *identical*
+//    segmentation offline (no live Profiler) as the live timeline
+//    restricted to the archived columns.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "analysis/score.hpp"
+#include "components/infiniband_component.hpp"
+#include "components/nvml_component.hpp"
+#include "components/pcp_component.hpp"
+#include "core/library.hpp"
+#include "core/sampler.hpp"
+#include "fft/fft3d.hpp"
+#include "pcp/pmcd.hpp"
+#include "pcp/pmlogger.hpp"
+#include "sim/machine.hpp"
+
+namespace papisim::analysis {
+namespace {
+
+/// One shared profiled run (the FFT takes a second or two; every test reads
+/// from the same recording).
+struct Fig11Run {
+  sim::Machine machine{sim::MachineConfig::summit()};
+  pcp::Pmcd daemon{machine};
+  pcp::PcpClient client{daemon, machine, machine.user_credentials()};
+  gpu::GpuDevice gpu{gpu::GpuConfig{}, machine, 0, 0};
+  net::Nic nic{net::NicConfig{}};
+  mpi::JobComm comm{machine, nic};
+  Library lib;
+  std::unique_ptr<EventSet> es_mem, es_gpu, es_net;
+  Sampler sampler{machine.clock()};
+  std::vector<fft::PhaseStats> phases;
+  pcp::Archive archive;
+  Timeline live;
+  Segmentation seg;
+
+  Fig11Run() {
+    lib.register_component(std::make_unique<components::PcpComponent>(client));
+    lib.register_component(std::make_unique<components::NvmlComponent>(
+        std::vector<gpu::GpuDevice*>{&gpu}));
+    lib.register_component(
+        std::make_unique<components::InfinibandComponent>(
+            std::vector<net::Nic*>{&nic}));
+
+    const std::string cpu =
+        std::to_string(machine.config().cpus_per_socket() - 1);
+    es_mem = lib.create_eventset();
+    std::vector<std::string> pmns;
+    for (std::uint32_t ch = 0; ch < 8; ++ch) {
+      const std::string c = std::to_string(ch);
+      const std::string base =
+          "perfevent.hwcounters.nest_mba" + c + "_imc.PM_MBA" + c;
+      pmns.push_back(base + "_READ_BYTES");
+      pmns.push_back(base + "_WRITE_BYTES");
+      es_mem->add_event("pcp:::" + base + "_READ_BYTES.value:cpu" + cpu);
+      es_mem->add_event("pcp:::" + base + "_WRITE_BYTES.value:cpu" + cpu);
+    }
+    es_gpu = lib.create_eventset();
+    es_gpu->add_event("nvml:::Tesla_V100-SXM2-16GB:device_0:power");
+    es_net = lib.create_eventset();
+    es_net->add_event("infiniband:::mlx5_0_1_ext:port_recv_data");
+    sampler.add_eventset(*es_mem);
+    sampler.add_eventset(*es_gpu);
+    sampler.add_eventset(*es_net);
+
+    pcp::PmLogger logger(client, pmns,
+                         machine.config().cpus_per_socket() - 1);
+
+    // Same shape as the Fig. 11 bench but n=1024: an 8x less data volume
+    // keeps the 4-test suite fast while preserving the phase signatures.
+    fft::Fft3dConfig cfg;
+    cfg.n = 1024;
+    cfg.grid = {8, 8};
+    cfg.use_gpu = true;
+    cfg.ticks_per_phase = 5;
+    fft::DistributedFft3d app(machine, cfg, &gpu, &comm);
+
+    sampler.start_all();
+    sampler.sample();
+    logger.poll();
+    app.run_forward([&] {
+      sampler.sample();
+      logger.poll();
+    });
+    sampler.stop_all();
+
+    phases = app.phases();
+    archive = logger.archive();
+    live = timeline_from_sampler(sampler);
+    seg = analyze(live);
+  }
+};
+
+Fig11Run& run() {
+  static Fig11Run* r = new Fig11Run();
+  return *r;
+}
+
+std::vector<TruthSpan> truth_spans() {
+  std::vector<TruthSpan> truth;
+  for (const fft::PhaseStats& ph : run().phases) {
+    truth.push_back({fft_phase_class(ph.name), ph.t0_sec, ph.t1_sec});
+  }
+  return truth;
+}
+
+TEST(PipelineFig11, BoundariesWithinOneSampleIntervalOfTruth) {
+  const Fig11Run& r = run();
+  const std::vector<TruthSpan> truth = truth_spans();
+  ASSERT_GE(truth.size(), 9u);
+  const SegmentationScore sc = score_segmentation(
+      r.live, r.seg, truth, r.live.median_interval_sec());
+  EXPECT_EQ(sc.truth_boundaries, truth.size() - 1);
+  EXPECT_EQ(sc.matched_boundaries, sc.truth_boundaries);
+  EXPECT_LE(sc.max_boundary_err_sec, r.live.median_interval_sec());
+}
+
+TEST(PipelineFig11, LabelAccuracyAtLeastNinetyPercent) {
+  const Fig11Run& r = run();
+  const SegmentationScore sc = score_segmentation(
+      r.live, r.seg, truth_spans(), r.live.median_interval_sec());
+  EXPECT_GE(sc.label_accuracy, 0.9);
+}
+
+TEST(PipelineFig11, PerPhaseTrafficAttributionWithinFivePercent) {
+  const Fig11Run& r = run();
+  const std::vector<PhaseAttribution> report = attribute(r.live, r.seg);
+  ASSERT_EQ(report.size(), r.seg.num_segments());
+
+  // Map each ground-truth phase to the inferred segment with maximum
+  // temporal overlap and compare integrated traffic against the
+  // application's own byte counts.
+  std::size_t compared = 0;
+  for (const fft::PhaseStats& ph : r.phases) {
+    const PhaseAttribution* best = nullptr;
+    double best_overlap = 0;
+    for (const PhaseAttribution& a : report) {
+      const double overlap = std::min(a.t1_sec, ph.t1_sec) -
+                             std::max(a.t0_sec, ph.t0_sec);
+      if (overlap > best_overlap) {
+        best_overlap = overlap;
+        best = &a;
+      }
+    }
+    ASSERT_NE(best, nullptr) << ph.name;
+    const double truth_rd = static_cast<double>(ph.loop.mem_read_bytes);
+    const double truth_wr = static_cast<double>(ph.loop.mem_write_bytes);
+    if (truth_rd > 0) {
+      EXPECT_NEAR(best->read_bytes, truth_rd, 0.05 * truth_rd) << ph.name;
+      ++compared;
+    }
+    if (truth_wr > 0) {
+      EXPECT_NEAR(best->write_bytes, truth_wr, 0.05 * truth_wr) << ph.name;
+    }
+  }
+  EXPECT_GE(compared, 4u);  // the four re-sorts at minimum
+}
+
+TEST(PipelineFig11, ArchiveRoundTripYieldsIdenticalSegmentationOffline) {
+  const Fig11Run& r = run();
+
+  // Serialize and reload: the offline path sees only the archive bytes.
+  std::stringstream buffer;
+  r.archive.save(buffer);
+  const pcp::Archive loaded = pcp::Archive::load(buffer);
+  const Timeline offline = timeline_from_archive(loaded);
+  ASSERT_EQ(offline.num_rows(), r.live.num_rows());
+
+  // The live timeline restricted to the 16 archived memory columns must
+  // segment exactly like the offline one: same boundaries, same labels.
+  std::vector<std::size_t> mem_cols(16);
+  for (std::size_t i = 0; i < mem_cols.size(); ++i) mem_cols[i] = i;
+  const Timeline live_mem = r.live.select_columns(mem_cols);
+
+  const Segmentation seg_off = analyze(offline);
+  const Segmentation seg_live = analyze(live_mem);
+  EXPECT_EQ(seg_off.boundaries, seg_live.boundaries);
+  EXPECT_EQ(seg_off.labels, seg_live.labels);
+  EXPECT_GE(seg_off.num_segments(), 9u);
+}
+
+}  // namespace
+}  // namespace papisim::analysis

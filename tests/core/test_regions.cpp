@@ -60,6 +60,35 @@ TEST_F(RegionFixture, AttributesCountsToTheRegionStack) {
   EXPECT_DOUBLE_EQ(fft->inclusive_sec, 2.0);
 }
 
+TEST_F(RegionFixture, RecordsIntervalTimelineWithDepths) {
+  RegionProfiler prof(lib, clock);
+  prof.add_events({"mem:::bytes"});
+  prof.start();
+  {
+    auto app = prof.region("app");
+    clock.advance(1e9);
+    {
+      auto inner = prof.region("fft");
+      clock.advance(2e9);
+    }
+    clock.advance(1e9);
+  }
+  prof.stop();
+
+  // Intervals appear in close order (innermost first), stamped with entry /
+  // exit times and stack depth -- the oracle the analysis scorer consumes.
+  const std::vector<RegionInterval>& tl = prof.timeline();
+  ASSERT_EQ(tl.size(), 2u);
+  EXPECT_EQ(tl[0].path, "app/fft");
+  EXPECT_EQ(tl[0].depth, 2u);
+  EXPECT_DOUBLE_EQ(tl[0].t0_sec, 1.0);
+  EXPECT_DOUBLE_EQ(tl[0].t1_sec, 3.0);
+  EXPECT_EQ(tl[1].path, "app");
+  EXPECT_EQ(tl[1].depth, 1u);
+  EXPECT_DOUBLE_EQ(tl[1].t0_sec, 0.0);
+  EXPECT_DOUBLE_EQ(tl[1].t1_sec, 4.0);
+}
+
 TEST_F(RegionFixture, RepeatedVisitsAccumulate) {
   RegionProfiler prof(lib, clock);
   prof.add_events({"mem:::bytes"});

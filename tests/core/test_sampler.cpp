@@ -144,6 +144,59 @@ TEST_F(SamplerTest, ZeroDtIntervalReportsZeroRateButRawGauge) {
   EXPECT_DOUBLE_EQ(rates[0].values[1], 42.0);  // gauge unaffected by dt
 }
 
+TEST_F(SamplerTest, HistogramColumnWithZeroSamplesStaysWellDefined) {
+  FakeComponent& lat = add_fake("lat", /*gauge=*/false);
+  lat.set_histogram(true);
+  auto es = lib_.create_eventset();
+  es->add_event("lat:::x");
+
+  Sampler sampler(clock_);
+  sampler.add_eventset(*es);
+  ASSERT_EQ(sampler.hist_columns().size(), 1u);
+
+  sampler.start_all();
+  sampler.sample();
+  clock_.advance(1e9);
+  sampler.sample();  // still zero recorded samples
+
+  const std::vector<TimelineRow>& rows = sampler.rows();
+  ASSERT_EQ(rows.size(), 2u);
+  for (const TimelineRow& row : rows) {
+    ASSERT_EQ(row.hist.size(), 1u);
+    for (const double p : row.hist[0]) EXPECT_DOUBLE_EQ(p, 0.0);
+    EXPECT_EQ(row.values[0], 0);  // sample count
+  }
+  const std::vector<RateRow> rates = sampler.rates();
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0].values[0], 0.0);  // 0 samples / 1 s
+}
+
+TEST_F(SamplerTest, HistogramPercentilesOverZeroLengthInterval) {
+  FakeComponent& lat = add_fake("lat", /*gauge=*/false);
+  lat.set_histogram(true);
+  auto es = lib_.create_eventset();
+  es->add_event("lat:::x");
+
+  Sampler sampler(clock_);
+  sampler.add_eventset(*es);
+  sampler.start_all();
+  sampler.sample();
+  lat.record(0, 70);
+  lat.record(0, 30);
+  lat.record(0, 10);
+  sampler.sample();  // no clock advance: dt == 0
+
+  const std::vector<RateRow> rates = sampler.rates();
+  ASSERT_EQ(rates.size(), 1u);
+  // Rate over a zero-length interval is undefined -> reported as 0, not inf.
+  EXPECT_DOUBLE_EQ(rates[0].values[0], 0.0);
+  // The row itself still carries a well-defined percentile triple.
+  const TimelineRow& row = sampler.rows().back();
+  ASSERT_EQ(row.hist.size(), 1u);
+  EXPECT_DOUBLE_EQ(row.hist[0][0], 30.0);  // p50 of {10, 30, 70}
+  EXPECT_DOUBLE_EQ(row.hist[0][2], 70.0);  // p99
+}
+
 TEST_F(SamplerTest, RejectsEmptyEventSet) {
   Sampler sampler(clock_);
   auto es = lib_.create_eventset();

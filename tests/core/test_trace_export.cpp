@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/json_util.hpp"
 #include "core/trace_export.hpp"
 #include "testing/fake_component.hpp"
 
@@ -242,6 +243,24 @@ TEST_F(TraceFixture, EscapesSpecialCharacters) {
   write_chrome_trace(out, sampler, spans);
   const std::string json = out.str();
   EXPECT_NE(json.find("with \\\"quotes\\\"\\nand\\\\slash"), std::string::npos);
+}
+
+TEST_F(TraceFixture, EscapesControlCharacters) {
+  // The named control escapes plus the \u00XX fallback for the rest.
+  EXPECT_EQ(json_escape("a\bb\fc\rd\te"), "a\\bb\\fc\\rd\\te");
+  EXPECT_EQ(json_escape(std::string("\x01\x1f\x7f", 3)), "\\u0001\\u001f\x7f");
+  EXPECT_EQ(json_escape("plain"), "plain");
+
+  auto es = lib.create_eventset();
+  es->add_event("mem:::bytes");
+  Sampler sampler(clock);
+  sampler.add_eventset(*es);
+  const TraceSpan spans[] = {{std::string("bell\x07tab\there"), 0.0, 1.0, "t"}};
+  std::ostringstream out;
+  write_chrome_trace(out, sampler, spans);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("bell\\u0007tab\\there"), std::string::npos);
+  EXPECT_EQ(json.find('\x07'), std::string::npos);  // no raw control bytes
 }
 
 TEST_F(TraceFixture, ParsedTraceHasExpectedEventsAndMonotoneTimestamps) {

@@ -3,6 +3,7 @@
 
 #include <sstream>
 
+#include "core/error.hpp"
 #include "pcp/pmlogger.hpp"
 #include "pcp/pmcd.hpp"
 
@@ -87,6 +88,42 @@ TEST_F(LoggerFixture, LoadRejectsCorruptArchives) {
     std::stringstream ss("# papisim-archive v1\nbogus line\n");
     EXPECT_THROW(Archive::load(ss), std::runtime_error);
   }
+}
+
+TEST_F(LoggerFixture, LoadToleratesCrlfAndTrailingWhitespace) {
+  std::stringstream ss(
+      "# papisim-archive v1\r\n"
+      "cpu 87 \r\n"
+      "metric a.b\t\r\n"
+      "metric c.d\r\n"
+      "record 0.5 1 2   \r\n"
+      "record 1.5 3 4\r\n");
+  const Archive ar = Archive::load(ss);
+  EXPECT_EQ(ar.cpu, 87u);
+  ASSERT_EQ(ar.metrics.size(), 2u);
+  ASSERT_EQ(ar.records.size(), 2u);
+  EXPECT_EQ(ar.records[0].values, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(ar.records[1].values, (std::vector<std::uint64_t>{3, 4}));
+}
+
+TEST_F(LoggerFixture, MalformedArchivesThrowTypedInternalErrors) {
+  auto expect_internal = [](const std::string& text) {
+    std::stringstream ss(text);
+    try {
+      Archive::load(ss);
+      FAIL() << "expected Error for: " << text;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.status(), Status::Internal) << text;
+      EXPECT_NE(std::string(e.what()).find("Archive::load"), std::string::npos);
+    }
+  };
+  expect_internal("");                                           // empty stream
+  expect_internal("# papisim-archive v2\n");                     // bad header
+  expect_internal("# papisim-archive v1\ncpu x\n");              // bad cpu
+  expect_internal("# papisim-archive v1\nmetric\n");             // nameless
+  expect_internal("# papisim-archive v1\nmetric a.b\nrecord oops 1\n");
+  expect_internal("# papisim-archive v1\nmetric a.b\nrecord 0.5 12junk\n");
+  expect_internal("# papisim-archive v1\nmetric a.b\nrecord 0.5 1 2\n");
 }
 
 TEST_F(LoggerFixture, CountersInArchiveAreMonotonic) {
