@@ -3,21 +3,30 @@
 // replay engine's scaling.  These bound the wall-clock cost of the figure
 // benches.
 //
-// Extra flag (stripped before google-benchmark sees argv):
-//   --threads N   pin the BM_ParallelGemmReplay sweep to N host threads
-//                 instead of the default 1/2/4/8 progression.
+// Extra flags (stripped before google-benchmark sees argv):
+//   --threads N        pin the BM_ParallelGemmReplay sweep to N host threads
+//                      instead of the default 1/2/4/8 progression.
+//   --bench-json PATH  skip the google-benchmark suite; instead measure the
+//                      headline throughput numbers plus the refutation-probe
+//                      grid wall time and write them as JSON (the checked-in
+//                      BENCH_sim.json at the repo root).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <string_view>
 #include <vector>
 
+#include "core/json_util.hpp"
 #include "fft/resort.hpp"
 #include "kernels/blas_sim.hpp"
 #include "pcp/client.hpp"
 #include "pcp/pmcd.hpp"
+#include "probe/report.hpp"
 #include "sim/machine.hpp"
 #include "sim/thread_pool.hpp"
 
@@ -178,11 +187,131 @@ static void BM_ResortReplay(benchmark::State& state) {
 }
 BENCHMARK(BM_ResortReplay);
 
-// Custom main: strip `--threads N` / `--threads=N` before google-benchmark
-// parses the remaining flags.
+// ------------------------------------------------------- JSON summary mode
+
+namespace {
+
+using BenchClock = std::chrono::steady_clock;
+
+double seconds_since(BenchClock::time_point t0) {
+  return std::chrono::duration<double>(BenchClock::now() - t0).count();
+}
+
+/// Replay the canonical 1-load/1-store copy loop serially for ~budget_sec
+/// and report simulated line touches (cache-line accesses) per wall second.
+double sequential_accesses_per_sec(double budget_sec) {
+  sim::Machine m(sim::MachineConfig::summit());
+  m.set_noise_enabled(false);
+  sim::LoopDesc loop;
+  loop.iterations = 1 << 16;
+  loop.streams = {{1 << 20, 8, 8, sim::AccessKind::Load},
+                  {1 << 26, 8, 8, sim::AccessKind::Store}};
+  std::uint64_t touches = 0;
+  const auto t0 = BenchClock::now();
+  double elapsed = 0.0;
+  do {
+    touches += m.engine(0, 0).execute(loop).line_touches;
+    elapsed = seconds_since(t0);
+  } while (elapsed < budget_sec);
+  return static_cast<double>(touches) / elapsed;
+}
+
+/// Batched literal GEMM replay on `threads` host threads, accesses/sec.
+double parallel_accesses_per_sec(std::uint32_t threads, double budget_sec) {
+  sim::Machine m(sim::MachineConfig::summit());
+  m.set_noise_enabled(false);
+  threads = std::min(threads, m.cores_per_socket());
+  m.set_active_cores(0, threads);
+  const std::uint64_t n = 160;
+  std::vector<kernels::GemmBuffers> bufs;
+  bufs.reserve(threads);
+  for (std::uint32_t c = 0; c < threads; ++c) {
+    bufs.push_back(kernels::GemmBuffers::allocate(m.address_space(), n));
+  }
+  sim::ThreadPool pool(threads - 1);
+  std::uint64_t touches = 0;
+  const auto t0 = BenchClock::now();
+  double elapsed = 0.0;
+  do {
+    for (std::uint32_t c = 0; c < threads; ++c) {
+      m.engine(0, c).set_deferred_time(true);
+    }
+    std::atomic<std::uint64_t> batch{0};
+    pool.parallel_for(threads, [&](std::uint32_t c) {
+      batch.fetch_add(kernels::run_gemm(m, 0, c, n, bufs[c]).line_touches,
+                      std::memory_order_relaxed);
+    });
+    double max_ns = 0.0;
+    for (std::uint32_t c = 0; c < threads; ++c) {
+      max_ns = std::max(max_ns, m.engine(0, c).take_deferred_time_ns());
+      m.engine(0, c).set_deferred_time(false);
+    }
+    m.advance(max_ns);
+    m.flush_socket(0);
+    touches += batch.load(std::memory_order_relaxed);
+    elapsed = seconds_since(t0);
+  } while (elapsed < budget_sec);
+  return static_cast<double>(touches) / elapsed;
+}
+
+int emit_bench_json(const std::string& path) {
+  const double seq = sequential_accesses_per_sec(0.25);
+  const double par8 = parallel_accesses_per_sec(8, 0.5);
+
+  probe::ProbeOptions curated;
+  const auto t_curated = BenchClock::now();
+  const auto curated_reports = probe::run_all_probes(curated);
+  const double curated_ms = seconds_since(t_curated) * 1e3;
+
+  probe::ProbeOptions full;
+  full.full_grid = true;
+  const auto t_full = BenchClock::now();
+  const auto full_reports = probe::run_all_probes(full);
+  const double full_ms = seconds_since(t_full) * 1e3;
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open '" << path << "' for writing\n";
+    return 1;
+  }
+  out << "{\n  \"bench_sim\": 1,\n";
+  out << "  \"machine\": \"" << json_escape(curated.machine.name) << "\",\n";
+  out << "  \"accesses_per_sec\": {\n";
+  out << "    \"sequential_replay\": " << static_cast<std::uint64_t>(seq)
+      << ",\n";
+  out << "    \"parallel_gemm_replay_8t\": " << static_cast<std::uint64_t>(par8)
+      << "\n  },\n";
+  out << "  \"probe_grid\": {\n";
+  out << "    \"curated_wall_ms\": " << curated_ms << ",\n";
+  out << "    \"curated_confirmed\": "
+      << (probe::all_confirmed(curated_reports) ? "true" : "false") << ",\n";
+  out << "    \"full_wall_ms\": " << full_ms << ",\n";
+  out << "    \"full_confirmed\": "
+      << (probe::all_confirmed(full_reports) ? "true" : "false") << ",\n";
+  out << "    \"mechanisms\": [\n";
+  for (std::size_t i = 0; i < full_reports.size(); ++i) {
+    out << "      {\"mechanism\": \"" << json_escape(full_reports[i].mechanism)
+        << "\", \"wall_ms\": " << full_reports[i].wall_ms << "}"
+        << (i + 1 < full_reports.size() ? "," : "") << "\n";
+  }
+  out << "    ]\n  }\n}\n";
+  std::cout << "wrote " << path << " (seq " << static_cast<std::uint64_t>(seq)
+            << " acc/s, 8t " << static_cast<std::uint64_t>(par8)
+            << " acc/s, probe full grid " << full_ms << " ms)\n";
+  return probe::all_confirmed(curated_reports) &&
+                 probe::all_confirmed(full_reports)
+             ? 0
+             : 1;
+}
+
+}  // namespace
+
+// Custom main: strip `--threads N` / `--threads=N` and `--bench-json PATH`
+// before google-benchmark parses the remaining flags.
 int main(int argc, char** argv) {
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
+  std::string bench_json;
   for (int i = 0; i < argc; ++i) {
     const std::string_view a = argv[i];
     if (a == "--threads" && i + 1 < argc) {
@@ -194,8 +323,17 @@ int main(int argc, char** argv) {
           static_cast<std::uint32_t>(std::atoi(argv[i] + sizeof("--threads=") - 1));
       continue;
     }
+    if (a == "--bench-json" && i + 1 < argc) {
+      bench_json = argv[++i];
+      continue;
+    }
+    if (a.starts_with("--bench-json=")) {
+      bench_json = argv[i] + sizeof("--bench-json=") - 1;
+      continue;
+    }
     args.push_back(argv[i]);
   }
+  if (!bench_json.empty()) return emit_bench_json(bench_json);
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;

@@ -21,6 +21,47 @@ void rstrip(std::string& line) {
   throw Error(Status::Internal, "Archive::load: " + what);
 }
 
+/// Strict UTF-8 well-formedness (RFC 3629): rejects truncated and overlong
+/// sequences, surrogates, and anything past U+10FFFF.  Metric names flow
+/// into JSON trace exports, so a name that json_escape cannot represent
+/// must be rejected at load time, not at export time.
+bool valid_utf8(const std::string& s) {
+  const auto* p = reinterpret_cast<const unsigned char*>(s.data());
+  const std::size_t n = s.size();
+  for (std::size_t i = 0; i < n;) {
+    const unsigned char b = p[i];
+    std::size_t len;
+    std::uint32_t cp;
+    if (b < 0x80) {
+      ++i;
+      continue;
+    } else if ((b & 0xE0) == 0xC0) {
+      len = 2;
+      cp = b & 0x1Fu;
+    } else if ((b & 0xF0) == 0xE0) {
+      len = 3;
+      cp = b & 0x0Fu;
+    } else if ((b & 0xF8) == 0xF0) {
+      len = 4;
+      cp = b & 0x07u;
+    } else {
+      return false;  // continuation byte or 0xF8+ lead
+    }
+    if (i + len > n) return false;  // truncated sequence
+    for (std::size_t j = 1; j < len; ++j) {
+      if ((p[i + j] & 0xC0) != 0x80) return false;
+      cp = (cp << 6) | (p[i + j] & 0x3Fu);
+    }
+    if (len == 2 && cp < 0x80) return false;        // overlong
+    if (len == 3 && cp < 0x800) return false;       // overlong
+    if (len == 4 && cp < 0x10000) return false;     // overlong
+    if (cp >= 0xD800 && cp <= 0xDFFF) return false; // surrogate
+    if (cp > 0x10FFFF) return false;
+    i += len;
+  }
+  return true;
+}
+
 }  // namespace
 
 void Archive::save(std::ostream& os) const {
@@ -51,6 +92,9 @@ Archive Archive::load(std::istream& is) {
     } else if (tag == "metric") {
       std::string name;
       if (!(ls >> name)) malformed("metric line without a name");
+      if (!valid_utf8(name)) {
+        malformed("metric name with invalid UTF-8 bytes");
+      }
       ar.metrics.push_back(std::move(name));
     } else if (tag == "record") {
       ArchiveRecord r;

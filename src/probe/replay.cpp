@@ -1,0 +1,94 @@
+#include "probe/replay.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "sim/machine.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace papisim::probe {
+
+LoopResult replay_loop(const sim::MachineConfig& cfg,
+                       const std::vector<StreamSpec>& streams,
+                       std::uint64_t iterations, bool sw_prefetch) {
+  sim::Machine m(cfg);
+  m.set_noise_enabled(false);
+  m.set_active_cores(0, 1);
+
+  sim::LoopDesc loop;
+  loop.iterations = iterations;
+  loop.sw_prefetch = sw_prefetch;
+  for (const StreamSpec& s : streams) {
+    const std::uint64_t span =
+        iterations * static_cast<std::uint64_t>(s.stride < 0 ? -s.stride
+                                                             : s.stride) +
+        s.elem;
+    const std::uint64_t base = m.address_space().allocate(span);
+    loop.streams.push_back({base, s.stride, s.elem, s.kind});
+  }
+
+  LoopResult r;
+  r.stats = m.engine(0, 0).execute(loop);
+  m.flush_socket(0);
+  r.read_bytes_total = m.memctrl(0).total_bytes(sim::MemDir::Read);
+  r.write_bytes_total = m.memctrl(0).total_bytes(sim::MemDir::Write);
+  r.channels = m.memctrl(0).snapshot();
+  return r;
+}
+
+SweepResult replay_multicore_sweep(const sim::MachineConfig& cfg,
+                                   std::uint32_t active_cores,
+                                   std::uint64_t footprint_bytes,
+                                   std::int64_t stride, std::uint32_t passes,
+                                   std::uint32_t host_threads) {
+  sim::Machine m(cfg);
+  m.set_noise_enabled(false);
+  m.set_active_cores(0, active_cores);
+
+  // Disjoint per-core buffers, allocated before the fan-out so the layout is
+  // independent of worker interleaving (the determinism contract).
+  const std::uint64_t abs_stride =
+      static_cast<std::uint64_t>(stride < 0 ? -stride : stride);
+  const std::uint64_t iterations = footprint_bytes / abs_stride;
+  std::vector<std::uint64_t> bases(active_cores);
+  for (std::uint32_t c = 0; c < active_cores; ++c) {
+    bases[c] = m.address_space().allocate(footprint_bytes + cfg.line_bytes);
+  }
+
+  SweepResult r;
+  r.pass_read_bytes.assign(active_cores,
+                           std::vector<std::uint64_t>(passes, 0));
+
+  for (std::uint32_t c = 0; c < active_cores; ++c) {
+    m.engine(0, c).set_deferred_time(true);
+  }
+  const std::uint32_t workers =
+      host_threads == 0 ? 0 : std::min(host_threads, active_cores) - 1;
+  sim::ThreadPool pool(workers);
+  std::atomic<std::uint64_t> touches{0};
+  pool.parallel_for(active_cores, [&](std::uint32_t c) {
+    sim::LoopDesc loop;
+    loop.iterations = iterations;
+    loop.streams = {{bases[c], stride, 8, sim::AccessKind::Load}};
+    std::uint64_t local_touches = 0;
+    for (std::uint32_t p = 0; p < passes; ++p) {
+      const sim::LoopStats st = m.engine(0, c).execute(loop);
+      r.pass_read_bytes[c][p] = st.mem_read_bytes;
+      local_touches += st.line_touches;
+    }
+    touches.fetch_add(local_touches, std::memory_order_relaxed);
+  });
+  double max_ns = 0.0;
+  for (std::uint32_t c = 0; c < active_cores; ++c) {
+    max_ns = std::max(max_ns, m.engine(0, c).take_deferred_time_ns());
+    m.engine(0, c).set_deferred_time(false);
+  }
+  m.advance(max_ns);
+  m.flush_socket(0);
+
+  r.line_touches = touches.load(std::memory_order_relaxed);
+  r.channels = m.memctrl(0).snapshot();
+  return r;
+}
+
+}  // namespace papisim::probe

@@ -1,0 +1,58 @@
+// Probe replay primitives: deterministic single-loop and multi-core sweep
+// replays on a fresh probe machine, returning exact per-access traffic (and
+// the per-channel nest snapshot) for comparison against analytic
+// expectations.  Shared by the mechanism probes, the probe property tests,
+// and the serial-vs-parallel determinism test.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/access_engine.hpp"
+#include "sim/config.hpp"
+
+namespace papisim::probe {
+
+/// A stream of the probe loop, positioned by the replay helper (bases are
+/// allocated disjointly per stream, 4 KiB aligned -- aligned to the channel
+/// interleave period, which the channel-stripe probe relies on).
+struct StreamSpec {
+  std::int64_t stride = 8;
+  std::uint32_t elem = 8;
+  sim::AccessKind kind = sim::AccessKind::Load;
+};
+
+/// Traffic of one replayed loop, measured both per access (LoopStats) and at
+/// the memory controller after a full cache flush.
+struct LoopResult {
+  sim::LoopStats stats;                 ///< per-access accounting of the loop
+  std::uint64_t read_bytes_total = 0;   ///< memctrl READ after flush
+  std::uint64_t write_bytes_total = 0;  ///< memctrl WRITE after flush
+  std::vector<std::array<std::uint64_t, 2>> channels;  ///< [ch][read,write]
+};
+
+/// Replay one loop on core 0 of a fresh noise-off machine and flush.
+LoopResult replay_loop(const sim::MachineConfig& cfg,
+                       const std::vector<StreamSpec>& streams,
+                       std::uint64_t iterations, bool sw_prefetch = false);
+
+/// A multi-pass sequential sweep replayed on `active_cores` cores at once
+/// (disjoint per-core buffers, one pool worker per core), the probe analogue
+/// of the paper's occupancy experiments.  Per-core per-pass read bytes are
+/// exact (counted per access), so core 0's pass-2 traffic isolates the
+/// victim-borrow / capacity-spill signal.
+struct SweepResult {
+  /// [core][pass] -> demand read bytes of that pass.
+  std::vector<std::vector<std::uint64_t>> pass_read_bytes;
+  std::uint64_t line_touches = 0;
+  std::vector<std::array<std::uint64_t, 2>> channels;  ///< after flush
+};
+
+SweepResult replay_multicore_sweep(const sim::MachineConfig& cfg,
+                                   std::uint32_t active_cores,
+                                   std::uint64_t footprint_bytes,
+                                   std::int64_t stride, std::uint32_t passes,
+                                   std::uint32_t host_threads);
+
+}  // namespace papisim::probe

@@ -1,0 +1,124 @@
+#include "probe/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "core/json_util.hpp"
+
+namespace papisim::probe {
+
+namespace {
+
+std::size_t passed(const MechanismReport& r) {
+  return static_cast<std::size_t>(
+      std::count_if(r.points.begin(), r.points.end(),
+                    [](const ProbePoint& p) { return p.pass; }));
+}
+
+}  // namespace
+
+bool all_confirmed(std::span<const MechanismReport> reports) {
+  return std::all_of(reports.begin(), reports.end(),
+                     [](const MechanismReport& r) {
+                       return r.verdict == Verdict::Confirm;
+                     });
+}
+
+void write_probe_text(std::ostream& os,
+                      std::span<const MechanismReport> reports) {
+  std::size_t name_w = 9;
+  for (const MechanismReport& r : reports) {
+    name_w = std::max(name_w, r.mechanism.size());
+  }
+  os << std::left << std::setw(static_cast<int>(name_w + 2)) << "mechanism"
+     << std::setw(14) << "verdict" << std::setw(22) << "effect (meas/exp)"
+     << std::setw(10) << "points" << "wall\n";
+  for (const MechanismReport& r : reports) {
+    std::ostringstream effect;
+    effect << std::fixed << std::setprecision(3) << r.effect_size << " / "
+           << std::setprecision(3) << r.expected_effect;
+    std::ostringstream pts;
+    pts << passed(r) << "/" << r.points.size();
+    os << std::left << std::setw(static_cast<int>(name_w + 2)) << r.mechanism
+       << std::setw(14) << to_string(r.verdict) << std::setw(22)
+       << effect.str() << std::setw(10) << pts.str() << std::fixed
+       << std::setprecision(1) << r.wall_ms << " ms\n";
+  }
+  for (const MechanismReport& r : reports) {
+    if (r.verdict == Verdict::Confirm) continue;
+    os << "\n" << r.mechanism << " (" << to_string(r.verdict)
+       << "): " << r.description << "\n";
+    for (const ProbePoint& p : r.points) {
+      if (p.pass) continue;
+      os << "  FAIL " << p.label << ": measured " << p.measured << " " << p.unit
+         << ", expected " << p.expected << " in [" << p.lo << ", " << p.hi
+         << "]\n";
+    }
+  }
+}
+
+void write_probe_json(std::ostream& os,
+                      std::span<const MechanismReport> reports,
+                      const ProbeOptions& opt) {
+  const auto num = [&os](double v) {
+    // JSON has no Inf/NaN literals; clamp to null for a strict parser.
+    if (v != v || v > 1e308 || v < -1e308) {
+      os << "null";
+    } else {
+      os << v;
+    }
+  };
+
+  std::size_t confirmed = 0, refuted = 0, inconclusive = 0;
+  for (const MechanismReport& r : reports) {
+    switch (r.verdict) {
+      case Verdict::Confirm: ++confirmed; break;
+      case Verdict::Refute: ++refuted; break;
+      case Verdict::Inconclusive: ++inconclusive; break;
+    }
+  }
+
+  os << std::setprecision(17);
+  os << "{\n  \"papisim_probe\": 1,\n";
+  os << "  \"machine\": \"" << json_escape(opt.machine.name) << "\",\n";
+  os << "  \"grid\": \"" << (opt.full_grid ? "full" : "curated") << "\",\n";
+  os << "  \"mechanisms\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const MechanismReport& r = reports[i];
+    os << "    {\"mechanism\": \"" << json_escape(r.mechanism) << "\",\n";
+    os << "     \"description\": \"" << json_escape(r.description) << "\",\n";
+    os << "     \"verdict\": \"" << to_string(r.verdict) << "\",\n";
+    os << "     \"effect_size\": ";
+    num(r.effect_size);
+    os << ", \"expected_effect\": ";
+    num(r.expected_effect);
+    os << ", \"min_effect\": ";
+    num(r.min_effect);
+    os << ",\n     \"line_touches\": " << r.line_touches
+       << ", \"wall_ms\": ";
+    num(r.wall_ms);
+    os << ",\n     \"points\": [\n";
+    for (std::size_t j = 0; j < r.points.size(); ++j) {
+      const ProbePoint& p = r.points[j];
+      os << "      {\"label\": \"" << json_escape(p.label) << "\", \"unit\": \""
+         << json_escape(p.unit) << "\", \"expected\": ";
+      num(p.expected);
+      os << ", \"lo\": ";
+      num(p.lo);
+      os << ", \"hi\": ";
+      num(p.hi);
+      os << ", \"measured\": ";
+      num(p.measured);
+      os << ", \"pass\": " << (p.pass ? "true" : "false") << "}"
+         << (j + 1 < r.points.size() ? "," : "") << "\n";
+    }
+    os << "     ]}" << (i + 1 < reports.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"summary\": {\"confirmed\": " << confirmed
+     << ", \"refuted\": " << refuted << ", \"inconclusive\": " << inconclusive
+     << "}\n}\n";
+}
+
+}  // namespace papisim::probe

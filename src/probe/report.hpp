@@ -1,0 +1,30 @@
+// Probe report emission: an aligned text summary for humans and a
+// machine-readable JSON mechanism report (the `papisim-probe` CLI contract,
+// also parsed by CI).  All strings pass through the shared json_escape.
+#pragma once
+
+#include <ostream>
+#include <span>
+
+#include "probe/probe.hpp"
+
+namespace papisim::probe {
+
+/// Aligned text table: one row per mechanism plus a failing-point detail
+/// block for anything not confirmed.
+void write_probe_text(std::ostream& os, std::span<const MechanismReport> reports);
+
+/// JSON document:
+///   {"papisim_probe": 1, "machine": ..., "grid": "curated"|"full",
+///    "mechanisms": [{mechanism, description, verdict, effect_size,
+///                    expected_effect, min_effect, line_touches, wall_ms,
+///                    points: [{label, unit, expected, lo, hi, measured,
+///                              pass}]}],
+///    "summary": {"confirmed": n, "refuted": n, "inconclusive": n}}
+void write_probe_json(std::ostream& os, std::span<const MechanismReport> reports,
+                      const ProbeOptions& opt);
+
+/// True when every mechanism's verdict is Confirm (the CLI exit status).
+bool all_confirmed(std::span<const MechanismReport> reports);
+
+}  // namespace papisim::probe

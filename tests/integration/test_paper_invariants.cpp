@@ -15,22 +15,18 @@
 
 #include "sim/access_engine.hpp"
 #include "sim/machine.hpp"
+#include "testing/machine_builder.hpp"
+#include "testing/traffic_matchers.hpp"
 
 namespace papisim::sim {
 namespace {
 
+namespace ts = papisim::test_support;
+
 constexpr std::uint64_t kIters = 1 << 14;               // 16 Ki elements
 constexpr std::uint64_t kBytes = kIters * 8;            // 128 KiB per stream
-constexpr std::uint64_t kLoadBase = 1ull << 20;
-constexpr std::uint64_t kStoreBase = 1ull << 26;
 
-LoopDesc copy_loop() {
-  LoopDesc loop;
-  loop.iterations = kIters;
-  loop.streams = {{kLoadBase, 8, 8, AccessKind::Load},
-                  {kStoreBase, 8, 8, AccessKind::Store}};
-  return loop;
-}
+LoopDesc copy_loop() { return ts::copy_loop(kIters); }
 
 TEST(PaperInvariants, WriteAllocateCostsTwoReadsPerStoredLine) {
   MachineConfig cfg = MachineConfig::summit();
@@ -78,11 +74,7 @@ TEST(PaperInvariants, StoreBypassEliminatesTheAllocateRead) {
 /// `active` cores declared busy on the socket.
 std::uint64_t second_pass_read_bytes(std::uint32_t active,
                                      std::uint64_t footprint_bytes) {
-  MachineConfig cfg = MachineConfig::tellico();
-  cfg.cores_per_socket = 4;
-  cfg.physical_cores_per_socket = 4;
-  cfg.l3_slice_bytes = 64 * 1024;
-  cfg.l3_associativity = 8;
+  const MachineConfig cfg = ts::MachineBuilder::knee().config();
   Machine m(cfg);
   m.set_noise_enabled(false);
   m.set_active_cores(0, active);

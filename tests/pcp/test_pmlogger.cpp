@@ -126,6 +126,68 @@ TEST_F(LoggerFixture, MalformedArchivesThrowTypedInternalErrors) {
   expect_internal("# papisim-archive v1\nmetric a.b\nrecord 0.5 1 2\n");
 }
 
+TEST_F(LoggerFixture, LoadRejectsTruncatedRecords) {
+  auto expect_internal = [](const std::string& text) {
+    std::stringstream ss(text);
+    try {
+      Archive::load(ss);
+      FAIL() << "expected Error for: " << text;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.status(), Status::Internal) << text;
+    }
+  };
+  const std::string head =
+      "# papisim-archive v1\ncpu 0\nmetric a.b\nmetric c.d\nmetric e.f\n";
+  // A record cut off mid-values (writer died between columns) must not load
+  // as a short row -- the width check has to fire on too FEW values too.
+  expect_internal(head + "record 0.5 1 2\n");
+  expect_internal(head + "record 0.5 1\n");
+  expect_internal(head + "record 0.5\n");
+  // Truncated mid-token: the partial value parses, the width check fires.
+  expect_internal(head + "record 0.5 1 2 3\nrecord 1.5 4 5");
+}
+
+TEST_F(LoggerFixture, LoadRejectsInvalidUtf8MetricNames) {
+  auto expect_internal = [](const std::string& text) {
+    std::stringstream ss(text);
+    try {
+      Archive::load(ss);
+      FAIL() << "expected Error";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.status(), Status::Internal);
+      EXPECT_NE(std::string(e.what()).find("UTF-8"), std::string::npos);
+    }
+  };
+  const std::string head = "# papisim-archive v1\n";
+  expect_internal(head + "metric mem.\xFF\x41.reads\n");   // lone 0xFF lead
+  expect_internal(head + "metric mem.\xC3(\n");            // broken 2-byte seq
+  expect_internal(head + "metric mem.\xE2\x82\n");         // truncated 3-byte
+  expect_internal(head + "metric \xC0\xAF\n");             // overlong slash
+  expect_internal(head + "metric \xED\xA0\x80.x\n");       // UTF-16 surrogate
+
+  // Well-formed multibyte names are fine (the check is UTF-8 validity, not
+  // an ASCII whitelist).
+  std::stringstream ok(head + "metric mem.b\xC3\xA9ta.reads\n");
+  EXPECT_EQ(Archive::load(ok).metrics.size(), 1u);
+}
+
+TEST_F(LoggerFixture, LoadRejectsEmptyAndCrlfOnlyFiles) {
+  for (const std::string text : {std::string(""), std::string("\r\n"),
+                                 std::string("\r\n\r\n\r\n")}) {
+    std::stringstream ss(text);
+    try {
+      Archive::load(ss);
+      FAIL() << "expected Error for " << text.size() << "-byte file";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.status(), Status::Internal);
+    }
+  }
+  // A CRLF-terminated but otherwise intact archive still loads (CRLF is a
+  // transport artifact, not corruption).
+  std::stringstream ok("# papisim-archive v1\r\ncpu 3\r\n");
+  EXPECT_EQ(Archive::load(ok).cpu, 3u);
+}
+
 TEST_F(LoggerFixture, CountersInArchiveAreMonotonic) {
   PmLogger logger(client, kMetrics, 87);
   for (int i = 0; i < 10; ++i) {

@@ -1,0 +1,187 @@
+// Refutation-harness tests (DESIGN.md §3f).
+//
+// Tier-1 runs the curated sub-grid: every mechanism probe must CONFIRM on
+// the reference machines, and deliberately broken policies must REFUTE --
+// with the *right* mechanism flagged and a collapsed effect size.  The full
+// grid rides behind the `probe-full` ctest label / PAPISIM_PROBE_FULL env
+// (see CMakePresets.json `probe-full`).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "probe/report.hpp"
+
+namespace papisim::probe {
+namespace {
+
+MechanismReport find(const std::vector<MechanismReport>& reports,
+                     const std::string& mechanism) {
+  for (const MechanismReport& r : reports) {
+    if (r.mechanism == mechanism) return r;
+  }
+  ADD_FAILURE() << "no mechanism report named " << mechanism;
+  return {};
+}
+
+// ------------------------------------------------------------ confirmation
+
+class ProbeConfirms : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ProbeConfirms, CuratedGridConfirmsOnSummit) {
+  ProbeOptions opt;  // summit, curated grid
+  const auto reports = run_all_probes(opt);
+  const MechanismReport r = find(reports, GetParam());
+  std::ostringstream detail;
+  write_probe_text(detail, reports);
+  EXPECT_EQ(r.verdict, Verdict::Confirm) << detail.str();
+  EXPECT_GE(r.effect_size, r.min_effect);
+  EXPECT_GT(r.line_touches, 0u);
+  EXPECT_FALSE(r.points.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Mechanisms, ProbeConfirms,
+                         ::testing::Values("write_allocate_bypass",
+                                           "l3_victim_borrow",
+                                           "prefetch_amplification",
+                                           "capacity_spill", "channel_stripe",
+                                           "rw_asymmetry"),
+                         [](const auto& info) { return std::string(info.param); });
+
+TEST(ProbeConfirms, TellicoPolicySetConfirmsToo) {
+  ProbeOptions opt;
+  opt.machine = sim::MachineConfig::tellico();
+  EXPECT_TRUE(all_confirmed(run_all_probes(opt)));
+}
+
+TEST(ProbeConfirms, Power10PreviewConfirmsThroughTheTimingKnee) {
+  // 400 GB/s OMI makes the copy arms touch-time-bound instead of
+  // bandwidth-bound; the analytic max() composition must track that.
+  ProbeOptions opt;
+  opt.machine = sim::MachineConfig::power10_preview();
+  EXPECT_TRUE(all_confirmed(run_all_probes(opt)));
+}
+
+// -------------------------------------------------------------- refutation
+//
+// The harness is only useful if it *fails* when a mechanism disappears: the
+// probes hardcode the reference claims (e.g. "bypass up to 2 load streams
+// per store") rather than reading them back from the config under test, so
+// a policy regression cannot silently re-baseline them.
+
+TEST(ProbeRefutes, DisabledStoreBypassIsRefutedWithCollapsedEffect) {
+  ProbeOptions opt;
+  opt.machine.store_bypass = false;
+  const auto reports = run_all_probes(opt);
+
+  const MechanismReport bypass = find(reports, "write_allocate_bypass");
+  EXPECT_EQ(bypass.verdict, Verdict::Refute);
+  // The allocate-read contrast between sparse and dense mixes vanishes...
+  EXPECT_LT(bypass.effect_size, bypass.min_effect);
+  // ...which is a *nonzero* gap from the claimed effect.
+  EXPECT_GT(bypass.expected_effect - bypass.effect_size, 0.5);
+
+  // The other five mechanisms are untouched by the bypass policy: a refuter
+  // that flags everything is as useless as one that flags nothing.
+  for (const char* other :
+       {"l3_victim_borrow", "prefetch_amplification", "capacity_spill",
+        "channel_stripe", "rw_asymmetry"}) {
+    EXPECT_EQ(find(reports, other).verdict, Verdict::Confirm) << other;
+  }
+}
+
+TEST(ProbeRefutes, DisabledLateralCastoutIsRefuted) {
+  ProbeOptions opt;
+  opt.machine.lateral_castout = false;
+  const auto reports = run_all_probes(opt);
+  const MechanismReport borrow = find(reports, "l3_victim_borrow");
+  EXPECT_EQ(borrow.verdict, Verdict::Refute);
+  EXPECT_LT(borrow.effect_size, borrow.min_effect);
+  EXPECT_GT(borrow.expected_effect - borrow.effect_size, 0.5);
+}
+
+TEST(ProbeRefutes, ZeroRetentionIsRefuted) {
+  // Cast-out still happens but every recovery fails: same observable as no
+  // cast-out at all, and the probe must not be fooled by the distinction.
+  ProbeOptions opt;
+  opt.machine.castout_retention = 0.0;
+  const auto reports = run_all_probes(opt);
+  EXPECT_EQ(find(reports, "l3_victim_borrow").verdict, Verdict::Refute);
+}
+
+// ------------------------------------------------------------------ report
+
+TEST(ProbeReport, JsonIsWellFormedAndCoversEveryMechanism) {
+  ProbeOptions opt;
+  const auto reports = run_all_probes(opt);
+  std::ostringstream os;
+  write_probe_json(os, reports, opt);
+  const std::string json = os.str();
+
+  // Structural sanity without a JSON parser: balanced braces/brackets and
+  // one mechanism object per probe.
+  std::int64_t braces = 0, brackets = 0;
+  std::size_t mechs = 0;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    if (json[i] == '{') ++braces;
+    if (json[i] == '}') --braces;
+    if (json[i] == '[') ++brackets;
+    if (json[i] == ']') --brackets;
+    if (json.compare(i, 14, "\"mechanism\": \"") == 0) ++mechs;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_EQ(mechs, reports.size());
+  EXPECT_NE(json.find("\"papisim_probe\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"machine\": \"summit\""), std::string::npos);
+  EXPECT_NE(json.find("\"grid\": \"curated\""), std::string::npos);
+  EXPECT_NE(json.find("\"confirmed\": 6"), std::string::npos);
+}
+
+TEST(ProbeReport, TextReportNamesEveryVerdict) {
+  ProbeOptions opt;
+  const auto reports = run_all_probes(opt);
+  std::ostringstream os;
+  write_probe_text(os, reports);
+  for (const MechanismReport& r : reports) {
+    EXPECT_NE(os.str().find(r.mechanism), std::string::npos) << r.mechanism;
+  }
+  EXPECT_NE(os.str().find("CONFIRM"), std::string::npos);
+}
+
+// --------------------------------------------------------------- full grid
+
+TEST(ProbeFullGrid, EveryMechanismConfirmsOverTheFullGrid) {
+  if (std::getenv("PAPISIM_PROBE_FULL") == nullptr) {
+    GTEST_SKIP() << "set PAPISIM_PROBE_FULL=1 (ctest label probe-full / the "
+                    "probe-full preset) to sweep the full grid";
+  }
+  ProbeOptions opt;
+  opt.full_grid = true;
+  const auto reports = run_all_probes(opt);
+  std::ostringstream detail;
+  write_probe_text(detail, reports);
+  EXPECT_TRUE(all_confirmed(reports)) << detail.str();
+  // The full grid is a strict superset of the curated one.
+  ProbeOptions curated;
+  const auto small = run_all_probes(curated);
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    EXPECT_GE(reports[i].points.size(), small[i].points.size())
+        << reports[i].mechanism;
+  }
+}
+
+TEST(ProbeFullGrid, FullGridRefutesDisabledBypassToo) {
+  if (std::getenv("PAPISIM_PROBE_FULL") == nullptr) {
+    GTEST_SKIP() << "set PAPISIM_PROBE_FULL=1 to sweep the full grid";
+  }
+  ProbeOptions opt;
+  opt.full_grid = true;
+  opt.machine.store_bypass = false;
+  EXPECT_EQ(find(run_all_probes(opt), "write_allocate_bypass").verdict,
+            Verdict::Refute);
+}
+
+}  // namespace
+}  // namespace papisim::probe

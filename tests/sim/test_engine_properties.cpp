@@ -11,17 +11,15 @@
 
 #include "sim/machine.hpp"
 #include "sim/stream_detect.hpp"
+#include "testing/machine_builder.hpp"
+#include "testing/traffic_matchers.hpp"
 
 namespace papisim::sim {
 namespace {
 
-MachineConfig small_config() {
-  MachineConfig cfg;
-  cfg.sockets = 1;
-  cfg.cores_per_socket = 2;
-  cfg.l3_slice_bytes = 1 << 20;
-  return cfg;
-}
+namespace ts = papisim::test_support;
+
+MachineConfig small_config() { return ts::MachineBuilder::small().config(); }
 
 // --------------------------------------------------------------- detection
 
@@ -143,10 +141,7 @@ TEST(EngineInvariants, ColdReadsCoverExactlyTheDistinctTouchedLines) {
   const std::uint64_t iters = 3000;
   std::set<std::uint64_t> lines;
   for (std::uint64_t i = 0; i < iters; ++i) lines.insert((base + i * stride) / 64);
-  LoopDesc loop;
-  loop.iterations = iters;
-  loop.streams = {{base, stride, 8, AccessKind::Load}};
-  const LoopStats st = m.engine(0, 0).execute(loop);
+  const LoopStats st = m.engine(0, 0).execute(ts::load_loop(base, stride, iters));
   EXPECT_EQ(st.mem_read_bytes, lines.size() * 64);
   EXPECT_EQ(st.line_touches, lines.size());
 }
@@ -160,10 +155,11 @@ TEST(EngineInvariants, EveryAllocatedDirtyLineDrainsExactlyOnce) {
   LoopDesc loop;
   loop.iterations = n;
   loop.streams = {{1 << 22, 128, 8, AccessKind::Store}};
+  ts::TrafficProbe traffic(m);
   m.engine(0, 0).execute(loop);
   m.engine(0, 0).execute(loop);  // re-dirty the same lines
   m.flush_socket(0);
-  EXPECT_EQ(m.memctrl(0).total_bytes(MemDir::Write), n * 64);
+  EXPECT_TRUE(ts::bytes_near(traffic.write_delta(), n * 64, 0));
 }
 
 TEST(EngineInvariants, CountersAreMonotonicAcrossMixedWork) {

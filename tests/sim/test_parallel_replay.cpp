@@ -14,6 +14,8 @@
 #include "components/perf_nest_component.hpp"
 #include "kernels/blas_sim.hpp"
 #include "kernels/runner.hpp"
+#include "probe/probe.hpp"
+#include "probe/replay.hpp"
 
 namespace papisim::kernels {
 namespace {
@@ -135,6 +137,85 @@ TEST(ParallelReplay, SymmetricCoresProduceSymmetricCounters) {
   for (std::uint32_t c = 1; c < cores; ++c) {
     EXPECT_EQ(r.cores[0].flops, r.cores[c].flops) << "core " << c;
     EXPECT_EQ(r.cores[0].line_touches, r.cores[c].line_touches) << "core " << c;
+  }
+}
+
+// ------------------------------------------------- probe-sweep determinism
+//
+// The refutation harness leans on the same serial-equivalence contract: a
+// probe verdict must not depend on how many host threads drove the sweep,
+// or on the machine's noise seed while noise is off.
+
+TEST(ParallelReplay, MulticoreSweepIsBitIdenticalAcrossHostThreadCounts) {
+  const sim::MachineConfig cfg =
+      probe::probe_machine(sim::MachineConfig::summit());
+  const std::uint64_t footprint = 2 * cfg.l3_slice_bytes;
+  const auto run = [&](std::uint32_t host_threads) {
+    return probe::replay_multicore_sweep(cfg, cfg.cores_per_socket, footprint,
+                                         cfg.line_bytes, /*passes=*/2,
+                                         host_threads);
+  };
+  const probe::SweepResult serial = run(1);
+  for (const std::uint32_t threads : {2u, 8u, 0u}) {
+    const probe::SweepResult par = run(threads);
+    EXPECT_EQ(serial.line_touches, par.line_touches) << threads;
+    // Per-core, per-pass loop traffic is exact...
+    ASSERT_EQ(serial.pass_read_bytes, par.pass_read_bytes) << threads;
+    // ...and so is the channel-level controller state after the merge.
+    ASSERT_EQ(serial.channels.size(), par.channels.size());
+    for (std::size_t ch = 0; ch < serial.channels.size(); ++ch) {
+      EXPECT_EQ(serial.channels[ch][0], par.channels[ch][0])
+          << "threads=" << threads << " read channel " << ch;
+      EXPECT_EQ(serial.channels[ch][1], par.channels[ch][1])
+          << "threads=" << threads << " write channel " << ch;
+    }
+  }
+}
+
+TEST(ParallelReplay, ProbeVerdictsAreThreadCountInvariant) {
+  probe::ProbeOptions serial_opt;
+  serial_opt.host_threads = 1;
+  probe::ProbeOptions parallel_opt;
+  parallel_opt.host_threads = 8;
+
+  const auto serial = probe::run_all_probes(serial_opt);
+  const auto parallel = probe::run_all_probes(parallel_opt);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].verdict, parallel[i].verdict) << serial[i].mechanism;
+    EXPECT_EQ(serial[i].effect_size, parallel[i].effect_size)
+        << serial[i].mechanism;
+    EXPECT_EQ(serial[i].line_touches, parallel[i].line_touches)
+        << serial[i].mechanism;
+    ASSERT_EQ(serial[i].points.size(), parallel[i].points.size())
+        << serial[i].mechanism;
+    for (std::size_t j = 0; j < serial[i].points.size(); ++j) {
+      EXPECT_EQ(serial[i].points[j].measured, parallel[i].points[j].measured)
+          << serial[i].mechanism << " / " << serial[i].points[j].label;
+    }
+  }
+}
+
+TEST(ParallelReplay, NoiseSeedIsInertWhileNoiseIsOff) {
+  // Replay determinism must come from the replay itself, not from a lucky
+  // seed: with noise disabled, machines differing ONLY in seed replay
+  // bit-identically.
+  const auto run = [](std::uint64_t seed) {
+    sim::MachineConfig cfg = probe::probe_machine(sim::MachineConfig::summit());
+    cfg.noise.seed = seed;
+    return probe::replay_multicore_sweep(cfg, cfg.cores_per_socket,
+                                         2 * cfg.l3_slice_bytes,
+                                         cfg.line_bytes, /*passes=*/2,
+                                         /*host_threads=*/4);
+  };
+  const probe::SweepResult a = run(1);
+  const probe::SweepResult b = run(0xDEADBEEF);
+  EXPECT_EQ(a.pass_read_bytes, b.pass_read_bytes);
+  EXPECT_EQ(a.line_touches, b.line_touches);
+  ASSERT_EQ(a.channels.size(), b.channels.size());
+  for (std::size_t ch = 0; ch < a.channels.size(); ++ch) {
+    EXPECT_EQ(a.channels[ch][0], b.channels[ch][0]) << "channel " << ch;
+    EXPECT_EQ(a.channels[ch][1], b.channels[ch][1]) << "channel " << ch;
   }
 }
 

@@ -1,0 +1,10 @@
+# Included by ctest AFTER gtest discovery has registered the stress suite
+# (via TEST_INCLUDE_FILES).  gtest_discover_tests cannot forward list-valued
+# properties — the semicolon in LABELS "tier1;stress" is eaten when the
+# discovery helper joins TEST_PROPERTIES into a single -D argument — so the
+# second label is applied here, over the test names discovery recorded in
+# test_concurrency_stress_TESTS.
+if(test_concurrency_stress_TESTS)
+  set_tests_properties(${test_concurrency_stress_TESTS}
+    PROPERTIES LABELS "tier1;stress")
+endif()

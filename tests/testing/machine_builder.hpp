@@ -1,0 +1,90 @@
+// Deterministic machine-config and loop builders shared across test suites.
+//
+// Tests that replay traffic want small, fully-pinned geometries so the
+// analytic expectations stay exact; historically every suite grew its own
+// `small_config()` copy.  This header is the one place those shapes live.
+#pragma once
+
+#include <memory>
+
+#include "sim/access_engine.hpp"
+#include "sim/machine.hpp"
+
+namespace papisim::test_support {
+
+/// Fluent wrapper over sim::MachineConfig for one-off tweaks.  Every chain
+/// starts from a named deterministic base, so two tests asking for the same
+/// shape replay bit-identically.
+class MachineBuilder {
+ public:
+  explicit MachineBuilder(sim::MachineConfig base) : cfg_(std::move(base)) {}
+
+  /// The engine-property shape: one socket, two cores, 1 MiB slices.
+  static MachineBuilder small() {
+    sim::MachineConfig cfg;
+    cfg.sockets = 1;
+    cfg.cores_per_socket = 2;
+    cfg.l3_slice_bytes = 1 << 20;
+    return MachineBuilder(std::move(cfg));
+  }
+
+  /// The capacity-knee shape from the paper-invariant suite: four cores with
+  /// tiny 64 KiB slices so footprints around the knee stay cheap to sweep.
+  static MachineBuilder knee() {
+    sim::MachineConfig cfg = sim::MachineConfig::tellico();
+    cfg.cores_per_socket = 4;
+    cfg.physical_cores_per_socket = 4;
+    cfg.l3_slice_bytes = 64 * 1024;
+    cfg.l3_associativity = 8;
+    return MachineBuilder(std::move(cfg));
+  }
+
+  MachineBuilder& sockets(std::uint32_t n) { cfg_.sockets = n; return *this; }
+  MachineBuilder& cores(std::uint32_t n) {
+    cfg_.cores_per_socket = n;
+    cfg_.physical_cores_per_socket = n;
+    return *this;
+  }
+  MachineBuilder& slice_bytes(std::uint64_t n) { cfg_.l3_slice_bytes = n; return *this; }
+  MachineBuilder& associativity(std::uint32_t n) { cfg_.l3_associativity = n; return *this; }
+  MachineBuilder& store_bypass(bool on) { cfg_.store_bypass = on; return *this; }
+  MachineBuilder& lateral_castout(bool on) { cfg_.lateral_castout = on; return *this; }
+  MachineBuilder& castout_retention(double p) { cfg_.castout_retention = p; return *this; }
+
+  const sim::MachineConfig& config() const { return cfg_; }
+  operator sim::MachineConfig() const { return cfg_; }
+
+  /// A machine with background noise disabled -- the default for traffic
+  /// tests, where every byte must be attributable to the replayed loop.
+  std::unique_ptr<sim::Machine> quiet() const {
+    auto m = std::make_unique<sim::Machine>(cfg_);
+    m->set_noise_enabled(false);
+    return m;
+  }
+
+ private:
+  sim::MachineConfig cfg_;
+};
+
+/// 1-load/1-store dense copy over `iters` 8-byte elements -- the canonical
+/// write-allocate/bypass probe loop (paper §IV).
+inline sim::LoopDesc copy_loop(std::uint64_t iters,
+                               std::uint64_t load_base = 1ull << 20,
+                               std::uint64_t store_base = 1ull << 26) {
+  sim::LoopDesc loop;
+  loop.iterations = iters;
+  loop.streams = {{load_base, 8, 8, sim::AccessKind::Load},
+                  {store_base, 8, 8, sim::AccessKind::Store}};
+  return loop;
+}
+
+/// Single affine load stream.
+inline sim::LoopDesc load_loop(std::uint64_t base, std::int64_t stride,
+                               std::uint64_t iters) {
+  sim::LoopDesc loop;
+  loop.iterations = iters;
+  loop.streams = {{base, stride, 8, sim::AccessKind::Load}};
+  return loop;
+}
+
+}  // namespace papisim::test_support

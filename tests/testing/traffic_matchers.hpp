@@ -1,0 +1,98 @@
+// Traffic-delta helpers and gtest assertion predicates for memory-controller
+// assertions.
+//
+// TrafficProbe snapshots a socket's controller at construction and reports
+// deltas, so a test can assert on the traffic of one loop without caring
+// what warm-up replay ran before it.  The predicates return
+// ::testing::AssertionResult (plain gtest; this tree has no gmock), so
+// failures print the measured value, the band, and the miss distance:
+//
+//   EXPECT_TRUE(bytes_near(probe.read_delta(), 2 * kBytes, 64));
+//   EXPECT_TRUE(bytes_within(probe.write_delta(), kBytes, 0.01));
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace papisim::test_support {
+
+class TrafficProbe {
+ public:
+  explicit TrafficProbe(sim::Machine& m, std::uint32_t socket = 0)
+      : m_(m), socket_(socket) { rebase(); }
+
+  /// Re-snapshot: subsequent deltas are relative to this point.
+  void rebase() {
+    base_read_ = m_.memctrl(socket_).total_bytes(sim::MemDir::Read);
+    base_write_ = m_.memctrl(socket_).total_bytes(sim::MemDir::Write);
+    base_channels_ = m_.memctrl(socket_).snapshot();
+  }
+
+  std::uint64_t read_delta() const {
+    return m_.memctrl(socket_).total_bytes(sim::MemDir::Read) - base_read_;
+  }
+  std::uint64_t write_delta() const {
+    return m_.memctrl(socket_).total_bytes(sim::MemDir::Write) - base_write_;
+  }
+
+  /// Per-channel [read, write] byte deltas.
+  std::vector<std::array<std::uint64_t, 2>> channel_delta() const {
+    auto now = m_.memctrl(socket_).snapshot();
+    std::vector<std::array<std::uint64_t, 2>> out(now.size());
+    for (std::size_t c = 0; c < now.size(); ++c) {
+      out[c] = {now[c][0] - base_channels_[c][0],
+                now[c][1] - base_channels_[c][1]};
+    }
+    return out;
+  }
+
+ private:
+  sim::Machine& m_;
+  std::uint32_t socket_;
+  std::uint64_t base_read_ = 0;
+  std::uint64_t base_write_ = 0;
+  std::vector<std::array<std::uint64_t, 2>> base_channels_;
+};
+
+/// Byte count within `tol` bytes of `expected` (absolute tolerance: traffic
+/// expectations are analytic line counts, not percentages).
+inline ::testing::AssertionResult bytes_near(std::uint64_t measured,
+                                             std::uint64_t expected,
+                                             std::uint64_t tol) {
+  const std::uint64_t d =
+      measured > expected ? measured - expected : expected - measured;
+  if (d <= tol) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << measured << " bytes is off the expected " << expected << " +/- "
+         << tol << " by " << d << " bytes";
+}
+
+/// Byte count within fraction `frac` (e.g. 0.01 = 1%) of `expected`.
+inline ::testing::AssertionResult bytes_within(std::uint64_t measured,
+                                               std::uint64_t expected,
+                                               double frac) {
+  const double e = static_cast<double>(expected);
+  const double g = static_cast<double>(measured);
+  const double d = g > e ? g - e : e - g;
+  if (d <= frac * e) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << measured << " bytes is off the expected " << expected << " by "
+         << d << " bytes (" << (e > 0 ? 100.0 * d / e : 0.0) << "%, tol "
+         << frac * 100 << "%)";
+}
+
+/// Byte count inside the closed band [lo, hi].
+inline ::testing::AssertionResult bytes_in_band(std::uint64_t measured,
+                                                std::uint64_t lo,
+                                                std::uint64_t hi) {
+  if (measured >= lo && measured <= hi) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << measured << " bytes is outside [" << lo << ", " << hi << "]";
+}
+
+}  // namespace papisim::test_support
