@@ -29,6 +29,7 @@
 #include "probe/report.hpp"
 #include "sim/machine.hpp"
 #include "sim/thread_pool.hpp"
+#include "spe/collector.hpp"
 
 using namespace papisim;
 
@@ -171,6 +172,36 @@ static void BM_ParallelGemmReplay(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelGemmReplay)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
+// The sequential copy loop with per-access sampling attached; Arg is the
+// sampling period.  Compare against BM_SequentialLoopReplay for the hook's
+// end-to-end overhead (skip path at 1024, record-heavy at 64).
+static void BM_SpeSampledReplay(benchmark::State& state) {
+  sim::Machine m(sim::MachineConfig::summit());
+  m.set_noise_enabled(false);
+  spe::SpeConfig cfg;
+  cfg.period = static_cast<std::uint64_t>(state.range(0));
+  spe::SpeCollector collector(m, cfg);
+  sim::LoopDesc loop;
+  loop.iterations = 1 << 16;
+  loop.streams = {{1 << 20, 8, 8, sim::AccessKind::Load},
+                  {1 << 26, 8, 8, sim::AccessKind::Store}};
+  std::uint64_t touches = 0;
+  std::vector<spe::Sample> drained;
+  for (auto _ : state) {
+    touches += m.engine(0, 0).execute(loop).line_touches;
+    drained.clear();
+    collector.drain_into(drained);  // keep the ring from saturating
+    benchmark::DoNotOptimize(drained.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(touches));
+  state.counters["period"] = static_cast<double>(cfg.period);
+  state.counters["samples"] =
+      static_cast<double>(collector.totals().samples);
+  state.counters["Mtouches/s"] = benchmark::Counter(
+      static_cast<double>(touches) * 1e-6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SpeSampledReplay)->Arg(1024)->Arg(64);
+
 static void BM_ResortReplay(benchmark::State& state) {
   sim::Machine m(sim::MachineConfig::summit());
   m.set_noise_enabled(false);
@@ -216,6 +247,34 @@ double sequential_accesses_per_sec(double budget_sec) {
   return static_cast<double>(touches) / elapsed;
 }
 
+/// The same copy loop with an SpeCollector attached at `period`; reports
+/// accesses/sec and the sample/drop totals so the JSON captures both the
+/// throughput tax and the sampling yield.
+double spe_accesses_per_sec(std::uint64_t period, double budget_sec,
+                            spe::SpeCollector::Totals* totals) {
+  sim::Machine m(sim::MachineConfig::summit());
+  m.set_noise_enabled(false);
+  spe::SpeConfig cfg;
+  cfg.period = period;
+  spe::SpeCollector collector(m, cfg);
+  sim::LoopDesc loop;
+  loop.iterations = 1 << 16;
+  loop.streams = {{1 << 20, 8, 8, sim::AccessKind::Load},
+                  {1 << 26, 8, 8, sim::AccessKind::Store}};
+  std::uint64_t touches = 0;
+  std::vector<spe::Sample> drained;
+  const auto t0 = BenchClock::now();
+  double elapsed = 0.0;
+  do {
+    touches += m.engine(0, 0).execute(loop).line_touches;
+    drained.clear();
+    collector.drain_into(drained);
+    elapsed = seconds_since(t0);
+  } while (elapsed < budget_sec);
+  if (totals != nullptr) *totals = collector.totals();
+  return static_cast<double>(touches) / elapsed;
+}
+
 /// Batched literal GEMM replay on `threads` host threads, accesses/sec.
 double parallel_accesses_per_sec(std::uint32_t threads, double budget_sec) {
   sim::Machine m(sim::MachineConfig::summit());
@@ -258,6 +317,15 @@ int emit_bench_json(const std::string& path) {
   const double seq = sequential_accesses_per_sec(0.25);
   const double par8 = parallel_accesses_per_sec(8, 0.5);
 
+  spe::SpeCollector::Totals spe_1024, spe_64;
+  const double seq_spe_1024 =
+      spe::kEnabled ? spe_accesses_per_sec(1024, 0.25, &spe_1024) : 0.0;
+  const double seq_spe_64 =
+      spe::kEnabled ? spe_accesses_per_sec(64, 0.25, &spe_64) : 0.0;
+  const auto overhead_pct = [&](double with_spe) {
+    return seq > 0 && with_spe > 0 ? (seq / with_spe - 1.0) * 100.0 : 0.0;
+  };
+
   probe::ProbeOptions curated;
   const auto t_curated = BenchClock::now();
   const auto curated_reports = probe::run_all_probes(curated);
@@ -281,6 +349,18 @@ int emit_bench_json(const std::string& path) {
       << ",\n";
   out << "    \"parallel_gemm_replay_8t\": " << static_cast<std::uint64_t>(par8)
       << "\n  },\n";
+  out << "  \"spe\": {\n";
+  out << "    \"enabled\": " << (spe::kEnabled ? "true" : "false") << ",\n";
+  out << "    \"sequential_replay_period_1024\": "
+      << static_cast<std::uint64_t>(seq_spe_1024) << ",\n";
+  out << "    \"sequential_replay_period_64\": "
+      << static_cast<std::uint64_t>(seq_spe_64) << ",\n";
+  out << "    \"overhead_pct_period_1024\": " << overhead_pct(seq_spe_1024)
+      << ",\n";
+  out << "    \"overhead_pct_period_64\": " << overhead_pct(seq_spe_64)
+      << ",\n";
+  out << "    \"samples_period_64\": " << spe_64.samples << ",\n";
+  out << "    \"drops_period_64\": " << spe_64.drops << "\n  },\n";
   out << "  \"probe_grid\": {\n";
   out << "    \"curated_wall_ms\": " << curated_ms << ",\n";
   out << "    \"curated_confirmed\": "

@@ -12,11 +12,21 @@
 //   * sparse stores (3 loads/store)  -> density too low to stream: 4 reads
 //
 // Build & run:  ./build/examples/stride_explorer
+//
+// With --spe, each scenario also runs with a per-access sampler attached
+// (period 1/64) and prints its top-3 hot address buckets -- the same
+// footprint machinery papisim-analyze --footprint uses, minus the phase
+// segmentation (one window covering the whole replay).
 #include <cstdio>
+#include <limits>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "analysis/footprint.hpp"
 #include "sim/machine.hpp"
+#include "spe/collector.hpp"
 
 using namespace papisim;
 
@@ -28,10 +38,40 @@ struct Scenario {
   std::uint64_t payload_bytes;
 };
 
-void run(const Scenario& s) {
+void print_footprint(const spe::SpeCollector& collector,
+                     const std::vector<spe::Sample>& samples) {
+  const std::vector<analysis::PhaseWindow> all = {
+      {"all", 0.0, std::numeric_limits<double>::max()}};
+  analysis::FootprintConfig cfg;
+  cfg.period = collector.period();
+  cfg.top_k = 3;
+  const analysis::FootprintReport fp = analysis::footprint(samples, all, cfg);
+  if (fp.phases.empty() || fp.phases[0].buckets.empty()) {
+    std::printf("    (no samples)\n");
+    return;
+  }
+  const analysis::PhaseFootprint& ph = fp.phases[0];
+  for (const analysis::FootprintBucket& b : ph.buckets) {
+    std::printf("    hot 0x%08llx+%lluKiB  %-10s %5.1f%%  (~%llu KiB touched)\n",
+                static_cast<unsigned long long>(b.base),
+                static_cast<unsigned long long>(cfg.bucket_bytes >> 10),
+                spe::to_string(b.dominant_level()),
+                100.0 * static_cast<double>(b.samples) /
+                    static_cast<double>(ph.samples),
+                static_cast<unsigned long long>(b.est_bytes / 1024.0));
+  }
+}
+
+void run(const Scenario& s, bool with_spe) {
   sim::Machine machine(sim::MachineConfig::summit());
   machine.set_noise_enabled(false);
   machine.set_active_cores(0, machine.cores_per_socket());
+  std::optional<spe::SpeCollector> collector;
+  if (with_spe) {
+    spe::SpeConfig spe_cfg;
+    spe_cfg.period = 64;
+    collector.emplace(machine, spe_cfg);
+  }
   machine.engine(0, 0).execute(s.loop);
   machine.flush_socket(0);
   const double reads =
@@ -40,11 +80,20 @@ void run(const Scenario& s) {
       static_cast<double>(machine.memctrl(0).total_bytes(sim::MemDir::Write));
   std::printf("%-34s %12.2f %12.2f\n", s.name.c_str(),
               reads / s.payload_bytes, writes / s.payload_bytes);
+  if (collector) print_footprint(*collector, collector->drain());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool with_spe = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--spe") with_spe = true;
+  }
+  if (with_spe && !spe::kEnabled) {
+    std::printf("note: spe sampling compiled out (PAPISIM_SPE=OFF); "
+                "footprints will be empty\n");
+  }
   constexpr std::uint64_t kElems = 1 << 21;  // 16 MB payload per stream
   constexpr std::uint64_t kBytes = kElems * 8;
   // Fixed simulated addresses; each scenario uses a fresh machine.
@@ -91,7 +140,7 @@ int main() {
               static_cast<unsigned long long>(kElems));
   std::printf("%-34s %12s %12s\n", "scenario", "reads/elem", "writes/elem");
   std::printf("%s\n", std::string(60, '-').c_str());
-  for (const Scenario& s : scenarios) run(s);
+  for (const Scenario& s : scenarios) run(s, with_spe);
 
   std::printf(
       "\nReads/elem > 1 means the store target was read from memory first\n"

@@ -1,0 +1,232 @@
+#include "analysis/footprint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "core/json_util.hpp"
+
+namespace papisim::analysis {
+
+namespace {
+
+std::string hex(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string size_str(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes >= (1ull << 20) && bytes % (1ull << 20) == 0) {
+    std::snprintf(buf, sizeof(buf), "%lluMiB",
+                  static_cast<unsigned long long>(bytes >> 20));
+  } else if (bytes >= 1024 && bytes % 1024 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lluKiB",
+                  static_cast<unsigned long long>(bytes >> 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluB",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace
+
+spe::HitLevel FootprintBucket::dominant_level() const {
+  std::size_t best = 0;
+  for (std::size_t l = 1; l < spe::kNumHitLevels; ++l) {
+    if (levels[l] > levels[best]) best = l;
+  }
+  return static_cast<spe::HitLevel>(best);
+}
+
+std::vector<PhaseWindow> phase_windows(const Segmentation& seg) {
+  std::vector<PhaseWindow> out;
+  out.reserve(seg.num_segments());
+  for (std::size_t s = 0; s < seg.num_segments(); ++s) {
+    out.push_back({seg.labels[s], seg.features[s].t0_sec, seg.features[s].t1_sec});
+  }
+  return out;
+}
+
+FootprintReport footprint(std::span<const spe::Sample> samples,
+                          std::span<const PhaseWindow> windows,
+                          const FootprintConfig& cfg) {
+  FootprintReport report;
+  report.config = cfg;
+  if (report.config.bucket_bytes == 0) report.config.bucket_bytes = 64 * 1024;
+  report.total_samples = samples.size();
+
+  // Bucket maps keyed by bucket index, one per window.  std::map keeps the
+  // full aggregation deterministic (iteration in base order) before the
+  // top-k cut.
+  std::vector<std::map<std::uint64_t, FootprintBucket>> agg(windows.size());
+  std::vector<std::uint64_t> window_samples(windows.size(), 0);
+
+  const double bytes_per_sample =
+      static_cast<double>(report.config.period) *
+      static_cast<double>(report.config.line_bytes);
+
+  for (const spe::Sample& s : samples) {
+    const double t_sec = static_cast<double>(s.time_ns) * 1e-9;
+    std::size_t w = windows.size();
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      const bool last = i + 1 == windows.size();
+      if (t_sec >= windows[i].t0_sec &&
+          (t_sec < windows[i].t1_sec || (last && t_sec <= windows[i].t1_sec))) {
+        w = i;
+        break;
+      }
+    }
+    if (w == windows.size()) {
+      ++report.unattributed_samples;
+      continue;
+    }
+    ++window_samples[w];
+    const std::uint64_t idx = s.addr / report.config.bucket_bytes;
+    FootprintBucket& b = agg[w][idx];
+    b.base = idx * report.config.bucket_bytes;
+    ++b.samples;
+    (s.kind == spe::AccessKind::Load ? b.loads : b.stores) += 1;
+    ++b.levels[static_cast<std::size_t>(s.level)];
+    b.est_bytes += bytes_per_sample;
+  }
+
+  report.phases.reserve(windows.size());
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    PhaseFootprint pf;
+    pf.label = windows[w].label;
+    pf.t0_sec = windows[w].t0_sec;
+    pf.t1_sec = windows[w].t1_sec;
+    pf.samples = window_samples[w];
+    std::vector<FootprintBucket> buckets;
+    buckets.reserve(agg[w].size());
+    for (const auto& [idx, b] : agg[w]) buckets.push_back(b);
+    std::stable_sort(buckets.begin(), buckets.end(),
+                     [](const FootprintBucket& a, const FootprintBucket& b) {
+                       if (a.samples != b.samples) return a.samples > b.samples;
+                       return a.base < b.base;
+                     });
+    const std::size_t keep = std::min(buckets.size(), report.config.top_k);
+    for (std::size_t i = keep; i < buckets.size(); ++i) {
+      pf.other_samples += buckets[i].samples;
+    }
+    buckets.resize(keep);
+    pf.buckets = std::move(buckets);
+    report.phases.push_back(std::move(pf));
+  }
+  return report;
+}
+
+void write_footprint_text(std::ostream& os, const FootprintReport& report) {
+  os << "hot footprint: bucket=" << size_str(report.config.bucket_bytes)
+     << " period=1/" << report.config.period
+     << " samples=" << report.total_samples
+     << " unattributed=" << report.unattributed_samples << "\n";
+  for (const PhaseFootprint& pf : report.phases) {
+    char hdr[160];
+    std::snprintf(hdr, sizeof(hdr), "%s [%.2f ms .. %.2f ms] %llu samples",
+                  pf.label.c_str(), pf.t0_sec * 1e3, pf.t1_sec * 1e3,
+                  static_cast<unsigned long long>(pf.samples));
+    os << "\n" << hdr << "\n";
+    if (pf.buckets.empty()) {
+      os << "  (no samples)\n";
+      continue;
+    }
+    const std::vector<std::string> headers = {"bucket",  "samples", "share",
+                                              "loads",   "stores",  "l3_hit",
+                                              "victim",  "memory",  "bypass",
+                                              "est_MB"};
+    std::vector<std::vector<std::string>> rows;
+    for (const FootprintBucket& b : pf.buckets) {
+      char share[16], mb[24];
+      std::snprintf(share, sizeof(share), "%.1f%%",
+                    pf.samples > 0
+                        ? 100.0 * static_cast<double>(b.samples) /
+                              static_cast<double>(pf.samples)
+                        : 0.0);
+      std::snprintf(mb, sizeof(mb), "%.2f", b.est_bytes / 1e6);
+      rows.push_back({hex(b.base), std::to_string(b.samples), share,
+                      std::to_string(b.loads), std::to_string(b.stores),
+                      std::to_string(b.levels[0]), std::to_string(b.levels[1]),
+                      std::to_string(b.levels[2]), std::to_string(b.levels[3]),
+                      mb});
+    }
+    if (pf.other_samples > 0) {
+      rows.push_back({"(other)", std::to_string(pf.other_samples), "", "", "",
+                      "", "", "", "", ""});
+    }
+    std::vector<std::size_t> width(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c) {
+      width[c] = headers[c].size();
+    }
+    for (const auto& row : rows) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < headers.size(); ++c) {
+        os << "  " << cells[c] << std::string(width[c] - cells[c].size(), ' ');
+      }
+      os << '\n';
+    };
+    line(headers);
+    for (const auto& row : rows) line(row);
+  }
+}
+
+void write_footprint_json(std::ostream& os, const FootprintReport& report) {
+  os << "{\"bucket_bytes\":" << report.config.bucket_bytes
+     << ",\"period\":" << report.config.period
+     << ",\"line_bytes\":" << report.config.line_bytes
+     << ",\"total_samples\":" << report.total_samples
+     << ",\"unattributed_samples\":" << report.unattributed_samples
+     << ",\"phases\":[";
+  for (std::size_t p = 0; p < report.phases.size(); ++p) {
+    const PhaseFootprint& pf = report.phases[p];
+    if (p) os << ',';
+    os << "\n{\"label\":\"" << json_escape(pf.label)
+       << "\",\"t0_sec\":" << pf.t0_sec << ",\"t1_sec\":" << pf.t1_sec
+       << ",\"samples\":" << pf.samples
+       << ",\"other_samples\":" << pf.other_samples << ",\"buckets\":[";
+    for (std::size_t i = 0; i < pf.buckets.size(); ++i) {
+      const FootprintBucket& b = pf.buckets[i];
+      if (i) os << ',';
+      os << "\n {\"base\":" << b.base << ",\"base_hex\":\"" << hex(b.base)
+         << "\",\"samples\":" << b.samples << ",\"loads\":" << b.loads
+         << ",\"stores\":" << b.stores;
+      for (std::size_t l = 0; l < spe::kNumHitLevels; ++l) {
+        os << ",\"" << spe::to_string(static_cast<spe::HitLevel>(l))
+           << "\":" << b.levels[l];
+      }
+      os << ",\"est_bytes\":" << b.est_bytes << "}";
+    }
+    os << "]}";
+  }
+  os << "]}";
+}
+
+std::vector<TraceSpan> footprint_trace_spans(const FootprintReport& report,
+                                             std::size_t max_ranks) {
+  std::vector<TraceSpan> out;
+  for (const PhaseFootprint& pf : report.phases) {
+    const std::size_t ranks = std::min(pf.buckets.size(), max_ranks);
+    for (std::size_t r = 0; r < ranks; ++r) {
+      const FootprintBucket& b = pf.buckets[r];
+      char name[128];
+      std::snprintf(name, sizeof(name), "%s+%s %s %.0f%%", hex(b.base).c_str(),
+                    size_str(report.config.bucket_bytes).c_str(),
+                    spe::to_string(b.dominant_level()),
+                    pf.samples > 0 ? 100.0 * static_cast<double>(b.samples) /
+                                         static_cast<double>(pf.samples)
+                                   : 0.0);
+      out.push_back({name, pf.t0_sec, pf.t1_sec,
+                     "footprint#" + std::to_string(r + 1)});
+    }
+  }
+  return out;
+}
+
+}  // namespace papisim::analysis

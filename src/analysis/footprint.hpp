@@ -1,0 +1,99 @@
+// Hot-footprint attribution (DESIGN.md §3g): join the SPE sample stream
+// against phase boundaries and aggregate per phase into an address-bucket
+// histogram -- which address ranges a phase actually touched, where those
+// touches were satisfied (L3 / victim / memory / bypass), and roughly how
+// many bytes each range accounts for.  This is the per-access complement of
+// the per-phase traffic integrals in report.hpp: attribute() says a phase
+// moved 3 GB; the footprint says 90% of it came from one 64 KiB array.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/pipeline.hpp"
+#include "core/trace_export.hpp"
+#include "spe/ring.hpp"
+
+namespace papisim::analysis {
+
+/// One labeled time interval samples are attributed to.  Built from an
+/// inferred Segmentation (phase_windows) or handed in directly by tests
+/// and tools that know their ground-truth boundaries.
+struct PhaseWindow {
+  std::string label;
+  double t0_sec = 0;
+  double t1_sec = 0;  ///< exclusive upper edge (last window: inclusive)
+};
+
+/// The inferred segments as attribution windows.
+std::vector<PhaseWindow> phase_windows(const Segmentation& seg);
+
+struct FootprintConfig {
+  /// Address-bucket granularity; addresses are grouped by addr / bucket_bytes.
+  std::uint64_t bucket_bytes = 64 * 1024;
+  /// Buckets kept per phase (by sample count, descending); the rest folds
+  /// into PhaseFootprint::other_samples.
+  std::size_t top_k = 8;
+  /// Sampling period the stream was recorded at; scales est_bytes.
+  std::uint64_t period = 1024;
+  /// Cache-line size of the machine that produced the stream.
+  std::uint64_t line_bytes = 64;
+};
+
+/// One address bucket's aggregate within one phase.
+struct FootprintBucket {
+  std::uint64_t base = 0;  ///< first byte address of the bucket
+  std::uint64_t samples = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  /// Per-hit-level sample counts, indexed by spe::HitLevel.
+  std::uint64_t levels[spe::kNumHitLevels] = {};
+  /// samples * period * line_bytes: the line traffic the samples stand for.
+  double est_bytes = 0;
+
+  spe::HitLevel dominant_level() const;
+};
+
+struct PhaseFootprint {
+  std::string label;
+  double t0_sec = 0;
+  double t1_sec = 0;
+  std::uint64_t samples = 0;        ///< all samples attributed to this phase
+  std::uint64_t other_samples = 0;  ///< in buckets beyond top_k
+  std::vector<FootprintBucket> buckets;  ///< top_k, descending by samples
+};
+
+struct FootprintReport {
+  FootprintConfig config;
+  std::uint64_t total_samples = 0;         ///< size of the input stream
+  std::uint64_t unattributed_samples = 0;  ///< outside every window
+  std::vector<PhaseFootprint> phases;      ///< window order preserved
+};
+
+/// Aggregate a drained sample stream against the windows.  Sample times are
+/// virtual nanoseconds (spe::Sample::time_ns); windows are seconds on the
+/// same virtual clock.  Deterministic: bucket order is (samples desc, base
+/// asc), independent of input order beyond the per-core FIFO the collector
+/// guarantees.
+FootprintReport footprint(std::span<const spe::Sample> samples,
+                          std::span<const PhaseWindow> windows,
+                          const FootprintConfig& cfg = {});
+
+/// Aligned text table: one block per phase, one row per top bucket.
+void write_footprint_text(std::ostream& os, const FootprintReport& report);
+
+/// The report as one JSON object (the "footprint" section of the v2 report
+/// schema; also valid standalone).
+void write_footprint_json(std::ostream& os, const FootprintReport& report);
+
+/// Per-phase hot buckets as rank tracks ("footprint#1" .. "footprint#K",
+/// K <= max_ranks) for write_chrome_trace: rank r's span over a phase names
+/// that phase's r-th hottest bucket, its dominant hit level and its sample
+/// share, so the hot addresses read as a timeline next to the counter rows.
+std::vector<TraceSpan> footprint_trace_spans(const FootprintReport& report,
+                                             std::size_t max_ranks = 3);
+
+}  // namespace papisim::analysis

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "analysis/footprint.hpp"
 #include "core/json_util.hpp"
 
 namespace papisim::analysis {
@@ -127,8 +128,9 @@ void write_report_text(std::ostream& os,
 }
 
 void write_report_json(std::ostream& os, const Timeline& tl,
-                       std::span<const PhaseAttribution> report) {
-  os << "{\"columns\":[";
+                       std::span<const PhaseAttribution> report,
+                       const FootprintReport* footprint) {
+  os << "{\"schema_version\":" << kReportSchemaVersion << ",\n\"columns\":[";
   for (std::size_t c = 0; c < tl.columns.size(); ++c) {
     if (c) os << ',';
     os << '"' << json_escape(tl.columns[c]) << '"';
@@ -143,7 +145,12 @@ void write_report_json(std::ostream& os, const Timeline& tl,
        << ",\"net_bytes\":" << a.net_bytes << ",\"energy_j\":" << a.energy_j
        << ",\"selfmon_share\":" << a.selfmon_share << "}";
   }
-  os << "\n]}\n";
+  os << "\n]";
+  if (footprint != nullptr) {
+    os << ",\n\"footprint\":";
+    write_footprint_json(os, *footprint);
+  }
+  os << "}\n";
 }
 
 }  // namespace papisim::analysis

@@ -12,6 +12,13 @@
 
 namespace papisim::analysis {
 
+struct FootprintReport;
+
+/// Version of the JSON document write_report_json emits.  v2 added the
+/// "schema_version" field itself and the optional "footprint" section;
+/// v1 documents are exactly v2 minus those two keys.
+inline constexpr int kReportSchemaVersion = 2;
+
 struct PhaseAttribution {
   std::string label;
   double t0_sec = 0, t1_sec = 0, dur_sec = 0;
@@ -32,10 +39,13 @@ std::vector<PhaseAttribution> attribute(const Timeline& timeline,
 void write_report_text(std::ostream& os,
                        std::span<const PhaseAttribution> report);
 
-/// JSON document: {"columns": [...], "segments": [...]} with one object per
-/// segment (label, interval, traffic, energy, overhead share).  All strings
-/// pass through json_escape.
+/// JSON document: {"schema_version": 2, "columns": [...], "segments": [...]}
+/// with one object per segment (label, interval, traffic, energy, overhead
+/// share).  When `footprint` is non-null a "footprint" key carries the
+/// hot-footprint section (write_footprint_json's object).  All strings pass
+/// through json_escape.
 void write_report_json(std::ostream& os, const Timeline& timeline,
-                       std::span<const PhaseAttribution> report);
+                       std::span<const PhaseAttribution> report,
+                       const FootprintReport* footprint = nullptr);
 
 }  // namespace papisim::analysis

@@ -1,0 +1,107 @@
+#include "components/spe_component.hpp"
+
+namespace papisim::components {
+
+namespace {
+
+struct EventDesc {
+  std::string_view name;
+  std::string_view description;
+  std::string_view units;
+  bool instantaneous;
+};
+
+/// Index order matches SpeComponent::Which.
+constexpr EventDesc kSpeEvents[] = {
+    {"samples", "precise-event samples recorded into per-core rings",
+     "samples", false},
+    {"drops", "samples dropped by a full per-core ring (backpressure)",
+     "samples", false},
+    {"accesses", "line touches observed by attached samplers", "accesses",
+     false},
+    {"period", "configured mean accesses per sample (1-in-N)", "accesses",
+     true},
+};
+
+}  // namespace
+
+struct SpeComponent::State : ControlState {
+  std::vector<Which> events;
+  /// Start snapshot: counters report deltas against it.
+  spe::SpeCollector::Totals start;
+};
+
+std::optional<SpeComponent::Which> SpeComponent::resolve(
+    std::string_view native) {
+  for (std::size_t i = 0; i < std::size(kSpeEvents); ++i) {
+    if (native == kSpeEvents[i].name) return static_cast<Which>(i);
+  }
+  return std::nullopt;
+}
+
+std::vector<EventInfo> SpeComponent::events() const {
+  std::vector<EventInfo> out;
+  for (const EventDesc& e : kSpeEvents) {
+    out.push_back({"spe:::" + std::string(e.name), std::string(e.description),
+                   std::string(e.units), e.instantaneous});
+  }
+  return out;
+}
+
+bool SpeComponent::knows_event(std::string_view native) const {
+  return resolve(native).has_value();
+}
+bool SpeComponent::is_instantaneous(std::string_view native) const {
+  const auto w = resolve(native);
+  return w.has_value() && *w == Which::Period;
+}
+
+std::unique_ptr<ControlState> SpeComponent::create_state() {
+  return std::make_unique<State>();
+}
+
+void SpeComponent::add_event(ControlState& state, std::string_view native) {
+  const auto w = resolve(native);
+  if (!w) {
+    throw Error(Status::NoEvent,
+                "spe: unknown event '" + std::string(native) + "'");
+  }
+  static_cast<State&>(state).events.push_back(*w);
+}
+
+std::size_t SpeComponent::num_events(const ControlState& state) const {
+  return static_cast<const State&>(state).events.size();
+}
+
+void SpeComponent::start(ControlState& state) {
+  static_cast<State&>(state).start = totals();
+}
+
+void SpeComponent::stop(ControlState& /*state*/) {}
+
+void SpeComponent::read(ControlState& state, std::span<long long> out) {
+  auto& st = static_cast<State&>(state);
+  const spe::SpeCollector::Totals now = totals();
+  for (std::size_t i = 0; i < st.events.size(); ++i) {
+    switch (st.events[i]) {
+      case Which::Samples:
+        out[i] = static_cast<long long>(now.samples - st.start.samples);
+        break;
+      case Which::Drops:
+        out[i] = static_cast<long long>(now.drops - st.start.drops);
+        break;
+      case Which::Accesses:
+        out[i] = static_cast<long long>(now.accesses - st.start.accesses);
+        break;
+      case Which::Period:
+        out[i] = collector_ != nullptr
+                     ? static_cast<long long>(collector_->period())
+                     : 0;
+        break;
+    }
+  }
+}
+
+void SpeComponent::reset(ControlState& state) { start(state); }
+
+}  // namespace papisim::components

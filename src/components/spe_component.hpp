@@ -1,0 +1,77 @@
+// SPE component: the precise-event sampling engine (src/spe) exposed through
+// the same multi-component API as the hardware-domain components.  The
+// per-sample payload stays in the collector's rings (drained by the
+// hot-footprint analysis); what the component carries is the sampling
+// *accounting* -- how many samples were taken, how many were dropped under
+// backpressure, how many accesses the samplers observed -- so a Sampler
+// timeline can plot sample and drop rates next to pcp/nest columns, and the
+// configured period rides along as a gauge.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/component.hpp"
+#include "spe/collector.hpp"
+
+namespace papisim::components {
+
+/// Event name grammar:
+///   spe:::samples    counter  samples recorded into the rings since start
+///   spe:::drops      counter  samples rejected by a full ring since start
+///   spe:::accesses   counter  line touches observed by attached samplers
+///   spe:::period     gauge    configured mean accesses-per-sample (1-in-N)
+/// The component registers as disabled when the instrumentation was compiled
+/// out (-DPAPISIM_SPE=OFF), mirroring PAPI's disabled_reason.  Without an
+/// attached collector every event reads 0.
+class SpeComponent : public Component {
+ public:
+  explicit SpeComponent(spe::SpeCollector* collector = nullptr)
+      : collector_(collector) {}
+
+  /// Swap the backing collector (nullptr detaches).  Event sets keep
+  /// working; counters report deltas against their start() snapshot, so
+  /// re-start after swapping to avoid mixing collectors' totals.
+  void set_collector(spe::SpeCollector* collector) { collector_ = collector; }
+  spe::SpeCollector* collector() const { return collector_; }
+
+  std::string name() const override { return "spe"; }
+  std::string description() const override {
+    return "Precise-event sampling accounting: per-access sample/drop/"
+           "access totals and the configured 1-in-N period";
+  }
+  std::string disabled_reason() const override {
+    return spe::kEnabled
+               ? std::string{}
+               : "spe sampling compiled out (PAPISIM_SPE=OFF)";
+  }
+
+  std::vector<EventInfo> events() const override;
+  bool knows_event(std::string_view native) const override;
+  bool is_instantaneous(std::string_view native) const override;
+
+  std::unique_ptr<ControlState> create_state() override;
+  void add_event(ControlState& state, std::string_view native) override;
+  std::size_t num_events(const ControlState& state) const override;
+  void start(ControlState& state) override;
+  void stop(ControlState& state) override;
+  void read(ControlState& state, std::span<long long> out) override;
+  void reset(ControlState& state) override;
+
+ private:
+  enum class Which : std::uint8_t { Samples, Drops, Accesses, Period };
+  struct State;
+
+  static std::optional<Which> resolve(std::string_view native);
+  spe::SpeCollector::Totals totals() const {
+    return collector_ != nullptr ? collector_->totals()
+                                 : spe::SpeCollector::Totals{};
+  }
+
+  spe::SpeCollector* collector_ = nullptr;
+
+  friend struct State;
+};
+
+}  // namespace papisim::components

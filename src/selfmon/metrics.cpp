@@ -30,6 +30,11 @@ constexpr MetricInfo kCounterInfo[kNumCounters] = {
     {"runner.reps", "kernel repetitions executed by KernelRunner", "reps"},
     {"runner.reps_replayed",
      "repetitions served from the recorded traffic fast path", "reps"},
+    {"spe.samples", "precise-event samples recorded into per-core SPE rings",
+     "samples"},
+    {"spe.drops",
+     "precise-event samples dropped because a per-core SPE ring was full",
+     "samples"},
 };
 
 constexpr MetricInfo kGaugeInfo[kNumGauges] = {

@@ -58,6 +58,8 @@ enum class CounterId : std::uint16_t {
   SamplerRows,             ///< timeline rows recorded by Sampler::sample()
   RunnerReps,              ///< kernel repetitions executed (simulated or replayed)
   RunnerRepsReplayed,      ///< repetitions served from the recorded fast path
+  SpeSamples,              ///< precise-event samples recorded into per-core rings
+  SpeDrops,                ///< SPE samples dropped by a full ring (backpressure)
   kCount,
 };
 

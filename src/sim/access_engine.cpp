@@ -38,6 +38,15 @@ void AccessEngine::account(LoopStats& s, L3Fabric::Source src) {
 
 namespace {
 
+spe::HitLevel spe_level(L3Fabric::Source src) {
+  switch (src) {
+    case L3Fabric::Source::L3Hit: return spe::HitLevel::L3Hit;
+    case L3Fabric::Source::VictimHit: return spe::HitLevel::VictimHit;
+    case L3Fabric::Source::Memory: return spe::HitLevel::Memory;
+  }
+  return spe::HitLevel::Memory;
+}
+
 /// First iteration > `cur_iter` at which the affine stream touches a line
 /// different from `cur_line`, or UINT64_MAX for stride 0.
 std::uint64_t next_line_iter(std::uint64_t base, std::int64_t stride,
@@ -124,6 +133,12 @@ LoopStats AccessEngine::execute(const LoopDesc& loop) {
   // concurrently replaying cores cannot pollute each other's stats.
   L3Fabric::Traffic traffic;
 
+  // Precise-event sampling (DESIGN.md §3g): one timestamp per execute() --
+  // samples are joined against phase boundaries, which are orders of
+  // magnitude coarser than a loop replay.
+  spe::CoreSampler* const spe = spe::kEnabled ? spe_ : nullptr;
+  const std::uint64_t spe_t_ns = spe != nullptr ? spe_time_ns() : 0;
+
   // Per-stream replay cursors: the iteration of the next new-line touch.
   std::uint64_t next_iter[16];
   for (std::size_t k = 0; k < n; ++k) next_iter[k] = 0;
@@ -152,11 +167,16 @@ LoopStats AccessEngine::execute(const LoopDesc& loop) {
     }
     ++stats.line_touches;
 
+    L3Fabric::Source src = L3Fabric::Source::Memory;
+    bool bypassed = false;
     if (sd.kind == AccessKind::Load) {
-      account(stats, l3_.load_line(core_, touched_line, &traffic));
+      src = l3_.load_line(core_, touched_line, &traffic);
+      account(stats, src);
     } else if (loop.sw_prefetch) {
       // dcbtst: prefetch the target line into L3, then the store hits it.
-      account(stats, l3_.prefetch_line(core_, touched_line, &traffic));
+      // The sample's hit level reports where the prefetch found the line.
+      src = l3_.prefetch_line(core_, touched_line, &traffic);
+      account(stats, src);
       l3_.store_line(core_, touched_line, &traffic);
       ++stats.allocated_store_lines;
     } else if (bypass_ok[k] && strided_active == 0) {
@@ -164,9 +184,21 @@ LoopStats AccessEngine::execute(const LoopDesc& loop) {
       mem_.add_line(touched_line, MemDir::Write);
       ++traffic.write_lines;
       ++stats.bypassed_store_lines;
+      bypassed = true;
     } else {
-      account(stats, l3_.store_line(core_, touched_line, &traffic));
+      src = l3_.store_line(core_, touched_line, &traffic);
+      account(stats, src);
       ++stats.allocated_store_lines;
+    }
+
+    if constexpr (spe::kEnabled) {
+      if (spe != nullptr) {
+        spe->on_access(addr,
+                       sd.kind == AccessKind::Load ? spe::AccessKind::Load
+                                                   : spe::AccessKind::Store,
+                       bypassed ? spe::HitLevel::Bypass : spe_level(src),
+                       sd.stride, spe_t_ns);
+      }
     }
 
     switch (stride_mode[k]) {
@@ -221,9 +253,18 @@ void AccessEngine::load(std::uint64_t addr, std::uint32_t bytes) {
   const std::uint64_t first = addr / cfg_.line_bytes;
   const std::uint64_t last = (addr + bytes - 1) / cfg_.line_bytes;
   L3Fabric::Traffic traffic;
+  spe::CoreSampler* const spe = spe::kEnabled ? spe_ : nullptr;
+  const std::uint64_t spe_t_ns = spe != nullptr ? spe_time_ns() : 0;
   for (std::uint64_t line = first; line <= last; ++line) {
-    account(scalar_stats_, l3_.load_line(core_, line, &traffic));
+    const L3Fabric::Source src = l3_.load_line(core_, line, &traffic);
+    account(scalar_stats_, src);
     ++scalar_stats_.line_touches;
+    if constexpr (spe::kEnabled) {
+      if (spe != nullptr) {
+        spe->on_access(std::max(addr, line * cfg_.line_bytes),
+                       spe::AccessKind::Load, spe_level(src), 0, spe_t_ns);
+      }
+    }
   }
   scalar_stats_.mem_read_bytes += traffic.read_lines * cfg_.line_bytes;
 }
@@ -232,10 +273,19 @@ void AccessEngine::store(std::uint64_t addr, std::uint32_t bytes) {
   const std::uint64_t first = addr / cfg_.line_bytes;
   const std::uint64_t last = (addr + bytes - 1) / cfg_.line_bytes;
   L3Fabric::Traffic traffic;
+  spe::CoreSampler* const spe = spe::kEnabled ? spe_ : nullptr;
+  const std::uint64_t spe_t_ns = spe != nullptr ? spe_time_ns() : 0;
   for (std::uint64_t line = first; line <= last; ++line) {
-    account(scalar_stats_, l3_.store_line(core_, line, &traffic));
+    const L3Fabric::Source src = l3_.store_line(core_, line, &traffic);
+    account(scalar_stats_, src);
     ++scalar_stats_.line_touches;
     ++scalar_stats_.allocated_store_lines;
+    if constexpr (spe::kEnabled) {
+      if (spe != nullptr) {
+        spe->on_access(std::max(addr, line * cfg_.line_bytes),
+                       spe::AccessKind::Store, spe_level(src), 0, spe_t_ns);
+      }
+    }
   }
   scalar_stats_.mem_read_bytes += traffic.read_lines * cfg_.line_bytes;
   scalar_stats_.mem_write_bytes += traffic.write_lines * cfg_.line_bytes;

@@ -9,6 +9,7 @@
 #include "sim/l3fabric.hpp"
 #include "sim/memctrl.hpp"
 #include "sim/noise.hpp"
+#include "spe/ring.hpp"
 
 namespace papisim::sim {
 
@@ -125,6 +126,15 @@ class AccessEngine {
   /// Monotonic activity totals since construction.
   const CoreCounters& counters() const { return counters_; }
 
+  /// Attach/detach a precise-event sampler (DESIGN.md §3g).  When attached,
+  /// every demand line touch (loop replay and scalar accesses; software
+  /// prefetches excluded) is offered to the sampler, which records 1-in-N of
+  /// them.  Compiled out entirely under PAPISIM_SPE=OFF.  The sampler must
+  /// outlive any replay that runs while attached; attach/detach only while
+  /// this core is quiescent (same contract as set_deferred_time).
+  void set_spe(spe::CoreSampler* sampler) { spe_ = sampler; }
+  spe::CoreSampler* spe() const { return spe_; }
+
  private:
   std::uint64_t line_of(std::uint64_t addr) const { return addr / cfg_.line_bytes; }
   void account(LoopStats& s, L3Fabric::Source src);
@@ -135,8 +145,17 @@ class AccessEngine {
   MemController& mem_;
   SimClock& clock_;
   NoiseModel& noise_;
+  /// Virtual timestamp SPE samples carry: shared clock plus this core's
+  /// deferred time -- a per-core-deterministic quantity under both serial
+  /// and parallel replay (the driver advances the shared clock only at
+  /// batch joins).
+  std::uint64_t spe_time_ns() const {
+    return static_cast<std::uint64_t>(clock_.now_ns() + pending_ns_);
+  }
+
   LoopStats scalar_stats_;
   CoreCounters counters_;
+  spe::CoreSampler* spe_ = nullptr;
   bool deferred_time_ = false;
   double pending_ns_ = 0.0;
 };

@@ -1,0 +1,58 @@
+#include "spe/collector.hpp"
+
+#include "sim/machine.hpp"
+
+namespace papisim::spe {
+
+SpeCollector::SpeCollector(sim::Machine& machine, SpeConfig cfg)
+    : machine_(&machine), cfg_(cfg) {
+  if (cfg_.period < 1) cfg_.period = 1;
+  if constexpr (!kEnabled) return;
+  const std::uint32_t sockets = machine.sockets();
+  const std::uint32_t cps = machine.cores_per_socket();
+  samplers_.reserve(static_cast<std::size_t>(sockets) * cps);
+  for (std::uint32_t s = 0; s < sockets; ++s) {
+    for (std::uint32_t c = 0; c < cps; ++c) {
+      const auto global = static_cast<std::uint16_t>(s * cps + c);
+      samplers_.push_back(std::make_unique<CoreSampler>(global, cfg_));
+      machine.engine(s, c).set_spe(samplers_.back().get());
+    }
+  }
+}
+
+SpeCollector::~SpeCollector() {
+  if constexpr (!kEnabled) return;
+  if (machine_ == nullptr) return;
+  for (std::uint32_t s = 0; s < machine_->sockets(); ++s) {
+    for (std::uint32_t c = 0; c < machine_->cores_per_socket(); ++c) {
+      machine_->engine(s, c).set_spe(nullptr);
+    }
+  }
+}
+
+void SpeCollector::set_period(std::uint64_t period) {
+  cfg_.period = period < 1 ? 1 : period;
+  for (auto& s : samplers_) s->set_period(cfg_.period);
+}
+
+SpeCollector::Totals SpeCollector::totals() const {
+  Totals t;
+  for (const auto& s : samplers_) {
+    t.samples += s->samples();
+    t.drops += s->drops();
+    t.accesses += s->accesses();
+  }
+  return t;
+}
+
+std::vector<Sample> SpeCollector::drain() {
+  std::vector<Sample> out;
+  drain_into(out);
+  return out;
+}
+
+void SpeCollector::drain_into(std::vector<Sample>& out) {
+  for (auto& s : samplers_) s->drain(out);
+}
+
+}  // namespace papisim::spe

@@ -1,0 +1,62 @@
+// SpeCollector: owns one CoreSampler per simulated core and attaches them
+// to a Machine's AccessEngines (RAII -- detached again on destruction).
+// The merged view it exposes (totals, drain) is what SpeComponent and the
+// hot-footprint analysis consume.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "spe/ring.hpp"
+
+namespace papisim::sim {
+class Machine;
+}
+
+namespace papisim::spe {
+
+class SpeCollector {
+ public:
+  /// Attaches a sampler to every core of `machine`.  The collector must
+  /// outlive any replay that runs while attached; destruction detaches.
+  /// When the instrumentation is compiled out (PAPISIM_SPE=OFF) nothing is
+  /// attached and every accessor reports empty/zero.
+  explicit SpeCollector(sim::Machine& machine, SpeConfig cfg = {});
+  ~SpeCollector();
+
+  SpeCollector(const SpeCollector&) = delete;
+  SpeCollector& operator=(const SpeCollector&) = delete;
+
+  const SpeConfig& config() const { return cfg_; }
+  std::size_t num_cores() const { return samplers_.size(); }
+  CoreSampler& core_sampler(std::size_t i) { return *samplers_[i]; }
+
+  std::uint64_t period() const { return cfg_.period; }
+
+  /// Reconfigure the sampling period on every core (gap sequences restart
+  /// deterministically).  Producers must be quiescent.
+  void set_period(std::uint64_t period);
+
+  struct Totals {
+    std::uint64_t samples = 0;   ///< recorded into the rings
+    std::uint64_t drops = 0;     ///< rejected by a full ring (backpressure)
+    std::uint64_t accesses = 0;  ///< line touches observed by attached samplers
+  };
+
+  /// Merge-on-read over every core (relaxed sums, exact when quiescent).
+  Totals totals() const;
+
+  /// Drain every ring, cores in ascending global-core order; within a core
+  /// samples keep FIFO order.  Draining at deterministic points yields the
+  /// canonical stream the determinism contract is stated over.
+  std::vector<Sample> drain();
+  void drain_into(std::vector<Sample>& out);
+
+ private:
+  sim::Machine* machine_ = nullptr;
+  SpeConfig cfg_;
+  std::vector<std::unique_ptr<CoreSampler>> samplers_;
+};
+
+}  // namespace papisim::spe

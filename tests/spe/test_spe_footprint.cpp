@@ -1,0 +1,198 @@
+// Acceptance tests for hot-footprint attribution (the tentpole claim of
+// DESIGN.md §3g):
+//  - a planted hot array dominates its phase's footprint map at sampling
+//    periods 64 and 1024;
+//  - the drained sample stream is bit-identical across host thread counts
+//    under deferred-time parallel replay (1 vs 4 driving threads).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/footprint.hpp"
+#include "sim/thread_pool.hpp"
+#include "spe/collector.hpp"
+#include "testing/machine_builder.hpp"
+
+namespace papisim::spe {
+namespace {
+
+using test_support::MachineBuilder;
+
+constexpr std::uint64_t kHotBase = 0x40000000ull;  // 64 KiB planted hot array
+constexpr std::uint64_t kHotBytes = 64 << 10;
+constexpr std::uint64_t kColdBase = 0x80000000ull;  // 32 MiB strided sweep
+constexpr std::uint64_t kCopySrc = 0x10000000ull;
+constexpr std::uint64_t kCopyDst = 0x20000000ull;
+
+/// Phase 1: sequential copy.  Phase 2: one strided sweep over the cold
+/// array, then eight sequential passes over the hot array.  Returns the
+/// ground-truth windows (virtual seconds) bracketing the two phases.
+std::vector<analysis::PhaseWindow> run_two_phases(sim::Machine& machine) {
+  sim::AccessEngine& eng = machine.engine(0, 0);
+  const double t0 = machine.clock().now_sec();
+  sim::LoopDesc copy;
+  copy.streams = {{kCopySrc, 8, 8, sim::AccessKind::Load},
+                  {kCopyDst, 8, 8, sim::AccessKind::Store}};
+  copy.iterations = 1u << 18;
+  for (int rep = 0; rep < 8; ++rep) eng.execute(copy);
+
+  const double t1 = machine.clock().now_sec();
+  for (int rep = 0; rep < 8; ++rep) {
+    eng.execute(test_support::load_loop(kColdBase, 1024, (32u << 20) / 1024));
+    for (int pass = 0; pass < 8; ++pass) {
+      eng.execute(test_support::load_loop(kHotBase, 8, kHotBytes / 8));
+    }
+  }
+  const double t2 = machine.clock().now_sec();
+  return {{"copy", t0, t1}, {"hot", t1, t2}};
+}
+
+class FootprintDominance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FootprintDominance, PlantedHotArrayDominatesItsPhase) {
+  if (!kEnabled) GTEST_SKIP() << "spe compiled out";
+  const std::uint64_t period = GetParam();
+  auto machine = MachineBuilder::small().quiet();
+  SpeConfig cfg;
+  cfg.period = period;
+  cfg.ring_capacity = 1 << 20;  // no drops: the acceptance is about shares
+  SpeCollector collector(*machine, cfg);
+
+  const std::vector<analysis::PhaseWindow> windows = run_two_phases(*machine);
+  const std::vector<Sample> samples = collector.drain();
+  ASSERT_GT(samples.size(), 100u);
+  EXPECT_EQ(collector.totals().drops, 0u);
+
+  analysis::FootprintConfig fp_cfg;
+  fp_cfg.period = period;
+  fp_cfg.line_bytes = machine->config().line_bytes;
+  const analysis::FootprintReport fp =
+      analysis::footprint(samples, windows, fp_cfg);
+
+  ASSERT_EQ(fp.phases.size(), 2u);
+  EXPECT_EQ(fp.unattributed_samples, 0u);
+  EXPECT_EQ(fp.total_samples, samples.size());
+
+  // The hot phase's top bucket is the planted array, and it dominates: more
+  // samples than any other bucket by at least 3x (it receives ~8x the
+  // per-bucket touches of the cold sweep).
+  const analysis::PhaseFootprint& hot = fp.phases[1];
+  ASSERT_FALSE(hot.buckets.empty());
+  const analysis::FootprintBucket& top = hot.buckets[0];
+  EXPECT_EQ(top.base, kHotBase);
+  EXPECT_EQ(top.stores, 0u);
+  if (hot.buckets.size() > 1) {
+    EXPECT_GE(top.samples, 3 * hot.buckets[1].samples);
+  }
+  // Re-touching a 64 KiB array keeps it cache-resident: L3 hits dominate.
+  EXPECT_EQ(top.dominant_level(), HitLevel::L3Hit);
+
+  // The copy phase has no business containing the hot array.
+  for (const analysis::FootprintBucket& b : fp.phases[0].buckets) {
+    EXPECT_NE(b.base, kHotBase);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, FootprintDominance,
+                         ::testing::Values(64, 1024));
+
+/// Replay the same per-core loops under deferred time with different host
+/// thread counts; the concatenated per-core sample stream must match
+/// bit-for-bit (the determinism contract the footprint report relies on).
+std::vector<Sample> replay_parallel(std::uint32_t host_threads,
+                                    std::uint64_t period) {
+  auto machine = MachineBuilder::small().cores(4).lateral_castout(false).quiet();
+  SpeConfig cfg;
+  cfg.period = period;
+  cfg.ring_capacity = 1 << 18;
+  SpeCollector collector(*machine, cfg);
+
+  constexpr std::uint32_t kCores = 4;
+  std::vector<Sample> stream;
+  for (int batch = 0; batch < 3; ++batch) {
+    for (std::uint32_t c = 0; c < kCores; ++c) {
+      machine->engine(0, c).set_deferred_time(true);
+    }
+    sim::ThreadPool pool(host_threads - 1);
+    pool.parallel_for(kCores, [&](std::uint32_t c) {
+      sim::AccessEngine& eng = machine->engine(0, c);
+      // Disjoint per-core ranges, shifted per batch so levels vary.
+      const std::uint64_t base =
+          (1ull << 24) * (c + 1) + static_cast<std::uint64_t>(batch) * 4096;
+      eng.execute(test_support::load_loop(base, 64, 20000));
+      sim::LoopDesc mixed;
+      mixed.streams = {{base, 8, 8, sim::AccessKind::Load},
+                       {base + (1u << 22), 8, 8, sim::AccessKind::Store}};
+      mixed.iterations = 30000;
+      eng.execute(mixed);
+    });
+    double max_ns = 0.0;
+    for (std::uint32_t c = 0; c < kCores; ++c) {
+      max_ns = std::max(max_ns, machine->engine(0, c).take_deferred_time_ns());
+      machine->engine(0, c).set_deferred_time(false);
+    }
+    machine->advance(max_ns);
+    // Drain at the batch join -- a deterministic point -- keeping the
+    // canonical ascending-core concatenation.
+    collector.drain_into(stream);
+  }
+  return stream;
+}
+
+TEST(FootprintDeterminism, SampleStreamBitIdenticalAcrossHostThreadCounts) {
+  if (!kEnabled) GTEST_SKIP() << "spe compiled out";
+  for (const std::uint64_t period : {std::uint64_t{64}, std::uint64_t{1024}}) {
+    const std::vector<Sample> serial = replay_parallel(1, period);
+    const std::vector<Sample> parallel = replay_parallel(4, period);
+    ASSERT_GT(serial.size(), 0u);
+    ASSERT_EQ(serial.size(), parallel.size()) << "period " << period;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(serial[i], parallel[i])
+          << "period " << period << ", sample " << i << ": addr "
+          << serial[i].addr << " vs " << parallel[i].addr;
+    }
+  }
+}
+
+TEST(FootprintJoin, SamplesOutsideEveryWindowAreUnattributed) {
+  std::vector<Sample> samples(3);
+  samples[0].addr = 0x1000;
+  samples[0].time_ns = 500;       // before every window
+  samples[1].addr = 0x1000;
+  samples[1].time_ns = 1500;      // inside
+  samples[2].addr = 0x2000;
+  samples[2].time_ns = 999999999; // long after
+  const std::vector<analysis::PhaseWindow> windows = {{"w", 1e-6, 2e-6}};
+  const analysis::FootprintReport fp = analysis::footprint(samples, windows);
+  EXPECT_EQ(fp.total_samples, 3u);
+  EXPECT_EQ(fp.unattributed_samples, 2u);
+  ASSERT_EQ(fp.phases.size(), 1u);
+  EXPECT_EQ(fp.phases[0].samples, 1u);
+  ASSERT_EQ(fp.phases[0].buckets.size(), 1u);
+  EXPECT_EQ(fp.phases[0].buckets[0].base, 0u);  // 0x1000 falls in bucket 0
+}
+
+TEST(FootprintJoin, TopKCutFoldsTailIntoOtherSamples) {
+  std::vector<Sample> samples;
+  for (std::uint64_t b = 0; b < 10; ++b) {       // 10 buckets...
+    for (std::uint64_t i = 0; i <= b; ++i) {     // ...with 1..10 samples
+      Sample s;
+      s.addr = b * (64 << 10);
+      s.time_ns = 1000;
+      samples.push_back(s);
+    }
+  }
+  const std::vector<analysis::PhaseWindow> windows = {{"w", 0.0, 1.0}};
+  analysis::FootprintConfig cfg;
+  cfg.top_k = 3;
+  const analysis::FootprintReport fp = analysis::footprint(samples, windows, cfg);
+  ASSERT_EQ(fp.phases[0].buckets.size(), 3u);
+  EXPECT_EQ(fp.phases[0].buckets[0].samples, 10u);
+  EXPECT_EQ(fp.phases[0].buckets[1].samples, 9u);
+  EXPECT_EQ(fp.phases[0].buckets[2].samples, 8u);
+  EXPECT_EQ(fp.phases[0].other_samples, 1u + 2 + 3 + 4 + 5 + 6 + 7);
+  EXPECT_EQ(fp.phases[0].samples, 55u);
+}
+
+}  // namespace
+}  // namespace papisim::spe
