@@ -1,0 +1,359 @@
+// bench_pmcd_scale: throughput and fetch-latency percentiles of the
+// multi-tenant PMCD vs concurrent client count, plus the two acceptance
+// scenarios of the scale work (DESIGN.md §3h):
+//
+//   scale sweep             1/4/16/64 clients hammer the daemon; report
+//                           fetches/s and p50/p95/p99 client-visible fetch
+//                           latency per client count (exact percentiles from
+//                           per-thread latency logs, not histogram buckets)
+//   coalesce burst          identical fetches piled behind a stalled leader;
+//                           proves the coalesce ratio and cache hit rate are
+//                           nonzero and observable through the selfmon gauges
+//   crash while saturated   64 clients mid-fetch, a seeded FaultPlan crashing
+//                           the pool repeatedly, shutdown racing the burst --
+//                           every request must resolve to a value or a typed
+//                           error (zero broken promises)
+//
+//   bench_pmcd_scale                     text tables
+//   bench_pmcd_scale --bench-json PATH   also write the machine-readable
+//                                        BENCH_pmcd.json (parsed by the
+//                                        nightly CI leg)
+//
+// Exit status: 0 when the crash scenario resolved every request typed AND
+// coalescing/caching were observed; 1 otherwise -- the binary is the
+// acceptance gate for refactors of the daemon's service layer.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/json_util.hpp"
+#include "pcp/fault.hpp"
+#include "pcp/pmcd.hpp"
+#include "selfmon/metrics.hpp"
+
+using namespace papisim;
+using benchutil::Table;
+using benchutil::fmt;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ScalePoint {
+  int clients = 0;
+  double throughput_per_sec = 0;
+  double p50_us = 0, p95_us = 0, p99_us = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t shed = 0;
+};
+
+double percentile_us(std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_us.size() - 1) + 0.5);
+  return sorted_us[std::min(rank, sorted_us.size() - 1)];
+}
+
+std::vector<pcp::PmId> read_pmids(pcp::Pmcd& daemon) {
+  std::vector<pcp::PmId> pmids;
+  for (int ch = 0; ch < 8; ++ch) {
+    const auto reply = daemon.lookup(
+        "perfevent.hwcounters.nest_mba" + std::to_string(ch) +
+        "_imc.PM_MBA" + std::to_string(ch) + "_READ_BYTES");
+    pmids.push_back(*reply.pmid);
+  }
+  return pmids;
+}
+
+/// One sweep point: `clients` threads, `iters` fetches each, 8 distinct
+/// fetch keys shared round-robin so concurrent clients overlap on keys
+/// (the coalescing/caching case) without collapsing onto one shard.
+ScalePoint run_scale_point(int clients, int iters) {
+  sim::Machine machine(sim::MachineConfig::summit());
+  machine.set_noise_enabled(false);
+  pcp::PmcdOptions opt;
+  opt.fetch_cache_ttl = std::chrono::microseconds(200);
+  pcp::Pmcd daemon(machine, opt);
+  const std::vector<pcp::PmId> pmids = read_pmids(daemon);
+  machine.memctrl(0).add_line(0, sim::MemDir::Read);
+
+  std::vector<std::vector<double>> lat_us(static_cast<std::size_t>(clients));
+  std::atomic<std::uint64_t> fetches{0};
+  const auto t0 = Clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int t = 0; t < clients; ++t) {
+      threads.emplace_back([&, t] {
+        const pcp::ClientId id = daemon.register_client();
+        const std::vector<pcp::PmId> mine{pmids[static_cast<std::size_t>(t % 8)]};
+        auto& lats = lat_us[static_cast<std::size_t>(t)];
+        lats.reserve(static_cast<std::size_t>(iters));
+        for (int i = 0; i < iters; ++i) {
+          const auto f0 = Clock::now();
+          if (daemon.fetch(mine, 0, id).ok) {
+            fetches.fetch_add(1, std::memory_order_relaxed);
+          }
+          lats.push_back(
+              std::chrono::duration<double, std::micro>(Clock::now() - f0)
+                  .count());
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  const double wall_sec =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  std::vector<double> all;
+  for (const auto& lats : lat_us) all.insert(all.end(), lats.begin(), lats.end());
+  std::sort(all.begin(), all.end());
+
+  ScalePoint p;
+  p.clients = clients;
+  p.throughput_per_sec =
+      wall_sec > 0 ? static_cast<double>(fetches.load()) / wall_sec : 0;
+  p.p50_us = percentile_us(all, 0.50);
+  p.p95_us = percentile_us(all, 0.95);
+  p.p99_us = percentile_us(all, 0.99);
+  p.coalesced = daemon.coalesced();
+  p.cache_hits = daemon.cache_hits();
+  p.cache_misses = daemon.cache_misses();
+  p.shed = daemon.shed();
+  return p;
+}
+
+struct CoalesceBurst {
+  std::uint64_t coalesced = 0;
+  double coalesce_ratio = 0;     ///< coalesced / fetches resolved
+  double cache_hit_rate = 0;     ///< hits / (hits + misses)
+  std::int64_t coalesce_ratio_ppm_gauge = 0;  ///< selfmon observability
+  std::int64_t cache_hit_ppm_gauge = 0;
+};
+
+/// Guaranteed-coalescing phase: one shard, every leader stalled 20 ms, 16
+/// clients fetching the same key -- the burst piles up behind each leader
+/// and resolves from its one read (plus cache hits across bursts).
+CoalesceBurst run_coalesce_burst() {
+  sim::Machine machine(sim::MachineConfig::summit());
+  machine.set_noise_enabled(false);
+  pcp::PmcdOptions opt;
+  opt.shards = 1;
+  // Longer than the 20 ms leader stall, so later rounds hit the cache.
+  opt.fetch_cache_ttl = std::chrono::milliseconds(100);
+  pcp::Pmcd daemon(machine, opt);
+  pcp::RpcOptions rpc;
+  rpc.timeout = std::chrono::milliseconds(10'000);
+  daemon.set_rpc_options(rpc);
+  const std::vector<pcp::PmId> pmids = read_pmids(daemon);
+  machine.memctrl(0).add_line(0, sim::MemDir::Read);
+
+  pcp::FaultPlan plan;
+  plan.delay_rate = 1.0;
+  plan.delay_us = 20'000;
+  daemon.set_fault_plan(plan);
+
+  constexpr int kClients = 16;
+  constexpr int kRounds = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) (void)daemon.fetch({pmids[0]}, 0);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  CoalesceBurst b;
+  b.coalesced = daemon.coalesced();
+  const std::uint64_t resolved = kClients * kRounds;
+  b.coalesce_ratio = static_cast<double>(b.coalesced) / resolved;
+  const std::uint64_t hits = daemon.cache_hits();
+  const std::uint64_t misses = daemon.cache_misses();
+  b.cache_hit_rate =
+      hits + misses > 0 ? static_cast<double>(hits) / (hits + misses) : 0;
+  const selfmon::Snapshot snap = selfmon::snapshot();
+  b.coalesce_ratio_ppm_gauge = snap.gauge(selfmon::GaugeId::PcpCoalesceRatioPpm);
+  b.cache_hit_ppm_gauge = snap.gauge(selfmon::GaugeId::PcpCacheHitRatePpm);
+  return b;
+}
+
+struct CrashRun {
+  std::uint64_t served = 0;
+  std::uint64_t typed_errors = 0;
+  std::uint64_t untyped = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t shed = 0;
+};
+
+/// The resilience acceptance scenario: 64 clients saturate the daemon, a
+/// seeded plan crashes the pool ~2% of requests, and shutdown lands while
+/// everyone is mid-fetch.  Retry storms are damped by the seeded per-client
+/// jitter; every request must resolve to a value or a typed error.
+CrashRun run_crash_while_saturated(int clients) {
+  sim::Machine machine(sim::MachineConfig::summit());
+  machine.set_noise_enabled(false);
+  pcp::Pmcd daemon(machine);
+  pcp::RpcOptions rpc;
+  rpc.timeout = std::chrono::milliseconds(200);
+  rpc.max_retries = 1;
+  rpc.backoff_base = std::chrono::microseconds(200);
+  daemon.set_rpc_options(rpc);
+  const std::vector<pcp::PmId> pmids = read_pmids(daemon);
+
+  CrashRun run;
+  std::atomic<std::uint64_t> served{0}, typed{0}, untyped{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      const pcp::ClientId id = daemon.register_client();
+      const std::vector<pcp::PmId> mine{pmids[static_cast<std::size_t>(t % 8)]};
+      for (;;) {
+        try {
+          if (daemon.fetch(mine, 0, id).ok) ++served;
+        } catch (const Error& e) {
+          ++typed;
+          if (e.status() == Status::Shutdown) return;
+          if (e.status() != Status::Timeout &&
+              e.status() != Status::Overloaded &&
+              e.status() != Status::Internal) {
+            ++untyped;
+            return;
+          }
+        } catch (...) {
+          ++untyped;
+          return;
+        }
+      }
+    });
+  }
+  while (served.load() < static_cast<std::uint64_t>(clients)) {
+    std::this_thread::yield();
+  }
+  pcp::FaultPlan plan;
+  plan.seed = 11;
+  plan.crash_rate = 0.02;
+  daemon.set_fault_plan(plan);
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  daemon.shutdown();
+  for (auto& th : threads) th.join();
+
+  run.served = served.load();
+  run.typed_errors = typed.load();
+  run.untyped = untyped.load();
+  run.restarts = daemon.restarts();
+  run.shed = daemon.shed();
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      benchutil::flag_value(argc, argv, "--bench-json");
+  const bool quick = benchutil::has_flag(argc, argv, "--quick");
+  const int iters = quick ? 50 : 200;
+
+  std::cout << "PMCD scale: throughput and fetch latency vs client count\n\n";
+  const std::vector<int> counts{1, 4, 16, 64};
+  std::vector<ScalePoint> points;
+  Table table({"clients", "fetches/s", "p50 us", "p95 us", "p99 us",
+               "coalesced", "cache hit%", "shed"});
+  for (const int c : counts) {
+    const ScalePoint p = run_scale_point(c, iters);
+    const std::uint64_t probes = p.cache_hits + p.cache_misses;
+    table.add_row({std::to_string(p.clients),
+                   std::to_string(static_cast<std::uint64_t>(p.throughput_per_sec)),
+                   fmt(p.p50_us, 1), fmt(p.p95_us, 1), fmt(p.p99_us, 1),
+                   std::to_string(p.coalesced),
+                   fmt(probes ? 100.0 * static_cast<double>(p.cache_hits) /
+                                    static_cast<double>(probes)
+                              : 0.0, 1),
+                   std::to_string(p.shed)});
+    points.push_back(p);
+  }
+  table.print();
+
+  std::cout << "\nCoalesce burst (1 shard, stalled leaders, 16 clients, "
+               "one key)\n\n";
+  const CoalesceBurst burst = run_coalesce_burst();
+  Table burst_table({"coalesced", "coalesce ratio", "cache hit rate",
+                     "gauge ppm (coalesce)", "gauge ppm (cache)"});
+  burst_table.add_row({std::to_string(burst.coalesced),
+                       fmt(burst.coalesce_ratio), fmt(burst.cache_hit_rate),
+                       std::to_string(burst.coalesce_ratio_ppm_gauge),
+                       std::to_string(burst.cache_hit_ppm_gauge)});
+  burst_table.print();
+
+  const int crash_clients = 64;
+  std::cout << "\nCrash while saturated (" << crash_clients
+            << " clients, seeded crash plan, shutdown mid-burst)\n\n";
+  const CrashRun crash = run_crash_while_saturated(crash_clients);
+  Table crash_table(
+      {"served", "typed errors", "untyped", "restarts", "shed"});
+  crash_table.add_row({std::to_string(crash.served),
+                       std::to_string(crash.typed_errors),
+                       std::to_string(crash.untyped),
+                       std::to_string(crash.restarts),
+                       std::to_string(crash.shed)});
+  crash_table.print();
+
+  const bool pass = crash.untyped == 0 && crash.served > 0 &&
+                    burst.coalesced > 0 && burst.cache_hit_rate > 0 &&
+                    burst.coalesce_ratio_ppm_gauge > 0 &&
+                    burst.cache_hit_ppm_gauge > 0;
+  std::cout << "\nzero broken promises: "
+            << (crash.untyped == 0 ? "yes" : "NO") << "\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot open '" << json_path << "' for writing\n";
+      return 1;
+    }
+    out << "{\n  \"bench_pmcd\": 1,\n";
+    out << "  \"machine\": \"" << json_escape("summit") << "\",\n";
+    out << "  \"iters_per_client\": " << iters << ",\n";
+    out << "  \"scale\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const ScalePoint& p = points[i];
+      const std::uint64_t probes = p.cache_hits + p.cache_misses;
+      out << "    {\"clients\": " << p.clients
+          << ", \"throughput_per_sec\": "
+          << static_cast<std::uint64_t>(p.throughput_per_sec)
+          << ", \"p50_us\": " << p.p50_us << ", \"p95_us\": " << p.p95_us
+          << ", \"p99_us\": " << p.p99_us
+          << ", \"coalesced\": " << p.coalesced << ", \"cache_hit_rate\": "
+          << (probes ? static_cast<double>(p.cache_hits) /
+                           static_cast<double>(probes)
+                     : 0.0)
+          << ", \"shed\": " << p.shed << "}"
+          << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+    out << "  \"coalesce_burst\": {\"coalesced\": " << burst.coalesced
+        << ", \"coalesce_ratio\": " << burst.coalesce_ratio
+        << ", \"cache_hit_rate\": " << burst.cache_hit_rate
+        << ", \"coalesce_ratio_ppm_gauge\": " << burst.coalesce_ratio_ppm_gauge
+        << ", \"cache_hit_ppm_gauge\": " << burst.cache_hit_ppm_gauge
+        << "},\n";
+    out << "  \"crash_while_saturated\": {\"clients\": " << crash_clients
+        << ", \"served\": " << crash.served
+        << ", \"typed_errors\": " << crash.typed_errors
+        << ", \"untyped\": " << crash.untyped
+        << ", \"restarts\": " << crash.restarts
+        << ", \"shed\": " << crash.shed << ", \"zero_broken_promises\": "
+        << (crash.untyped == 0 ? "true" : "false") << "}\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return pass ? 0 : 1;
+}

@@ -13,6 +13,8 @@
 //   papisim-probe --break write_bypass    refutation demo: disable a policy
 //   papisim-probe --break lateral_castout and watch its mechanism flip to
 //                                         REFUTE with a nonzero effect gap
+//   papisim-probe --pcp                   append the PMCD service-layer probe
+//                                         (fetch-cache freshness contract)
 //
 // Exit status: 0 when every mechanism is CONFIRMED, 1 otherwise -- so the
 // binary doubles as an acceptance gate for perf refactors of the replay
@@ -22,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "pcp/probe_freshness.hpp"
 #include "probe/report.hpp"
 
 using namespace papisim;
@@ -31,10 +34,13 @@ int main(int argc, char** argv) {
   probe::ProbeOptions opt;
   std::string json_path;
   std::string broke;
+  bool with_pcp = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     if (a == "--full") {
       opt.full_grid = true;
+    } else if (a == "--pcp") {
+      with_pcp = true;
     } else if (a == "--json" && i + 1 < args.size()) {
       json_path = args[++i];
     } else if (a == "--machine" && i + 1 < args.size()) {
@@ -65,14 +71,15 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else {
-      std::cerr << "usage: papisim-probe [--full] [--json PATH|-] "
+      std::cerr << "usage: papisim-probe [--full] [--pcp] [--json PATH|-] "
                    "[--machine summit|tellico|power10] [--threads N] "
                    "[--break POLICY]\n";
       return 2;
     }
   }
 
-  const std::vector<probe::MechanismReport> reports = probe::run_all_probes(opt);
+  std::vector<probe::MechanismReport> reports = probe::run_all_probes(opt);
+  if (with_pcp) reports.push_back(pcp::probe_fetch_cache_freshness());
 
   if (!json_path.empty()) {
     if (json_path == "-") {

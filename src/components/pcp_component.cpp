@@ -141,6 +141,7 @@ bool PcpComponent::fetch_all(State& st, std::vector<std::uint64_t>& out,
       disabled_reason_ =
           std::string("pmFetch failed after retries (") +
           papisim::to_string(e.status()) + "): " + e.what();
+      degraded_overload_ = e.status() == Status::Overloaded;
       return false;
     }
     if (!reply.ok) {
@@ -176,10 +177,14 @@ void PcpComponent::stop(ControlState& /*state*/) {}
 
 void PcpComponent::read(ControlState& state, std::span<long long> out) {
   auto& st = static_cast<State&>(state);
-  if (disabled_reason_.empty()) {
+  // Overload is soft degradation: keep probing so the component re-enables
+  // itself once the daemon stops shedding.  Other failures stay terminal.
+  if (disabled_reason_.empty() || degraded_overload_) {
     std::vector<std::uint64_t> now;
     std::uint64_t gen = st.generation;
     if (fetch_all(st, now, &gen)) {
+      disabled_reason_.clear();
+      degraded_overload_ = false;
       if (gen != st.generation) {
         // The daemon crash-restarted between fetches: its counters restart
         // near zero.  Bank the progress observed before the crash and

@@ -32,6 +32,12 @@ namespace papisim::components {
 ///    the per-read delta so a counter that restarted below the start
 ///    snapshot can never produce a huge wrapped value.  Traffic between the
 ///    last successful fetch and the crash is lost (documented deviation).
+///  * Sustained overload (Status::Overloaded after bounded retry) degrades
+///    *softly*: disabled_reason() reports the shedding, values freeze, but
+///    read() keeps re-probing and automatically re-enables the component the
+///    moment the daemon accepts a fetch again.  Backpressure is a transient
+///    condition; only terminal failures (shutdown, persistent faults) leave
+///    the component disabled for good.
 class PcpComponent : public Component {
  public:
   explicit PcpComponent(pcp::PcpClient& client);
@@ -85,6 +91,10 @@ class PcpComponent : public Component {
   std::uint32_t max_cpu_;
   std::uint64_t fetches_ = 0;
   std::string disabled_reason_;
+  /// True when disabled_reason_ records overload shedding: read() keeps
+  /// probing and clears the reason on the first accepted fetch (auto
+  /// re-enable after backpressure lifts).
+  bool degraded_overload_ = false;
 };
 
 }  // namespace papisim::components

@@ -19,6 +19,8 @@ enum class Status {
   Internal,
   Timeout,           ///< daemon round-trip deadline expired (retries exhausted)
   Shutdown,          ///< request raced or arrived after daemon shutdown
+  Overloaded,        ///< daemon shed the request at admission (backpressure);
+                     ///< retryable, surfaced after bounded retry
 };
 
 const char* to_string(Status s);

@@ -17,6 +17,7 @@ const char* to_string(Status s) {
     case Status::Internal: return "Internal";
     case Status::Timeout: return "Timeout";
     case Status::Shutdown: return "Shutdown";
+    case Status::Overloaded: return "Overloaded";
   }
   return "Unknown";
 }

@@ -1,0 +1,38 @@
+// Deterministic seeded retry-backoff jitter for PCP clients.
+//
+// When one daemon crash (or overload shed) fails N clients at once, plain
+// exponential backoff re-arrives them in lockstep: every retry wave is
+// another burst, and the daemon never climbs out of saturation (a retry
+// storm).  The fix is per-client jitter -- but random jitter would make the
+// fault tests irreproducible, so the jitter is drawn deterministically from
+// (jitter_seed, client identity, attempt number) via the same splitmix64
+// mix the FaultPlan uses.  Two clients with different identities desynchronize;
+// the same client replays the same schedule on every run.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "pcp/fault.hpp"
+
+namespace papisim::pcp {
+
+/// Backoff before retry `attempt` (attempt >= 1): exponential base doubling
+/// per retry, scaled by a deterministic jitter factor in [0.5, 1.5) drawn
+/// from (seed, identity, attempt).  `identity` is the client id (or 0 for
+/// anonymous daemon-direct callers).
+template <typename Rep, typename Period>
+std::chrono::microseconds jittered_backoff(
+    std::chrono::duration<Rep, Period> backoff_base, std::uint64_t jitter_seed,
+    std::uint64_t identity, int attempt) {
+  const auto base = std::chrono::duration_cast<std::chrono::microseconds>(
+      backoff_base * (1ull << std::min(attempt - 1, 20)));
+  const double u = splitmix64_unit(jitter_seed ^
+                                   (identity * 0x9E3779B97F4A7C15ull) ^
+                                   static_cast<std::uint64_t>(attempt));
+  const double scaled = static_cast<double>(base.count()) * (0.5 + u);
+  return std::chrono::microseconds(static_cast<std::int64_t>(scaled));
+}
+
+}  // namespace papisim::pcp

@@ -19,32 +19,43 @@ namespace papisim::pcp {
 /// with exponential backoff (Pmcd::RpcOptions; tune via set_rpc_options).
 /// Calls never hang and never leak std::future_error: on exhaustion they
 /// throw Error(Status::Timeout), on daemon shutdown Error(Status::Shutdown),
-/// and on persistent transient faults Error(Status::Internal).  Retries cost
-/// host time only; the virtual clock is charged one round-trip per call.
+/// on persistent admission shedding Error(Status::Overloaded), and on
+/// persistent transient faults Error(Status::Internal).  Retries cost host
+/// time only; the virtual clock is charged one round-trip per call.
+///
+/// Each PcpClient registers as a distinct tenant with the daemon, so
+/// fair-share admission bounds one client's queue depth independently of the
+/// others, and the seeded retry jitter desynchronizes per client identity.
 class PcpClient {
  public:
   /// `creds` are the caller's credentials; they are deliberately unused for
   /// authorization (any user may talk to the PMCD).
   PcpClient(Pmcd& daemon, sim::Machine& machine, sim::Credentials creds)
-      : daemon_(daemon), machine_(machine), creds_(creds) {}
+      : daemon_(daemon),
+        machine_(machine),
+        creds_(creds),
+        id_(daemon.register_client()) {}
 
   /// pmLookupName.
   std::optional<PmId> lookup(const std::string& name) {
     pay_round_trip();
-    return daemon_.lookup(name).pmid;
+    return daemon_.lookup(name, id_).pmid;
   }
 
   /// Traverse the namespace under a prefix.
   std::vector<std::string> names_under(const std::string& prefix) {
     pay_round_trip();
-    return daemon_.names_under(prefix).names;
+    return daemon_.names_under(prefix, id_).names;
   }
 
   /// pmFetch for instance `cpu`.  One round trip regardless of metric count.
   FetchReply fetch(const std::vector<PmId>& pmids, std::uint32_t cpu) {
     pay_round_trip();
-    return daemon_.fetch(pmids, cpu);
+    return daemon_.fetch(pmids, cpu, id_);
   }
+
+  /// Tenant identity under which the daemon accounts this client.
+  ClientId client_id() const { return id_; }
 
   /// Deadline/retry policy for this client's daemon connection.
   void set_rpc_options(const RpcOptions& opt) { daemon_.set_rpc_options(opt); }
@@ -63,6 +74,7 @@ class PcpClient {
   Pmcd& daemon_;
   sim::Machine& machine_;
   sim::Credentials creds_;
+  ClientId id_;
   std::uint64_t round_trips_ = 0;
 };
 

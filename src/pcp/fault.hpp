@@ -21,9 +21,27 @@ enum class FaultKind : std::uint8_t {
   Crash,  ///< fail the request, kill the service thread; supervisor restarts
 };
 
+/// splitmix64: a full-avalanche 64-bit mix, the deterministic randomness
+/// source shared by the fault roll and the client backoff jitter
+/// (pcp/backoff.hpp).
+inline std::uint64_t splitmix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Uniform [0, 1) from a splitmix64 state.
+inline double splitmix64_unit(std::uint64_t z) {
+  return static_cast<double>(splitmix64(z) >> 11) * 0x1.0p-53;
+}
+
 /// Per-request fault schedule.  Rates are probabilities in [0, 1] drawn
 /// deterministically from `seed` and the request's service index, so the
 /// same plan against the same request sequence injects the same faults.
+/// Service indices are assigned in dequeue order; with a single request in
+/// flight at a time (every pre-scale test) this matches arrival order, and
+/// under concurrency the roll stays deterministic per index even though the
+/// index<->request pairing depends on shard interleaving.
 struct FaultPlan {
   std::uint64_t seed = 0x9E3779B97F4A7C15ull;
   double drop_rate = 0.0;
@@ -39,12 +57,8 @@ struct FaultPlan {
   /// The fault (if any) for the request with service index `index`.
   FaultKind roll(std::uint64_t index) const {
     if (!any()) return FaultKind::None;
-    // splitmix64: full-avalanche mix of seed and index -> uniform [0, 1).
-    std::uint64_t z = seed + index * 0x9E3779B97F4A7C15ull;
-    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-    z ^= z >> 31;
-    const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+    // Full-avalanche mix of seed and index -> uniform [0, 1).
+    const double u = splitmix64_unit(seed + index * 0x9E3779B97F4A7C15ull);
     double acc = drop_rate;
     if (u < acc) return FaultKind::Drop;
     if (u < (acc += delay_rate)) return FaultKind::Delay;

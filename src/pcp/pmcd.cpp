@@ -2,49 +2,113 @@
 
 #include <algorithm>
 #include <exception>
+#include <functional>
 #include <type_traits>
 #include <utility>
 
+#include "pcp/backoff.hpp"
 #include "selfmon/metrics.hpp"
 
 namespace papisim::pcp {
 
-Pmcd::Pmcd(sim::Machine& machine)
+namespace {
+
+/// Coalescing/cache key of a fetch: the cpu instance plus the exact pmid
+/// sequence.  Two fetches with equal keys read the same counters and may
+/// share one PMU read.
+std::string fetch_key(const std::vector<PmId>& pmids, std::uint32_t cpu) {
+  std::string key = "c" + std::to_string(cpu);
+  for (const PmId id : pmids) {
+    key += '|';
+    key += std::to_string(id);
+  }
+  return key;
+}
+
+}  // namespace
+
+Pmcd::Pmcd(sim::Machine& machine, PmcdOptions options)
     : machine_(machine),
+      options_(options),
       pmns_(machine.config()),
       pmu_(machine, sim::Credentials::root()) {
+  if (options_.shards == 0) options_.shards = 1;
+  per_tenant_queue_limit_ = options_.per_tenant_queue_limit;
+  total_queue_limit_ = options_.total_queue_limit;
   base_.assign(static_cast<std::size_t>(pmu_.sockets()) * pmu_.channels() *
                    std::size(nest::kAllNestEventKinds),
                0);
-  thread_ = std::thread([this] { serve(); });
+  tenants_.push_back(std::make_unique<std::atomic<std::uint32_t>>(0));
+  shards_.reserve(options_.shards);
+  for (std::uint32_t s = 0; s < options_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  for (std::uint32_t s = 0; s < options_.shards; ++s) {
+    shards_[s]->worker = std::thread([this, s] { serve_shard(s); });
+  }
 }
 
 Pmcd::~Pmcd() { shutdown(); }
+
+ClientId Pmcd::register_client() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const ClientId id = static_cast<ClientId>(tenants_.size());
+  tenants_.push_back(std::make_unique<std::atomic<std::uint32_t>>(0));
+  return id;
+}
 
 void Pmcd::shutdown() {
   std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     accepting_ = false;
-    if (!stop_posted_) {
-      // A crashed incarnation has already drained its mailbox and exited;
-      // posting a StopReq would go unserved.
-      if (!crashed_) queue_.push_back(StopReq{});
-      stop_posted_ = true;
-    }
+    draining_.store(true, std::memory_order_release);
   }
-  cv_.notify_one();
-  if (thread_.joinable()) thread_.join();
+  // Wake every worker under its shard lock (no lost wakeup: a worker either
+  // sees the flag in its predicate or is inside wait when notify fires).
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->cv.notify_all();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  // Drain-then-stop served everything accepted by a live pool; residual
+  // queued requests exist only when the pool had crashed (or a post raced a
+  // crash sweep).  Fail them typed -- no promise is ever silently broken.
+  for (auto& shard : shards_) {
+    for (Queued& q : shard->queue) {
+      finish_dequeue(q);
+      fail_request(q.req, Error(Status::Shutdown,
+                                "pmcd: shut down with the request queued"));
+    }
+    shard->queue.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(dropped_mu_);
+    for (Request& d : dropped_) {
+      fail_request(d, Error(Status::Shutdown,
+                            "pmcd: shut down with the reply outstanding"));
+    }
+    dropped_.clear();
+  }
+  selfmon::gauge_set(selfmon::GaugeId::PcpQueueDepth, 0);
 }
 
 void Pmcd::set_fault_plan(const FaultPlan& plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(plan_mu_);
   plan_ = plan;
 }
 
 void Pmcd::set_rpc_options(const RpcOptions& opt) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(plan_mu_);
   rpc_ = opt;
+}
+
+void Pmcd::set_admission_limits(std::uint32_t per_tenant, std::uint32_t total) {
+  std::lock_guard<std::mutex> lock(mu_);
+  per_tenant_queue_limit_ = per_tenant;
+  total_queue_limit_ = total;
 }
 
 std::size_t Pmcd::counter_slot(std::uint32_t socket, std::uint32_t channel,
@@ -56,33 +120,98 @@ std::size_t Pmcd::counter_slot(std::uint32_t socket, std::uint32_t channel,
 
 void Pmcd::fail_request(Request& req, const Error& err) {
   std::visit(
-      [&](auto& r) {
-        using T = std::decay_t<decltype(r)>;
-        if constexpr (!std::is_same_v<T, StopReq>) {
-          r.reply.set_exception(std::make_exception_ptr(err));
-        }
-      },
+      [&](auto& r) { r.reply.set_exception(std::make_exception_ptr(err)); },
       req);
 }
 
-bool Pmcd::post(Request req) {
+std::uint32_t Pmcd::shard_of(const Request& req) const {
+  const std::size_t h = std::visit(
+      [](const auto& r) -> std::size_t {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, LookupReq>) {
+          return std::hash<std::string>{}(r.name);
+        } else if constexpr (std::is_same_v<T, NamesReq>) {
+          return std::hash<std::string>{}(r.prefix);
+        } else {
+          return std::hash<std::string>{}(r.key);
+        }
+      },
+      req);
+  return static_cast<std::uint32_t>(h % shards_.size());
+}
+
+std::atomic<std::uint32_t>* Pmcd::tenant_slot_locked(ClientId client) {
+  const std::size_t i =
+      client < tenants_.size() ? static_cast<std::size_t>(client) : 0;
+  return tenants_[i].get();
+}
+
+void Pmcd::finish_dequeue(const Queued& q) {
+  if (q.tenant != nullptr) q.tenant->fetch_sub(1, std::memory_order_relaxed);
+  const std::uint32_t depth =
+      total_queued_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  selfmon::gauge_set(selfmon::GaugeId::PcpQueueDepth,
+                     static_cast<std::int64_t>(depth));
+}
+
+Pmcd::PostResult Pmcd::post(Request req, ClientId client) {
+  std::uint32_t shard_index = 0;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    if (!accepting_) return false;
-    if (crashed_) restart_locked();  // supervisor: revive before enqueueing
-    queue_.push_back(std::move(req));
+    if (!accepting_) return PostResult::ShuttingDown;
+    if (crashed_.load(std::memory_order_acquire)) {
+      restart_locked();  // supervisor: revive the pool before enqueueing
+    }
+    std::atomic<std::uint32_t>* tenant = tenant_slot_locked(client);
+    if (total_queued_.load(std::memory_order_relaxed) >= total_queue_limit_ ||
+        tenant->load(std::memory_order_relaxed) >= per_tenant_queue_limit_) {
+      // Fair-share backpressure: shed instead of queueing without bound.
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      selfmon::counter_add(selfmon::CounterId::PcpOverloadShed);
+      return PostResult::Overloaded;
+    }
+    tenant->fetch_add(1, std::memory_order_relaxed);
+    const std::uint32_t depth =
+        total_queued_.fetch_add(1, std::memory_order_relaxed) + 1;
     selfmon::gauge_set(selfmon::GaugeId::PcpQueueDepth,
-                       static_cast<std::int64_t>(queue_.size()));
+                       static_cast<std::int64_t>(depth));
+    shard_index = shard_of(req);
+    Shard& shard = *shards_[shard_index];
+    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    shard.queue.push_back(Queued{std::move(req), tenant});
   }
-  cv_.notify_one();
-  return true;
+  shards_[shard_index]->cv.notify_one();
+  return PostResult::Accepted;
 }
 
 void Pmcd::restart_locked() {
-  if (thread_.joinable()) thread_.join();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  // Stragglers that raced the crash sweep (posted after the sweep cleared
+  // their shard) are failed typed here; their clients retry against the new
+  // incarnation.  No shard lock needed: the pool is joined and posts are
+  // serialized by mu_ (held by the caller).
+  for (auto& shard : shards_) {
+    for (Queued& q : shard->queue) {
+      finish_dequeue(q);
+      fail_request(q.req, Error(Status::Internal,
+                                "pmcd: daemon crashed with the request queued"));
+    }
+    shard->queue.clear();
+    shard->cache.clear();  // cached replies belong to the dead incarnation
+  }
+  {
+    std::lock_guard<std::mutex> lock(dropped_mu_);
+    for (Request& d : dropped_) {
+      fail_request(d, Error(Status::Internal,
+                            "pmcd: daemon crashed with the reply outstanding"));
+    }
+    dropped_.clear();
+  }
   // A restarted collector reports counters relative to its own start (as a
   // real pmcd's perfevent PMDA does): capture the baseline the incarnation
-  // will subtract.  No service thread runs here, so base_ is write-safe.
+  // will subtract.  No worker runs here, so base_ is write-safe.
   for (std::uint32_t s = 0; s < pmu_.sockets(); ++s) {
     for (std::uint32_t c = 0; c < pmu_.channels(); ++c) {
       for (const nest::NestEventKind k : nest::kAllNestEventKinds) {
@@ -90,17 +219,19 @@ void Pmcd::restart_locked() {
       }
     }
   }
-  crashed_ = false;
+  crashed_.store(false, std::memory_order_release);
   generation_.fetch_add(1, std::memory_order_relaxed);
   selfmon::counter_add(selfmon::CounterId::PcpRestarts);
-  thread_ = std::thread([this] { serve(); });
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->worker = std::thread([this, s] { serve_shard(s); });
+  }
 }
 
 template <typename Reply, typename MakeReq>
-Reply Pmcd::round_trip(MakeReq&& make_req) {
+Reply Pmcd::round_trip(ClientId client, MakeReq&& make_req) {
   RpcOptions opt;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(plan_mu_);
     opt = rpc_;
   }
   std::exception_ptr last;
@@ -108,13 +239,24 @@ Reply Pmcd::round_trip(MakeReq&& make_req) {
   for (int attempt = 0; attempt <= opt.max_retries; ++attempt) {
     if (attempt > 0) {
       selfmon::counter_add(selfmon::CounterId::PcpRetries);
-      std::this_thread::sleep_for(opt.backoff_base *
-                                  (1 << std::min(attempt - 1, 20)));
+      // Seeded jitter desynchronizes the retry storm after a shared failure
+      // (N clients failed by one crash must not re-arrive in lockstep).
+      std::this_thread::sleep_for(
+          jittered_backoff(opt.backoff_base, opt.jitter_seed, client, attempt));
     }
     auto req = make_req();
     std::future<Reply> f = req.reply.get_future();
-    if (!post(Request{std::move(req)})) {
-      throw Error(Status::Shutdown, "pmcd: daemon is shutting down");
+    switch (post(Request{std::move(req)}, client)) {
+      case PostResult::ShuttingDown:
+        throw Error(Status::Shutdown, "pmcd: daemon is shutting down");
+      case PostResult::Overloaded:
+        timed_out = false;
+        last = std::make_exception_ptr(
+            Error(Status::Overloaded,
+                  "pmcd: request shed by fair-share admission (overloaded)"));
+        continue;
+      case PostResult::Accepted:
+        break;
     }
     if (f.wait_for(opt.timeout) != std::future_status::ready) {
       // Abandon the reply (a late or dropped one is harmless) and retry.
@@ -144,35 +286,37 @@ Reply Pmcd::round_trip(MakeReq&& make_req) {
   std::rethrow_exception(last);
 }
 
-LookupReply Pmcd::lookup(const std::string& name) {
-  return round_trip<LookupReply>([&] {
+LookupReply Pmcd::lookup(const std::string& name, ClientId client) {
+  return round_trip<LookupReply>(client, [&] {
     LookupReq req;
     req.name = name;
     return req;
   });
 }
 
-NamesReply Pmcd::names_under(const std::string& prefix) {
-  return round_trip<NamesReply>([&] {
+NamesReply Pmcd::names_under(const std::string& prefix, ClientId client) {
+  return round_trip<NamesReply>(client, [&] {
     NamesReq req;
     req.prefix = prefix;
     return req;
   });
 }
 
-FetchReply Pmcd::fetch(const std::vector<PmId>& pmids, std::uint32_t cpu) {
+FetchReply Pmcd::fetch(const std::vector<PmId>& pmids, std::uint32_t cpu,
+                       ClientId client) {
   // Client-visible round trip: enqueue to reply, the indirection latency the
   // paper's Section I weighs against direct privileged reads.
   const selfmon::Stopwatch rtt(selfmon::HistId::PcpFetchRttNs);
-  return round_trip<FetchReply>([&] {
+  return round_trip<FetchReply>(client, [&] {
     FetchReq req;
     req.pmids = pmids;
     req.cpu = cpu;
+    req.key = fetch_key(pmids, cpu);
     return req;
   });
 }
 
-void Pmcd::serve_request(Request& req) {
+void Pmcd::serve_control(Request& req) {
   if (auto* l = std::get_if<LookupReq>(&req)) {
     LookupReply reply;
     reply.pmid = pmns_.lookup(l->name);
@@ -182,62 +326,159 @@ void Pmcd::serve_request(Request& req) {
     NamesReply reply;
     reply.names = pmns_.names_under(n->prefix);
     n->reply.set_value(std::move(reply));
-  } else if (auto* fr = std::get_if<FetchReq>(&req)) {
-    FetchReply reply;
-    reply.ok = true;
-    reply.generation = generation_.load(std::memory_order_relaxed);
-    reply.values.reserve(fr->pmids.size());
-    if (fr->cpu >= machine_.config().usable_cpus()) {
-      reply.ok = false;
-      reply.error = "instance (cpu) out of range";
-    } else {
-      const std::uint32_t socket = machine_.socket_of_cpu(fr->cpu);
-      for (const PmId pmid : fr->pmids) {
-        const MetricDesc* d = pmns_.descriptor(pmid);
-        if (d == nullptr) {
-          reply.ok = false;
-          reply.error = "unknown pmid " + std::to_string(pmid);
-          reply.values.clear();
-          break;
-        }
-        nest::NestEventId ev = d->event;
-        ev.socket = socket;
-        reply.values.push_back(pmu_.read(ev) -
-                               base_[counter_slot(ev.socket, ev.channel, ev.kind)]);
-      }
-    }
-    fr->reply.set_value(std::move(reply));
   }
 }
 
-void Pmcd::serve() {
+FetchReply Pmcd::compute_fetch(const FetchReq& req) {
+  FetchReply reply;
+  reply.ok = true;
+  reply.generation = generation_.load(std::memory_order_relaxed);
+  reply.values.reserve(req.pmids.size());
+  if (req.cpu >= machine_.config().usable_cpus()) {
+    reply.ok = false;
+    reply.error = "instance (cpu) out of range";
+  } else {
+    const std::uint32_t socket = machine_.socket_of_cpu(req.cpu);
+    for (const PmId pmid : req.pmids) {
+      const MetricDesc* d = pmns_.descriptor(pmid);
+      if (d == nullptr) {
+        reply.ok = false;
+        reply.error = "unknown pmid " + std::to_string(pmid);
+        reply.values.clear();
+        break;
+      }
+      nest::NestEventId ev = d->event;
+      ev.socket = socket;
+      reply.values.push_back(
+          pmu_.read(ev) - base_[counter_slot(ev.socket, ev.channel, ev.kind)]);
+    }
+  }
+  return reply;
+}
+
+FetchReply Pmcd::serve_fetch_cached(Shard& shard, const FetchReq& req) {
+  const auto ttl = options_.fetch_cache_ttl;
+  if (ttl.count() <= 0) return compute_fetch(req);
+  const std::uint64_t gen = generation_.load(std::memory_order_relaxed);
+  const auto now = std::chrono::steady_clock::now();
+  const auto it = shard.cache.find(req.key);
+  if (it != shard.cache.end() && it->second.generation == gen &&
+      now - it->second.stamped <= ttl) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    selfmon::counter_add(selfmon::CounterId::PcpCacheHits);
+    FetchReply reply;
+    reply.ok = true;
+    reply.generation = gen;
+    reply.values = it->second.values;
+    return reply;
+  }
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  selfmon::counter_add(selfmon::CounterId::PcpCacheMisses);
+  FetchReply reply = compute_fetch(req);
+  if (reply.ok) {
+    if (shard.cache.size() >= options_.fetch_cache_capacity) {
+      shard.cache.clear();  // crude but bounded; hot keys re-enter on the next miss
+    }
+    shard.cache[req.key] =
+        Shard::CacheEntry{reply.values, reply.generation, now};
+  }
+  return reply;
+}
+
+std::vector<Pmcd::Queued> Pmcd::extract_coalescable(Shard& shard,
+                                                    const std::string& key) {
+  std::vector<Queued> out;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.queue.begin(); it != shard.queue.end();) {
+      auto* fr = std::get_if<FetchReq>(&it->req);
+      if (fr != nullptr && fr->key == key) {
+        out.push_back(std::move(*it));
+        it = shard.queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const Queued& q : out) finish_dequeue(q);
+  return out;
+}
+
+void Pmcd::crash_pool() {
+  // Order matters: the flag first, so workers racing the sweep exit rather
+  // than serve from a dead incarnation.
+  crashed_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    std::deque<Queued> doomed;
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      doomed.swap(shard->queue);
+    }
+    for (Queued& q : doomed) {
+      finish_dequeue(q);
+      fail_request(q.req, Error(Status::Internal,
+                                "pmcd: daemon crashed with the request queued"));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(dropped_mu_);
+    for (Request& d : dropped_) {
+      fail_request(d, Error(Status::Internal,
+                            "pmcd: daemon crashed with the reply outstanding"));
+    }
+    dropped_.clear();
+  }
+  selfmon::gauge_set(selfmon::GaugeId::PcpQueueDepth, 0);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->cv.notify_all();
+  }
+}
+
+void Pmcd::publish_ratio_gauges() {
+  const std::uint64_t resolved =
+      fetches_resolved_.load(std::memory_order_relaxed);
+  const std::uint64_t co = coalesced_.load(std::memory_order_relaxed);
+  selfmon::gauge_set(
+      selfmon::GaugeId::PcpCoalesceRatioPpm,
+      resolved == 0 ? 0
+                    : static_cast<std::int64_t>(co * 1'000'000 / resolved));
+  const std::uint64_t hits = cache_hits_.load(std::memory_order_relaxed);
+  const std::uint64_t misses = cache_misses_.load(std::memory_order_relaxed);
+  selfmon::gauge_set(
+      selfmon::GaugeId::PcpCacheHitRatePpm,
+      hits + misses == 0
+          ? 0
+          : static_cast<std::int64_t>(hits * 1'000'000 / (hits + misses)));
+}
+
+void Pmcd::serve_shard(std::uint32_t shard_index) {
+  Shard& shard = *shards_[shard_index];
   for (;;) {
-    Request req;
+    Queued q;
+    {
+      std::unique_lock<std::mutex> lock(shard.mu);
+      shard.cv.wait(lock, [&] {
+        return !shard.queue.empty() ||
+               draining_.load(std::memory_order_acquire) ||
+               crashed_.load(std::memory_order_acquire);
+      });
+      if (crashed_.load(std::memory_order_acquire)) {
+        return;  // another shard's worker crashed the pool; it sweeps
+      }
+      if (shard.queue.empty()) return;  // draining, and drained
+      q = std::move(shard.queue.front());
+      shard.queue.pop_front();
+    }
+    finish_dequeue(q);
+
     FaultPlan plan;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return !queue_.empty(); });
-      req = std::move(queue_.front());
-      queue_.pop_front();
-      selfmon::gauge_set(selfmon::GaugeId::PcpQueueDepth,
-                         static_cast<std::int64_t>(queue_.size()));
+      std::lock_guard<std::mutex> lock(plan_mu_);
       plan = plan_;
     }
-
-    if (std::holds_alternative<StopReq>(req)) {
-      // Drain-then-stop: the mailbox protocol guarantees nothing is queued
-      // behind the StopReq (accepting_ flips under the same lock that posts
-      // it), so only parked Drop victims remain to be failed.
-      std::lock_guard<std::mutex> lock(mu_);
-      for (Request& d : dropped_) {
-        fail_request(d, Error(Status::Shutdown,
-                              "pmcd: shut down with the reply outstanding"));
-      }
-      dropped_.clear();
-      return;
-    }
-
-    const FaultKind fault = plan.roll(service_index_++);
+    const FaultKind fault =
+        plan.roll(service_index_.fetch_add(1, std::memory_order_relaxed));
     if (fault != FaultKind::None) {
       faults_injected_.fetch_add(1, std::memory_order_relaxed);
       selfmon::counter_add(selfmon::CounterId::PcpFaultsInjected);
@@ -246,45 +487,54 @@ void Pmcd::serve() {
       case FaultKind::Drop: {
         // Swallow the request but keep its promise alive: the client sees
         // silence (and must time out), not a broken promise.
-        std::lock_guard<std::mutex> lock(mu_);
-        dropped_.push_back(std::move(req));
+        std::lock_guard<std::mutex> lock(dropped_mu_);
+        dropped_.push_back(std::move(q.req));
         continue;
       }
       case FaultKind::Delay:
         std::this_thread::sleep_for(std::chrono::microseconds(plan.delay_us));
         break;  // then serve normally
       case FaultKind::Error:
-        fail_request(req, Error(Status::Internal,
-                                "pmcd: injected transient fault"));
+        fail_request(q.req,
+                     Error(Status::Internal, "pmcd: injected transient fault"));
         continue;
-      case FaultKind::Crash: {
+      case FaultKind::Crash:
         // The daemon dies mid-request: the in-flight request and everything
-        // queued behind it fail like lost connections, then the service
-        // thread exits.  The supervisor (post) restarts it on demand.
-        fail_request(req, Error(Status::Internal,
-                                "pmcd: daemon crashed serving the request"));
-        std::lock_guard<std::mutex> lock(mu_);
-        for (Request& q : queue_) {
-          fail_request(q, Error(Status::Internal,
-                                "pmcd: daemon crashed with the request queued"));
-        }
-        queue_.clear();
-        selfmon::gauge_set(selfmon::GaugeId::PcpQueueDepth, 0);
-        for (Request& d : dropped_) {
-          fail_request(d, Error(Status::Internal,
-                                "pmcd: daemon crashed with the reply outstanding"));
-        }
-        dropped_.clear();
-        crashed_ = true;
+        // queued behind it -- on every shard -- fail like lost connections,
+        // then the pool exits.  The supervisor (post) restarts it on demand.
+        fail_request(q.req, Error(Status::Internal,
+                                  "pmcd: daemon crashed serving the request"));
+        crash_pool();
         return;
-      }
       case FaultKind::None:
         break;
     }
 
-    requests_served_.fetch_add(1, std::memory_order_relaxed);
-    selfmon::counter_add(selfmon::CounterId::PcpRequestsServed);
-    serve_request(req);
+    if (auto* fr = std::get_if<FetchReq>(&q.req)) {
+      // Coalescing: identical fetches still queued on this shard are
+      // resolved from this one counter read.  Followers bypass their own
+      // fault roll -- a coalesced batch shares the leader's fate.
+      std::vector<Queued> followers = extract_coalescable(shard, fr->key);
+      FetchReply reply = serve_fetch_cached(shard, *fr);
+      const std::uint64_t n = 1 + followers.size();
+      requests_served_.fetch_add(n, std::memory_order_relaxed);
+      selfmon::counter_add(selfmon::CounterId::PcpRequestsServed, n);
+      fetches_resolved_.fetch_add(n, std::memory_order_relaxed);
+      if (!followers.empty()) {
+        coalesced_.fetch_add(followers.size(), std::memory_order_relaxed);
+        selfmon::counter_add(selfmon::CounterId::PcpFetchesCoalesced,
+                             followers.size());
+      }
+      publish_ratio_gauges();
+      for (Queued& f : followers) {
+        std::get<FetchReq>(f.req).reply.set_value(reply);
+      }
+      fr->reply.set_value(std::move(reply));
+    } else {
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      selfmon::counter_add(selfmon::CounterId::PcpRequestsServed);
+      serve_control(q.req);
+    }
   }
 }
 

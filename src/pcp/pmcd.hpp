@@ -1,26 +1,47 @@
-// PMCD: the Performance Metrics Collector Daemon.
+// PMCD: the Performance Metrics Collector Daemon, as a multi-tenant service.
 //
 // On Summit the PMCD runs with the elevated privileges needed to program and
-// read the nest PMU, and ordinary users query it over a socket.  Here the
-// daemon is a real thread holding a root-credentialed NestPmu; clients talk
-// to it through a mailbox protocol (request queue + per-request promise),
-// which preserves the essential property the paper studies: user-space reads
-// go through an indirection layer with a round-trip cost.
+// read the nest PMU, and *every* user's counter reads on the node go through
+// it.  Here the daemon is a sharded worker pool holding a root-credentialed
+// NestPmu; clients talk to it through per-shard mailboxes (request queue +
+// per-request promise), which preserves the essential property the paper
+// studies: user-space reads go through an indirection layer with a
+// round-trip cost -- now one that must stay bounded no matter how many
+// tenants hammer it.
+//
+// Service model (DESIGN.md "Multi-tenant PMCD"):
+//  * Sharded-by-namespace worker pool: requests hash (by metric name /
+//    fetch key) onto N shards, each drained by its own service thread, so
+//    independent namespaces never serialize behind one mailbox.
+//  * Request coalescing: when a fetch is dequeued, identical fetches still
+//    queued on the same shard are resolved from the same counter read (they
+//    share the leader's reply and, for fault purposes, the leader's fate).
+//  * Short-TTL fetch cache: a shard-local reply cache (off by default,
+//    PmcdOptions::fetch_cache_ttl) absorbs fetch storms for hot keys;
+//    entries are invalidated by daemon restarts (generation) and by TTL.
+//  * Fair-share admission: per-tenant and total queue-depth bounds.  A
+//    request over either bound is shed with the typed Status::Overloaded --
+//    explicit backpressure, never queue collapse or an unbounded wait.
 //
 // Because the indirection layer is a failure domain of its own, the daemon
 // carries a fault-injection and resilience model (DESIGN.md "PCP fault
 // model"):
 //  * A seeded FaultPlan can drop, delay, error, or crash-and-restart the
-//    service thread per request, deterministically.
+//    service per request, deterministically.
 //  * Every client round-trip has a deadline (wait-with-timeout on the reply
-//    future) and bounded retry with exponential backoff; exhaustion surfaces
-//    Error(Status::Timeout), never an indefinite hang.
+//    future) and bounded retry with seeded-jitter exponential backoff
+//    (pcp/backoff.hpp), so N clients failed by one crash do not re-arrive
+//    in lockstep; exhaustion surfaces Error(Status::Timeout) (silence),
+//    Error(Status::Internal) (persistent transient faults) or
+//    Error(Status::Overloaded) (persistent shedding), never a hang.
 //  * Shutdown is drain-then-stop: requests accepted before shutdown are
 //    served; requests racing with or arriving after shutdown fail fast with
 //    Error(Status::Shutdown).  No promise is ever silently broken.
-//  * A crashed service thread is restarted by a supervisor on the next post;
-//    each incarnation re-baselines the monotonic counters (values restart
-//    near zero, like a real collector that reports since-daemon-start), and
+//  * A crash kills the whole worker pool: the in-flight request and
+//    everything queued behind it (on every shard) fail with typed errors,
+//    then the supervisor restarts the pool on the next post.  Each
+//    incarnation re-baselines the monotonic counters (values restart near
+//    zero, like a real collector that reports since-daemon-start), and
 //    FetchReply::generation lets clients detect the discontinuity.
 #pragma once
 
@@ -30,10 +51,12 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <variant>
 #include <vector>
 
@@ -44,6 +67,10 @@
 #include "sim/machine.hpp"
 
 namespace papisim::pcp {
+
+/// Tenant identity for fair-share admission.  0 is the anonymous tenant
+/// (direct daemon calls); PcpClient registers a distinct id per client.
+using ClientId = std::uint64_t;
 
 /// A fetch result: one value per requested pmid.
 struct FetchReply {
@@ -67,20 +94,39 @@ struct NamesReply {
 };
 
 /// Client-side round-trip policy: per-attempt deadline, bounded retry with
-/// exponential backoff.  Transient failures (timeout, injected error, daemon
-/// crash) are retried; Status::Shutdown is terminal.
+/// seeded-jitter exponential backoff (pcp/backoff.hpp).  Transient failures
+/// (timeout, injected error, daemon crash, overload shed) are retried;
+/// Status::Shutdown is terminal.
 struct RpcOptions {
   std::chrono::milliseconds timeout{2000};   ///< per-attempt reply deadline
   int max_retries = 3;                       ///< attempts = max_retries + 1
   std::chrono::microseconds backoff_base{100};  ///< doubles per retry
+  /// Seed of the deterministic backoff jitter; mixed with the client id so
+  /// distinct clients desynchronize after a shared failure.
+  std::uint64_t jitter_seed = 0x5DEECE66Dull;
+};
+
+/// Service-side scaling knobs.  The defaults keep single-client callers
+/// (every pre-scale test) behaviorally identical to the historic mailbox:
+/// generous bounds, cache off.
+struct PmcdOptions {
+  std::uint32_t shards = 4;                    ///< worker pool width
+  std::uint32_t per_tenant_queue_limit = 64;   ///< queued requests per tenant
+  std::uint32_t total_queue_limit = 4096;      ///< queued requests, all shards
+  /// Fetch replies younger than this are served from the shard cache
+  /// without re-reading the PMU.  0 disables the cache.  A cached value can
+  /// be up to one TTL stale -- the staleness bound the freshness probe
+  /// (pcp/probe_freshness.hpp) enforces.
+  std::chrono::microseconds fetch_cache_ttl{0};
+  std::size_t fetch_cache_capacity = 1024;     ///< entries per shard before flush
 };
 
 /// The daemon.  Owns the PMNS and the privileged nest handle.
 class Pmcd {
  public:
-  /// Starts the daemon thread.  The daemon itself opens the nest PMU with
+  /// Starts the worker pool.  The daemon itself opens the nest PMU with
   /// root credentials -- this is the privilege boundary being modelled.
-  explicit Pmcd(sim::Machine& machine);
+  explicit Pmcd(sim::Machine& machine, PmcdOptions options = {});
   ~Pmcd();
 
   Pmcd(const Pmcd&) = delete;
@@ -89,22 +135,27 @@ class Pmcd {
   // --- client-side entry points (thread-safe, synchronous round-trips) ---
   // Each call is a deadline-bounded round trip with retry (RpcOptions).
   // @throws Error(Status::Timeout) when every attempt missed its deadline,
-  // Error(Status::Shutdown) when the daemon is (or goes) down, and
+  // Error(Status::Shutdown) when the daemon is (or goes) down,
+  // Error(Status::Overloaded) when every attempt was shed at admission, and
   // Error(Status::Internal) when retries exhaust on transient faults.
 
+  /// Register a tenant for fair-share admission; ids are never reused.
+  ClientId register_client();
+
   /// pmLookupName.
-  LookupReply lookup(const std::string& name);
+  LookupReply lookup(const std::string& name, ClientId client = 0);
 
   /// pmGetChildren / pmTraversePMNS over a prefix.
-  NamesReply names_under(const std::string& prefix);
+  NamesReply names_under(const std::string& prefix, ClientId client = 0);
 
   /// pmFetch: read `pmids` for the instance (hardware thread) `cpu`.
-  FetchReply fetch(const std::vector<PmId>& pmids, std::uint32_t cpu);
+  FetchReply fetch(const std::vector<PmId>& pmids, std::uint32_t cpu,
+                   ClientId client = 0);
 
   // --- lifecycle & fault injection ---
 
-  /// Drain-then-stop: requests already accepted are served, then the service
-  /// thread exits; posts racing with or following shutdown fail fast with
+  /// Drain-then-stop: requests already accepted are served, then the worker
+  /// pool exits; posts racing with or following shutdown fail fast with
   /// Error(Status::Shutdown).  Idempotent; the destructor calls it.
   void shutdown();
 
@@ -114,7 +165,12 @@ class Pmcd {
   /// Override the round-trip policy (thread-safe).
   void set_rpc_options(const RpcOptions& opt);
 
+  /// Re-tune admission bounds at runtime (thread-safe).  Used by overload
+  /// tests and by operators recovering a saturated node.
+  void set_admission_limits(std::uint32_t per_tenant, std::uint32_t total);
+
   const Pmns& pmns() const { return pmns_; }
+  const PmcdOptions& options() const { return options_; }
   std::uint64_t requests_served() const {
     return requests_served_.load(std::memory_order_relaxed);
   }
@@ -126,6 +182,18 @@ class Pmcd {
   std::uint64_t faults_injected() const {
     return faults_injected_.load(std::memory_order_relaxed);
   }
+  /// Fetches resolved by another fetch's counter read.
+  std::uint64_t coalesced() const {
+    return coalesced_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t cache_misses() const {
+    return cache_misses_.load(std::memory_order_relaxed);
+  }
+  /// Requests rejected at admission (Status::Overloaded backpressure).
+  std::uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
 
  private:
   struct LookupReq {
@@ -139,68 +207,135 @@ class Pmcd {
   struct FetchReq {
     std::vector<PmId> pmids;
     std::uint32_t cpu = 0;
+    std::string key;  ///< coalescing/cache key: cpu + pmids, built at post
     std::promise<FetchReply> reply;
   };
-  struct StopReq {};
-  using Request = std::variant<LookupReq, NamesReq, FetchReq, StopReq>;
+  using Request = std::variant<LookupReq, NamesReq, FetchReq>;
 
-  void serve();
+  /// A queued request plus its tenant's pending-count cell (decremented at
+  /// dequeue, lock-free, so workers never touch the admission mutex).
+  struct Queued {
+    Request req;
+    std::atomic<std::uint32_t>* tenant = nullptr;
+  };
 
-  /// Enqueue under the mailbox lock; restarts a crashed service thread
-  /// first (the supervisor path).  False when shutting down -- the request
-  /// was NOT enqueued and its promise is untouched.
-  bool post(Request req);
+  /// One worker's mailbox plus its reply cache.  The cache is touched only
+  /// by the owning worker (single consumer), so it needs no lock; restarts
+  /// clear it with the pool joined.
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Queued> queue;  ///< guarded by mu
 
-  /// Join the crashed incarnation, re-baseline the counters, start the
-  /// next incarnation.  Caller holds mu_.
+    struct CacheEntry {
+      std::vector<std::uint64_t> values;
+      std::uint64_t generation = 0;
+      std::chrono::steady_clock::time_point stamped;
+    };
+    std::unordered_map<std::string, CacheEntry> cache;  ///< worker-only
+    std::thread worker;
+  };
+
+  enum class PostResult { Accepted, Overloaded, ShuttingDown };
+
+  void serve_shard(std::uint32_t shard_index);
+
+  /// Admission: restart a crashed pool (supervisor path), enforce the
+  /// fair-share bounds, enqueue onto the request's shard.
+  PostResult post(Request req, ClientId client);
+
+  /// Join the crashed pool, fail any residually queued requests, re-baseline
+  /// the counters, start the next incarnation.  Caller holds mu_.
   void restart_locked();
 
-  /// Fail a pending request's promise with `err` (no-op for StopReq).
+  /// Fail a pending request's promise with `err`.
   static void fail_request(Request& req, const Error& err);
 
   /// Deadline + retry loop shared by lookup/names_under/fetch.
   template <typename Reply, typename MakeReq>
-  Reply round_trip(MakeReq&& make_req);
+  Reply round_trip(ClientId client, MakeReq&& make_req);
 
-  /// Serve one non-stop request (sets the promise).  `index` is the
-  /// deterministic service index used for the fault roll.
-  void serve_request(Request& req);
+  /// Tenant pending-count cell for `client` (slot 0 for unknown ids).
+  /// Caller holds mu_.
+  std::atomic<std::uint32_t>* tenant_slot_locked(ClientId client);
+
+  /// Dequeue bookkeeping: pending counts and the queue-depth gauge.
+  void finish_dequeue(const Queued& q);
+
+  /// Serve one lookup/names request (sets the promise).
+  void serve_control(Request& req);
+
+  /// Serve a fetch through the shard cache (TTL + generation checks).
+  FetchReply serve_fetch_cached(Shard& shard, const FetchReq& req);
+
+  /// Read the PMU for one fetch (no cache).
+  FetchReply compute_fetch(const FetchReq& req);
+
+  /// Pull every queued fetch on `shard` with `key` out of the queue.
+  std::vector<Queued> extract_coalescable(Shard& shard, const std::string& key);
+
+  /// The crash protocol: fail everything queued on every shard (and every
+  /// parked drop victim), mark the pool crashed, wake the other workers so
+  /// they exit.  Called by the crashing worker.
+  void crash_pool();
+
+  void publish_ratio_gauges();
+
+  std::uint32_t shard_of(const Request& req) const;
 
   std::size_t counter_slot(std::uint32_t socket, std::uint32_t channel,
                            nest::NestEventKind kind) const;
 
   sim::Machine& machine_;
+  PmcdOptions options_;
   Pmns pmns_;
   nest::NestPmu pmu_;  ///< opened with root credentials by the daemon
 
+  /// Admission/lifecycle mutex: accepting_, tenant table, admission limits,
+  /// and the supervisor restart.  Workers NEVER take it (they use shard
+  /// locks and lock-free counts), so restart_locked can join them while
+  /// holding it.
   std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Request> queue_;
+  bool accepting_ = true;                       ///< guarded by mu_
+  std::uint32_t per_tenant_queue_limit_;        ///< guarded by mu_
+  std::uint32_t total_queue_limit_;             ///< guarded by mu_
+  /// Pending-queue count per tenant; index = ClientId, slot 0 = anonymous.
+  /// Grown only under mu_; cells are referenced lock-free from Queued.
+  std::vector<std::unique_ptr<std::atomic<std::uint32_t>>> tenants_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Pool state flags: written under mu_ (shutdown/restart) or by the
+  /// crashing worker; read lock-free in worker wait predicates.
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> crashed_{false};
+
+  std::mutex plan_mu_;  ///< guards plan_ and rpc_
+  FaultPlan plan_;
+  RpcOptions rpc_;
+
   /// Requests swallowed by Drop faults: parked (promise kept alive) so the
-  /// client sees silence, not a broken promise; failed with Shutdown at
-  /// drain time.
+  /// client sees silence, not a broken promise; failed at crash or drain.
+  std::mutex dropped_mu_;
   std::vector<Request> dropped_;
-  bool accepting_ = true;   ///< guarded by mu_
-  bool crashed_ = false;    ///< guarded by mu_; true between crash and restart
-  bool stop_posted_ = false;  ///< guarded by mu_
-  FaultPlan plan_;          ///< guarded by mu_
-  RpcOptions rpc_;          ///< guarded by mu_
 
   /// Per-counter baseline subtracted from raw PMU reads; rewritten only
-  /// between incarnations (no service thread running), read lock-free by
-  /// the service thread.
+  /// between incarnations (no worker running), read lock-free by workers.
   std::vector<std::uint64_t> base_;
 
-  /// Deterministic fault-roll index; touched only by the service thread
-  /// (successive incarnations are ordered by join/create).
-  std::uint64_t service_index_ = 0;
+  std::atomic<std::uint32_t> total_queued_{0};
+  std::atomic<std::uint64_t> service_index_{0};  ///< fault-roll index, dequeue order
 
   std::atomic<std::uint64_t> requests_served_{0};
   std::atomic<std::uint64_t> generation_{1};
   std::atomic<std::uint64_t> faults_injected_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> fetches_resolved_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
+  std::atomic<std::uint64_t> shed_{0};
 
   std::mutex lifecycle_mu_;  ///< serializes shutdown()/destructor joins
-  std::thread thread_;
 };
 
 }  // namespace papisim::pcp

@@ -1,0 +1,33 @@
+// Refutation probe for the PMCD fetch cache: "coalescing/caching does not
+// stale-serve beyond its contract".
+//
+// The multi-tenant daemon may serve a fetch from its short-TTL shard cache
+// (PmcdOptions::fetch_cache_ttl) instead of re-reading the PMU.  The
+// staleness contract is exactly one TTL: a fetch issued *within* the TTL of
+// a cached reply may observe a value up to one TTL old, but a fetch issued
+// *beyond* the TTL after the counters advanced MUST observe the new value.
+// A broken cache (missing generation/TTL invalidation, key aliasing) would
+// silently freeze user-visible counters -- the worst failure mode for a
+// metrics service -- so the contract is probed CounterPoint-style with a
+// must-fire and a must-not-fire arm (see src/probe/probe.hpp):
+//
+//   within-ttl arm   prime the cache, advance the counter, re-fetch
+//                    immediately under a long TTL -> the reply must come
+//                    from the cache (stale; freshness indicator 0)
+//   beyond-ttl arm   prime, advance, wait out a short TTL, re-fetch -> the
+//                    reply must observe the advance (fresh; indicator 1)
+//
+// Effect size = mean(beyond-ttl freshness) - mean(within-ttl freshness),
+// expected 1.0.  "Always stale" and "cache never engaged" both drive the
+// contrast to zero and REFUTE.  Run via `papisim-probe --pcp`.
+#pragma once
+
+#include "probe/probe.hpp"
+
+namespace papisim::pcp {
+
+/// Self-contained sweep on a summit-config machine (deterministic except for
+/// host sleeps, which only need to exceed/undershoot the arms' TTLs).
+probe::MechanismReport probe_fetch_cache_freshness();
+
+}  // namespace papisim::pcp

@@ -26,6 +26,14 @@ constexpr MetricInfo kCounterInfo[kNumCounters] = {
     {"pcp.faults_injected", "PMCD requests faulted by the active FaultPlan", "faults"},
     {"pcp.restarts", "crashed PMCD service threads revived by the supervisor",
      "restarts"},
+    {"pcp.coalesced",
+     "queued identical fetches resolved by another fetch's counter read",
+     "requests"},
+    {"pcp.cache_hits", "fetches served from the short-TTL reply cache", "requests"},
+    {"pcp.cache_misses", "fetches that consulted the cache and read the PMU",
+     "requests"},
+    {"pcp.overload_shed",
+     "requests rejected at admission by fair-share backpressure", "requests"},
     {"sampler.rows", "timeline rows recorded by Sampler::sample()", "rows"},
     {"runner.reps", "kernel repetitions executed by KernelRunner", "reps"},
     {"runner.reps_replayed",
@@ -38,7 +46,11 @@ constexpr MetricInfo kCounterInfo[kNumCounters] = {
 };
 
 constexpr MetricInfo kGaugeInfo[kNumGauges] = {
-    {"pcp.queue_depth", "requests currently queued at the PMCD", "requests"},
+    {"pcp.queue_depth", "requests currently queued at the PMCD (all shards)",
+     "requests"},
+    {"pcp.coalesce_ratio_ppm",
+     "coalesced fetches per million resolved fetches", "ppm"},
+    {"pcp.cache_hit_ppm", "cache hits per million cache consultations", "ppm"},
 };
 
 constexpr MetricInfo kHistInfo[kNumHists] = {

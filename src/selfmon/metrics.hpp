@@ -55,6 +55,10 @@ enum class CounterId : std::uint16_t {
   PcpTimeouts,             ///< round-trip attempts that missed the client deadline
   PcpFaultsInjected,       ///< requests faulted by the active FaultPlan
   PcpRestarts,             ///< crashed PMCD service threads revived by the supervisor
+  PcpFetchesCoalesced,     ///< queued fetches resolved by another fetch's counter read
+  PcpCacheHits,            ///< fetches served from the short-TTL reply cache
+  PcpCacheMisses,          ///< fetches that consulted the cache and read the PMU
+  PcpOverloadShed,         ///< requests rejected at admission (fair-share backpressure)
   SamplerRows,             ///< timeline rows recorded by Sampler::sample()
   RunnerReps,              ///< kernel repetitions executed (simulated or replayed)
   RunnerRepsReplayed,      ///< repetitions served from the recorded fast path
@@ -65,7 +69,9 @@ enum class CounterId : std::uint16_t {
 
 /// Instantaneous gauges.  Order must match kGaugeInfo in metrics.cpp.
 enum class GaugeId : std::uint16_t {
-  PcpQueueDepth,  ///< requests currently queued at the PMCD
+  PcpQueueDepth,         ///< requests currently queued at the PMCD (all shards)
+  PcpCoalesceRatioPpm,   ///< coalesced fetches per million resolved fetches
+  PcpCacheHitRatePpm,    ///< cache hits per million cache consultations
   kCount,
 };
 

@@ -1,0 +1,455 @@
+// Multi-tenant PMCD scale tests: request coalescing, the short-TTL fetch
+// cache, fair-share admission with typed Overloaded backpressure, seeded
+// retry jitter, generation monotonicity under concurrent crash-restarts,
+// and the 64-client shutdown-while-saturated stress (the PcpScaleStress
+// suite also runs under the sanitizer CI leg via the pcp-stress label).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <future>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "components/pcp_component.hpp"
+#include "core/library.hpp"
+#include "pcp/backoff.hpp"
+#include "pcp/client.hpp"
+#include "pcp/fault.hpp"
+#include "pcp/pmcd.hpp"
+
+namespace papisim::pcp {
+namespace {
+
+using namespace std::chrono_literals;
+
+using sim::Machine;
+using sim::MachineConfig;
+using sim::MemDir;
+
+/// Harness-side deadline (same idiom as test_pcp_faults.cpp): fail instead
+/// of wedging the suite if the resilience layer regresses into a hang.
+void run_with_deadline(const std::function<void()>& fn,
+                       std::chrono::seconds deadline = 120s) {
+  std::packaged_task<void()> task(fn);
+  std::future<void> done = task.get_future();
+  std::thread worker(std::move(task));
+  if (done.wait_for(deadline) != std::future_status::ready) {
+    ADD_FAILURE() << "operation exceeded the harness deadline (hang)";
+    worker.detach();
+    return;
+  }
+  worker.join();
+  done.get();
+}
+
+PmId read_pmid(Pmcd& daemon, int channel) {
+  const auto reply = daemon.lookup(
+      "perfevent.hwcounters.nest_mba" + std::to_string(channel) +
+      "_imc.PM_MBA" + std::to_string(channel) + "_READ_BYTES");
+  EXPECT_TRUE(reply.ok);
+  return *reply.pmid;
+}
+
+// ------------------------------------------------------------------------
+// Request coalescing.
+
+TEST(PcpScale, IdenticalQueuedFetchesCoalesceOntoOneRead) {
+  Machine machine(MachineConfig::summit());
+  machine.set_noise_enabled(false);
+  PmcdOptions opt;
+  opt.shards = 1;  // one mailbox, so identical fetches queue behind the leader
+  Pmcd daemon(machine, opt);
+  RpcOptions rpc;
+  rpc.timeout = 10s;
+  rpc.max_retries = 0;
+  daemon.set_rpc_options(rpc);
+  const PmId pmid = read_pmid(daemon, 0);
+
+  // Stall each leader for 50 ms so the burst piles up behind it; the leader
+  // then resolves every identical queued fetch from its one counter read.
+  FaultPlan plan;
+  plan.delay_rate = 1.0;
+  plan.delay_us = 50'000;
+  daemon.set_fault_plan(plan);
+
+  machine.memctrl(0).add_line(0, MemDir::Read);
+  constexpr int kClients = 8;
+  const std::uint64_t served_before = daemon.requests_served();
+  std::vector<std::uint64_t> values(kClients, 0);
+  std::atomic<int> failures{0};
+  run_with_deadline([&] {
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int t = 0; t < kClients; ++t) {
+      threads.emplace_back([&, t] {
+        try {
+          const FetchReply r = daemon.fetch({pmid}, 0);
+          ASSERT_TRUE(r.ok);
+          values[static_cast<std::size_t>(t)] = r.values[0];
+        } catch (const Error&) {
+          ++failures;
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  });
+
+  ASSERT_EQ(failures.load(), 0);
+  // All clients landed within the leader's 50 ms stall, so at least one
+  // follower must have been coalesced -- and followers count as served.
+  EXPECT_GT(daemon.coalesced(), 0u);
+  EXPECT_EQ(daemon.requests_served() - served_before,
+            static_cast<std::uint64_t>(kClients));
+  for (const std::uint64_t v : values) EXPECT_EQ(v, 64u);
+}
+
+// ------------------------------------------------------------------------
+// Short-TTL fetch cache.
+
+TEST(PcpScale, CacheServesWithinTtlWithoutRereadingPmu) {
+  Machine machine(MachineConfig::summit());
+  machine.set_noise_enabled(false);
+  PmcdOptions opt;
+  opt.fetch_cache_ttl = 10s;  // everything in this test is "within TTL"
+  Pmcd daemon(machine, opt);
+  const PmId pmid = read_pmid(daemon, 0);
+
+  machine.memctrl(0).add_line(0, MemDir::Read);
+  EXPECT_EQ(daemon.fetch({pmid}, 0).values[0], 64u);  // miss, populates
+  EXPECT_EQ(daemon.cache_misses(), 1u);
+  EXPECT_EQ(daemon.fetch({pmid}, 0).values[0], 64u);  // hit
+  EXPECT_EQ(daemon.cache_hits(), 1u);
+
+  // Within the TTL a cached reply may be (boundedly) stale: the advance is
+  // invisible until the entry expires.  This is the contract the freshness
+  // probe (papisim-probe --pcp) enforces from the outside.
+  machine.memctrl(0).add_line(0, MemDir::Read);
+  EXPECT_EQ(daemon.fetch({pmid}, 0).values[0], 64u);
+  EXPECT_EQ(daemon.cache_hits(), 2u);
+}
+
+TEST(PcpScale, CacheExpiresByTtlAndObservesAdvance) {
+  Machine machine(MachineConfig::summit());
+  machine.set_noise_enabled(false);
+  PmcdOptions opt;
+  opt.fetch_cache_ttl = 1ms;
+  Pmcd daemon(machine, opt);
+  const PmId pmid = read_pmid(daemon, 0);
+
+  machine.memctrl(0).add_line(0, MemDir::Read);
+  EXPECT_EQ(daemon.fetch({pmid}, 0).values[0], 64u);
+  machine.memctrl(0).add_line(0, MemDir::Read);
+  std::this_thread::sleep_for(10ms);  // wait out the TTL
+  EXPECT_EQ(daemon.fetch({pmid}, 0).values[0], 128u);
+  EXPECT_GE(daemon.cache_misses(), 2u);
+}
+
+TEST(PcpScale, CrashRestartInvalidatesCacheAndRebaselines) {
+  Machine machine(MachineConfig::summit());
+  machine.set_noise_enabled(false);
+  PmcdOptions opt;
+  opt.fetch_cache_ttl = 10s;
+  Pmcd daemon(machine, opt);
+  RpcOptions rpc;
+  rpc.timeout = 1s;
+  rpc.max_retries = 0;
+  daemon.set_rpc_options(rpc);
+  const PmId pmid = read_pmid(daemon, 0);
+
+  machine.memctrl(0).add_line(0, MemDir::Read);
+  const FetchReply before = daemon.fetch({pmid}, 0);
+  EXPECT_EQ(before.values[0], 64u);
+  EXPECT_EQ(before.generation, 1u);
+
+  FaultPlan plan;
+  plan.crash_rate = 1.0;
+  daemon.set_fault_plan(plan);
+  run_with_deadline([&] { EXPECT_THROW((void)daemon.fetch({pmid}, 0), Error); });
+  daemon.set_fault_plan(FaultPlan{});
+
+  // A 10 s TTL must NOT leak the dead incarnation's 64 into generation 2:
+  // restarts clear the shard caches and re-baseline the counters.
+  const FetchReply after = daemon.fetch({pmid}, 0);
+  ASSERT_TRUE(after.ok);
+  EXPECT_EQ(after.generation, 2u);
+  EXPECT_EQ(after.values[0], 0u);
+}
+
+// ------------------------------------------------------------------------
+// Fair-share admission and Overloaded backpressure.
+
+TEST(PcpScale, PersistentSheddingSurfacesOverloadedAfterBoundedRetry) {
+  Machine machine(MachineConfig::summit());
+  machine.set_noise_enabled(false);
+  Pmcd daemon(machine);
+  const PmId pmid = read_pmid(daemon, 0);
+  RpcOptions rpc;
+  rpc.max_retries = 2;
+  rpc.backoff_base = std::chrono::microseconds(200);
+  daemon.set_rpc_options(rpc);
+  daemon.set_admission_limits(0, 0);  // shed everything
+
+  run_with_deadline([&] {
+    try {
+      (void)daemon.fetch({pmid}, 0);
+      FAIL() << "fetch succeeded despite zero admission capacity";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.status(), Status::Overloaded);
+    }
+  });
+  // One shed per attempt: 1 initial + 2 retries.
+  EXPECT_EQ(daemon.shed(), 3u);
+
+  // Backpressure is transient: restoring capacity restores service.
+  daemon.set_admission_limits(64, 4096);
+  EXPECT_TRUE(daemon.fetch({pmid}, 0).ok);
+}
+
+TEST(PcpScale, GreedyTenantIsShedWhileOtherTenantIsServed) {
+  Machine machine(MachineConfig::summit());
+  machine.set_noise_enabled(false);
+  PmcdOptions opt;
+  opt.shards = 1;
+  Pmcd daemon(machine, opt);
+  RpcOptions rpc;
+  rpc.timeout = 30s;
+  rpc.max_retries = 0;
+  daemon.set_rpc_options(rpc);
+  std::vector<PmId> pmids;
+  for (int ch = 0; ch < 8; ++ch) pmids.push_back(read_pmid(daemon, ch));
+
+  daemon.set_admission_limits(/*per_tenant=*/2, /*total=*/1000);
+  // Keep the single worker busy 50 ms per request so the greedy burst backs
+  // up against its per-tenant bound.
+  FaultPlan plan;
+  plan.delay_rate = 1.0;
+  plan.delay_us = 50'000;
+  daemon.set_fault_plan(plan);
+
+  const ClientId greedy = daemon.register_client();
+  const ClientId modest = daemon.register_client();
+  std::atomic<int> ok{0}, overloaded{0}, other{0};
+  run_with_deadline([&] {
+    std::vector<std::thread> threads;
+    // Distinct pmids -> distinct fetch keys, so coalescing cannot mask the
+    // queue depth the greedy tenant builds up.
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&, t] {
+        try {
+          if (daemon.fetch({pmids[static_cast<std::size_t>(t)]}, 0, greedy).ok) ++ok;
+        } catch (const Error& e) {
+          (e.status() == Status::Overloaded ? overloaded : other)++;
+        }
+      });
+    }
+    // Mid-burst, the modest tenant's first request must be admitted: its
+    // own pending count is zero and the total bound is generous.
+    std::this_thread::sleep_for(10ms);
+    EXPECT_TRUE(daemon.fetch({pmids[0]}, 0, modest).ok);
+    for (auto& th : threads) th.join();
+  });
+
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_GT(ok.load(), 0);
+  EXPECT_GT(overloaded.load(), 0) << "greedy tenant was never shed";
+  EXPECT_GT(daemon.shed(), 0u);
+  EXPECT_EQ(ok.load() + overloaded.load(), 8);
+}
+
+// ------------------------------------------------------------------------
+// PcpComponent: Overloaded degrades softly and auto-re-enables.
+
+TEST(PcpScale, ComponentDegradesOnOverloadAndReenablesOnRecovery) {
+  Machine machine(MachineConfig::summit());
+  machine.set_noise_enabled(false);
+  Pmcd daemon(machine);
+  PcpClient client(daemon, machine, machine.user_credentials());
+  Library lib;
+  auto& component = static_cast<components::PcpComponent&>(
+      lib.register_component(std::make_unique<components::PcpComponent>(client)));
+
+  auto es = lib.create_eventset();
+  es->add_event(
+      "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu0");
+  es->start();
+  machine.memctrl(0).add_line(0, MemDir::Read);
+  EXPECT_EQ(es->read()[0], 64);
+  ASSERT_TRUE(component.available());
+
+  RpcOptions rpc;
+  rpc.max_retries = 1;
+  rpc.backoff_base = std::chrono::microseconds(100);
+  daemon.set_rpc_options(rpc);
+  daemon.set_admission_limits(0, 0);  // saturate: every fetch is shed
+
+  run_with_deadline([&] {
+    std::vector<long long> v;
+    EXPECT_NO_THROW(v = es->read());  // no throw in the sampling loop
+    EXPECT_EQ(v[0], 64);              // values freeze at the last good fetch
+  });
+  EXPECT_FALSE(component.available());
+  EXPECT_NE(component.disabled_reason().find("Overloaded"), std::string::npos)
+      << component.disabled_reason();
+
+  // Backpressure lifts -> the next read re-enables the component and the
+  // frozen window ends; no manual reset required.
+  daemon.set_admission_limits(64, 4096);
+  machine.memctrl(0).add_line(0, MemDir::Read);
+  run_with_deadline([&] { EXPECT_EQ(es->read()[0], 128); });
+  EXPECT_TRUE(component.available());
+  EXPECT_TRUE(component.disabled_reason().empty());
+}
+
+// ------------------------------------------------------------------------
+// Seeded retry jitter.
+
+TEST(PcpScale, JitterIsDeterministicDispersedAndExponential) {
+  using std::chrono::microseconds;
+  const microseconds base(1000);
+
+  // Deterministic: same (seed, identity, attempt) -> same backoff.
+  EXPECT_EQ(jittered_backoff(base, 7, 3, 1), jittered_backoff(base, 7, 3, 1));
+
+  // Dispersed: distinct identities must not retry in lockstep.
+  std::set<std::int64_t> distinct;
+  for (std::uint64_t id = 0; id < 64; ++id) {
+    const microseconds b = jittered_backoff(base, 7, id, 1);
+    EXPECT_GE(b.count(), 500);   // 0.5x base
+    EXPECT_LT(b.count(), 1500);  // < 1.5x base
+    distinct.insert(b.count());
+  }
+  EXPECT_GT(distinct.size(), 32u) << "jitter barely disperses identities";
+
+  // Exponential: attempt 3 is 4x the attempt-1 base, same jitter band.
+  const microseconds late = jittered_backoff(base, 7, 3, 3);
+  EXPECT_GE(late.count(), 2000);
+  EXPECT_LT(late.count(), 6000);
+}
+
+// ------------------------------------------------------------------------
+// Generation monotonicity observed by concurrent clients across restarts.
+
+TEST(PcpScale, GenerationIsMonotoneAcrossConcurrentCrashRestarts) {
+  Machine machine(MachineConfig::summit());
+  machine.set_noise_enabled(false);
+  Pmcd daemon(machine);
+  RpcOptions rpc;
+  rpc.timeout = 1s;
+  rpc.max_retries = 3;
+  rpc.backoff_base = std::chrono::microseconds(200);
+  daemon.set_rpc_options(rpc);
+  const PmId pmid = read_pmid(daemon, 0);
+
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.crash_rate = 0.05;
+  daemon.set_fault_plan(plan);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 50;
+  std::atomic<int> untyped{0};
+  std::atomic<int> regressions{0};
+  run_with_deadline([&] {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        std::uint64_t last_gen = 0;
+        for (int i = 0; i < kIters; ++i) {
+          try {
+            const FetchReply r = daemon.fetch({pmid}, 0);
+            if (!r.ok || r.generation < last_gen) ++regressions;
+            last_gen = r.generation;
+          } catch (const Error&) {
+            // typed transient failure: fine, keep hammering
+          } catch (...) {
+            ++untyped;
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }, 300s);
+
+  EXPECT_EQ(untyped.load(), 0);
+  EXPECT_EQ(regressions.load(), 0)
+      << "a client observed FetchReply::generation go backwards";
+  EXPECT_GE(daemon.restarts(), 1u) << "plan never crashed the daemon";
+
+  daemon.set_fault_plan(FaultPlan{});
+  EXPECT_TRUE(daemon.fetch({pmid}, 0).ok);  // supervisor left it healthy
+}
+
+// ------------------------------------------------------------------------
+// The crash-while-saturated acceptance stress: >=64 clients mid-fetch, a
+// FaultPlan crash landing mid-burst, shutdown racing the burst -- every
+// request must resolve to a value or a typed error.  Also run under tsan
+// (pcp-stress ctest label, see tests/stress_labels.cmake).
+
+TEST(PcpScaleStress, ShutdownWhileSaturatedWithCrashMidBurstLeavesNoBrokenPromise) {
+  constexpr int kClients = 64;
+
+  Machine machine(MachineConfig::summit());
+  machine.set_noise_enabled(false);
+  Pmcd daemon(machine);
+  RpcOptions rpc;
+  rpc.timeout = 200ms;
+  rpc.max_retries = 1;
+  rpc.backoff_base = std::chrono::microseconds(200);
+  daemon.set_rpc_options(rpc);
+  std::vector<PmId> pmids;
+  for (int ch = 0; ch < 8; ++ch) pmids.push_back(read_pmid(daemon, ch));
+
+  std::atomic<std::uint64_t> served{0};
+  std::atomic<std::uint64_t> typed{0};
+  std::atomic<std::uint64_t> untyped{0};
+
+  run_with_deadline([&] {
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int t = 0; t < kClients; ++t) {
+      threads.emplace_back([&, t] {
+        const ClientId id = daemon.register_client();
+        const std::vector<PmId> mine{pmids[static_cast<std::size_t>(t % 8)]};
+        for (;;) {
+          try {
+            if (daemon.fetch(mine, 0, id).ok) ++served;
+          } catch (const Error& e) {
+            ++typed;
+            if (e.status() == Status::Shutdown) return;
+            if (e.status() != Status::Timeout &&
+                e.status() != Status::Overloaded &&
+                e.status() != Status::Internal) {
+              ++untyped;  // typed, but outside the documented contract
+              return;
+            }
+          } catch (...) {
+            ++untyped;  // std::future_error or worse: the protocol broke
+            return;
+          }
+        }
+      });
+    }
+
+    // Saturate, then crash the pool mid-burst, then shut down while dozens
+    // of clients are mid-fetch.
+    while (served.load() < kClients) std::this_thread::yield();
+    FaultPlan plan;
+    plan.seed = 11;
+    plan.crash_rate = 0.02;
+    daemon.set_fault_plan(plan);
+    std::this_thread::sleep_for(100ms);
+    daemon.shutdown();
+    for (auto& th : threads) th.join();
+  }, 300s);
+
+  EXPECT_EQ(untyped.load(), 0u) << "a request resolved to something untyped";
+  EXPECT_GE(served.load(), static_cast<std::uint64_t>(kClients));
+  EXPECT_GT(typed.load(), 0u);  // shutdown terminated every client typed
+}
+
+}  // namespace
+}  // namespace papisim::pcp

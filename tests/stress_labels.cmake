@@ -8,3 +8,9 @@ if(test_concurrency_stress_TESTS)
   set_tests_properties(${test_concurrency_stress_TESTS}
     PROPERTIES LABELS "tier1;stress")
 endif()
+# Same trick for the multi-tenant PMCD scale suite: the sanitizer leg runs
+# its saturation/crash tests via `ctest -L pcp-stress`.
+if(test_pcp_scale_TESTS)
+  set_tests_properties(${test_pcp_scale_TESTS}
+    PROPERTIES LABELS "tier1;pcp-stress")
+endif()
