@@ -10,6 +10,7 @@ using namespace papisim::benchutil;
 
 int main(int argc, char** argv) {
   const bool csv = has_flag(argc, argv, "--csv");
+  const bool sampled = has_flag(argc, argv, "--sampled");
   print_header("Fig. 10: S1CF vs S2CF at scale (4x8 grid, N = 1344 / 2016)",
                "paper Fig. 10");
 
@@ -27,14 +28,14 @@ int main(int argc, char** argv) {
 
     ResortPoint s1 = measure_resort(stack, n, /*runs=*/3, [&](sim::Machine& m) {
       return fft::s1cf_combined_replay(m, 0, 0, dims, buf, false);
-    });
+    }, sampled);
     t.add_row({"S1CF", std::to_string(n), fmt_sci(bytes),
                fmt(s1.read_min / bytes, 2), fmt(s1.read_max / bytes, 2),
                fmt(s1.write_min / bytes, 2), fmt(s1.write_max / bytes, 2)});
 
     ResortPoint s2p = measure_resort(stack, n, /*runs=*/3, [&](sim::Machine& m) {
       return fft::s2cf_replay(m, 0, 0, s2, buf, false);
-    });
+    }, sampled);
     t.add_row({"S2CF", std::to_string(n), fmt_sci(bytes),
                fmt(s2p.read_min / bytes, 2), fmt(s2p.read_max / bytes, 2),
                fmt(s2p.write_min / bytes, 2), fmt(s2p.write_max / bytes, 2)});

@@ -12,6 +12,9 @@ using namespace papisim::benchutil;
 
 int main(int argc, char** argv) {
   const bool csv = has_flag(argc, argv, "--csv");
+  const kernels::ReplayMode strategy = has_flag(argc, argv, "--sampled")
+                                           ? kernels::ReplayMode::Sampled
+                                           : kernels::ReplayMode::Full;
   print_header("Fig. 2: single-threaded GEMM, 1 repetition",
                "paper Fig. 2a (Summit, PCP) and Fig. 2b (Tellico, perf_uncore)");
 
@@ -20,12 +23,13 @@ int main(int argc, char** argv) {
   std::thread summit_thread([&] {
     SummitStack summit;
     summit_points = run_gemm_sweep(summit, "pcp", summit.measure_cpu(),
-                                   RepPolicy::One, /*batched=*/false);
+                                   RepPolicy::One, /*batched=*/false, {},
+                                   strategy);
   });
   std::thread tellico_thread([&] {
     TellicoStack tellico;
     tellico_points = run_gemm_sweep(tellico, "perf_nest", 0, RepPolicy::One,
-                                    /*batched=*/false);
+                                    /*batched=*/false, {}, strategy);
   });
   summit_thread.join();
   tellico_thread.join();

@@ -12,6 +12,9 @@ using namespace papisim::benchutil;
 
 int main(int argc, char** argv) {
   const bool csv = has_flag(argc, argv, "--csv");
+  const kernels::ReplayMode strategy = has_flag(argc, argv, "--sampled")
+                                           ? kernels::ReplayMode::Sampled
+                                           : kernels::ReplayMode::Full;
   print_header("Fig. 3: adaptive repetitions vs batched GEMM (PCP)",
                "paper Fig. 3a (single-threaded, Eq. 5 repetitions) and "
                "Fig. 3b (batched, 21 cores)");
@@ -20,12 +23,14 @@ int main(int argc, char** argv) {
   std::thread single_thread([&] {
     SummitStack stack;
     single_points = run_gemm_sweep(stack, "pcp", stack.measure_cpu(),
-                                   RepPolicy::Adaptive, /*batched=*/false);
+                                   RepPolicy::Adaptive, /*batched=*/false, {},
+                                   strategy);
   });
   std::thread batched_thread([&] {
     SummitStack stack;
     batched_points = run_gemm_sweep(stack, "pcp", stack.measure_cpu(),
-                                    RepPolicy::Adaptive, /*batched=*/true);
+                                    RepPolicy::Adaptive, /*batched=*/true, {},
+                                    strategy);
   });
   single_thread.join();
   batched_thread.join();

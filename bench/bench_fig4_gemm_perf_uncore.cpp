@@ -10,6 +10,9 @@ using namespace papisim::benchutil;
 
 int main(int argc, char** argv) {
   const bool csv = has_flag(argc, argv, "--csv");
+  const kernels::ReplayMode strategy = has_flag(argc, argv, "--sampled")
+                                           ? kernels::ReplayMode::Sampled
+                                           : kernels::ReplayMode::Full;
   print_header("Fig. 4: adaptive vs batched GEMM via perf_uncore (Tellico)",
                "paper Fig. 4a (single-threaded) and Fig. 4b (batched, 16 cores)");
 
@@ -17,12 +20,12 @@ int main(int argc, char** argv) {
   std::thread single_thread([&] {
     TellicoStack stack;
     single_points = run_gemm_sweep(stack, "perf_nest", 0, RepPolicy::Adaptive,
-                                   /*batched=*/false);
+                                   /*batched=*/false, {}, strategy);
   });
   std::thread batched_thread([&] {
     TellicoStack stack;
     batched_points = run_gemm_sweep(stack, "perf_nest", 0, RepPolicy::Adaptive,
-                                    /*batched=*/true);
+                                    /*batched=*/true, {}, strategy);
   });
   single_thread.join();
   batched_thread.join();

@@ -27,7 +27,8 @@ struct GemvPoint {
 
 template <typename Stack>
 std::vector<GemvPoint> run_sweep(Stack& stack, const std::string& route,
-                                 std::uint32_t cpu) {
+                                 std::uint32_t cpu,
+                                 kernels::ReplayMode strategy) {
   kernels::KernelRunner runner(stack.machine, stack.lib, route, cpu);
   std::vector<GemvPoint> points;
   for (const std::uint64_t m :
@@ -45,6 +46,7 @@ std::vector<GemvPoint> run_sweep(Stack& stack, const std::string& route,
     kernels::RunnerOptions opt;
     opt.reps = pt.reps;
     opt.batched = true;  // the paper's Fig. 5 kernel occupies every core
+    opt.strategy = strategy;
     pt.meas = runner.measure(
         [&](std::uint32_t core) {
           kernels::run_capped_gemv(stack.machine, 0, core, m, pt.n, pt.p, buf);
@@ -84,17 +86,20 @@ void print_panel(const std::string& title, const std::vector<GemvPoint>& points,
 
 int main(int argc, char** argv) {
   const bool csv = has_flag(argc, argv, "--csv");
+  const kernels::ReplayMode strategy = has_flag(argc, argv, "--sampled")
+                                           ? kernels::ReplayMode::Sampled
+                                           : kernels::ReplayMode::Full;
   print_header("Fig. 5: batched, capped GEMV",
                "paper Fig. 5a (Summit, PCP) and Fig. 5b (Tellico, perf_uncore)");
 
   std::vector<GemvPoint> summit_points, tellico_points;
   std::thread summit_thread([&] {
     SummitStack summit;
-    summit_points = run_sweep(summit, "pcp", summit.measure_cpu());
+    summit_points = run_sweep(summit, "pcp", summit.measure_cpu(), strategy);
   });
   std::thread tellico_thread([&] {
     TellicoStack tellico;
-    tellico_points = run_sweep(tellico, "perf_nest", 0);
+    tellico_points = run_sweep(tellico, "perf_nest", 0, strategy);
   });
   summit_thread.join();
   tellico_thread.join();

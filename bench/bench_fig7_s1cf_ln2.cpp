@@ -14,7 +14,7 @@ using namespace papisim::benchutil;
 
 namespace {
 
-std::vector<ResortPoint> sweep(bool prefetch) {
+std::vector<ResortPoint> sweep(bool prefetch, bool sampled) {
   SummitStack stack;
   const mpi::Grid grid{2, 4};
   std::vector<ResortPoint> points;
@@ -24,7 +24,7 @@ std::vector<ResortPoint> sweep(bool prefetch) {
         fft::ResortBuffers::allocate(stack.machine.address_space(), dims.bytes());
     ResortPoint pt = measure_resort(stack, n, /*runs=*/3, [&](sim::Machine& m) {
       return fft::s1cf_nest2_replay(m, 0, 0, dims, buf, prefetch);
-    });
+    }, sampled);
     pt.elem_bytes = static_cast<double>(dims.bytes());
     points.push_back(pt);
   }
@@ -35,12 +35,13 @@ std::vector<ResortPoint> sweep(bool prefetch) {
 
 int main(int argc, char** argv) {
   const bool csv = has_flag(argc, argv, "--csv");
+  const bool sampled = has_flag(argc, argv, "--sampled");
   print_header("Fig. 7: S1CF loop nest 2 (strided tmp traversal)",
                "paper Fig. 7a/7b; Eq. 7 bound N ~ " +
                    std::to_string(kernels::s1cf_ln2_cache_bound(5ull << 20, 8)));
 
-  const std::vector<ResortPoint> plain = sweep(false);
-  const std::vector<ResortPoint> prefetched = sweep(true);
+  const std::vector<ResortPoint> plain = sweep(false, sampled);
+  const std::vector<ResortPoint> prefetched = sweep(true, sampled);
 
   print_resort_panel(
       "(a) no additional compiler optimizations (up to 5 reads/write past "

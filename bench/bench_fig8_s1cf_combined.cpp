@@ -10,6 +10,7 @@ using namespace papisim::benchutil;
 
 int main(int argc, char** argv) {
   const bool csv = has_flag(argc, argv, "--csv");
+  const bool sampled = has_flag(argc, argv, "--sampled");
   print_header("Fig. 8: S1CF combined loop nest",
                "paper Fig. 8 (no additional compiler optimizations)");
 
@@ -22,7 +23,7 @@ int main(int argc, char** argv) {
         fft::ResortBuffers::allocate(stack.machine.address_space(), dims.bytes());
     ResortPoint pt = measure_resort(stack, n, /*runs=*/5, [&](sim::Machine& m) {
       return fft::s1cf_combined_replay(m, 0, 0, dims, buf, /*prefetch=*/false);
-    });
+    }, sampled);
     pt.elem_bytes = static_cast<double>(dims.bytes());
     points.push_back(pt);
   }

@@ -10,7 +10,7 @@ using namespace papisim::benchutil;
 
 namespace {
 
-std::vector<ResortPoint> sweep(bool prefetch) {
+std::vector<ResortPoint> sweep(bool prefetch, bool sampled) {
   SummitStack stack;
   const mpi::Grid grid{2, 4};
   std::vector<ResortPoint> points;
@@ -21,7 +21,7 @@ std::vector<ResortPoint> sweep(bool prefetch) {
         fft::ResortBuffers::allocate(stack.machine.address_space(), dims.bytes());
     ResortPoint pt = measure_resort(stack, n, /*runs=*/5, [&](sim::Machine& m) {
       return fft::s2cf_replay(m, 0, 0, s2, buf, prefetch);
-    });
+    }, sampled);
     pt.elem_bytes = static_cast<double>(dims.bytes());
     points.push_back(pt);
   }
@@ -32,12 +32,13 @@ std::vector<ResortPoint> sweep(bool prefetch) {
 
 int main(int argc, char** argv) {
   const bool csv = has_flag(argc, argv, "--csv");
+  const bool sampled = has_flag(argc, argv, "--sampled");
   print_header("Fig. 9: S2CF (innermost dimensions match)",
                "paper Fig. 9a (no extra optimization) and Fig. 9b "
                "(-fprefetch-loop-arrays)");
 
-  const std::vector<ResortPoint> plain = sweep(false);
-  const std::vector<ResortPoint> prefetched = sweep(true);
+  const std::vector<ResortPoint> plain = sweep(false, sampled);
+  const std::vector<ResortPoint> prefetched = sweep(true, sampled);
 
   print_resort_panel("(a) no additional compiler optimizations (stores "
                      "bypass the cache)",

@@ -6,6 +6,11 @@
 // Extra flags (stripped before google-benchmark sees argv):
 //   --threads N        pin the BM_ParallelGemmReplay sweep to N host threads
 //                      instead of the default 1/2/4/8 progression.
+//   --sampled          run KernelRunner measurements with the SampledReplay
+//                      strategy (DESIGN.md §3i).  In JSON mode this adds the
+//                      "sampled_replay" section: the fig3 batched-GEMM sweep
+//                      measured full (literal_reps) vs sampled, with the
+//                      speedup and traffic-error columns.
 //   --bench-json PATH  skip the google-benchmark suite; instead measure the
 //                      headline throughput numbers plus the refutation-probe
 //                      grid wall time and write them as JSON (the checked-in
@@ -15,15 +20,21 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string_view>
 #include <vector>
 
+#include "components/pcp_component.hpp"
 #include "core/json_util.hpp"
+#include "core/library.hpp"
 #include "fft/resort.hpp"
 #include "kernels/blas_sim.hpp"
+#include "kernels/expected.hpp"
+#include "kernels/runner.hpp"
 #include "pcp/client.hpp"
 #include "pcp/pmcd.hpp"
 #include "probe/report.hpp"
@@ -35,6 +46,7 @@ using namespace papisim;
 
 namespace {
 std::uint32_t g_threads_override = 0;  // 0 = sweep the registered Arg() list
+bool g_sampled = false;                // --sampled: use SampledReplay
 }
 
 static void BM_CacheHit(benchmark::State& state) {
@@ -137,7 +149,12 @@ static void BM_ParallelGemmReplay(benchmark::State& state) {
                                  : static_cast<std::uint32_t>(state.range(0));
   sim::Machine m(sim::MachineConfig::summit());
   m.set_noise_enabled(false);
-  const std::uint32_t threads = std::min(want, m.cores_per_socket());
+  // Clamp into [1, cores]: want == 0 (a bare `--threads 0`) used to reach
+  // `ThreadPool pool(threads - 1)` as a wrapped-around worker count, and an
+  // over-socket override was clamped silently.  The `threads_requested`
+  // counter surfaces the clamp in the report.
+  const std::uint32_t threads =
+      std::min(std::max(want, 1u), m.cores_per_socket());
   m.set_active_cores(0, threads);
   const std::uint64_t n = 160;
   std::vector<kernels::GemmBuffers> bufs;
@@ -167,6 +184,7 @@ static void BM_ParallelGemmReplay(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(touches));
   state.counters["threads"] = static_cast<double>(threads);
+  state.counters["threads_requested"] = static_cast<double>(want);
   state.counters["Mtouches/s"] = benchmark::Counter(
       static_cast<double>(touches) * 1e-6, benchmark::Counter::kIsRate);
 }
@@ -247,39 +265,93 @@ double sequential_accesses_per_sec(double budget_sec) {
   return static_cast<double>(touches) / elapsed;
 }
 
-/// The same copy loop with an SpeCollector attached at `period`; reports
-/// accesses/sec and the sample/drop totals so the JSON captures both the
-/// throughput tax and the sampling yield.
-double spe_accesses_per_sec(std::uint64_t period, double budget_sec,
-                            spe::SpeCollector::Totals* totals) {
-  sim::Machine m(sim::MachineConfig::summit());
-  m.set_noise_enabled(false);
-  spe::SpeConfig cfg;
-  cfg.period = period;
-  spe::SpeCollector collector(m, cfg);
+/// One leg of the SPE-overhead comparison: the canonical copy loop with an
+/// optional SpeCollector attached (period == 0 -> uninstrumented baseline).
+/// Each leg keeps its own machine state across timing slices so the legs
+/// can be measured interleaved.
+struct SpeOverheadLeg {
+  sim::Machine m{sim::MachineConfig::summit()};
+  std::unique_ptr<spe::SpeCollector> collector;
   sim::LoopDesc loop;
-  loop.iterations = 1 << 16;
-  loop.streams = {{1 << 20, 8, 8, sim::AccessKind::Load},
-                  {1 << 26, 8, 8, sim::AccessKind::Store}};
-  std::uint64_t touches = 0;
   std::vector<spe::Sample> drained;
-  const auto t0 = BenchClock::now();
+  std::uint64_t touches = 0;
   double elapsed = 0.0;
-  do {
-    touches += m.engine(0, 0).execute(loop).line_touches;
-    drained.clear();
-    collector.drain_into(drained);
-    elapsed = seconds_since(t0);
-  } while (elapsed < budget_sec);
-  if (totals != nullptr) *totals = collector.totals();
-  return static_cast<double>(touches) / elapsed;
+
+  explicit SpeOverheadLeg(std::uint64_t period) {
+    m.set_noise_enabled(false);
+    if (period != 0) {
+      spe::SpeConfig cfg;
+      cfg.period = period;
+      collector = std::make_unique<spe::SpeCollector>(m, cfg);
+    }
+    loop.iterations = 1 << 16;
+    loop.streams = {{1 << 20, 8, 8, sim::AccessKind::Load},
+                    {1 << 26, 8, 8, sim::AccessKind::Store}};
+  }
+
+  void run_slice(double slice_sec, bool record) {
+    const auto t0 = BenchClock::now();
+    std::uint64_t t = 0;
+    double e = 0.0;
+    do {
+      t += m.engine(0, 0).execute(loop).line_touches;
+      if (collector != nullptr) {
+        drained.clear();
+        collector->drain_into(drained);  // keep the ring from saturating
+      }
+      e = seconds_since(t0);
+    } while (e < slice_sec);
+    if (record) {
+      touches += t;
+      elapsed += e;
+    }
+  }
+
+  double rate() const {
+    return elapsed > 0.0 ? static_cast<double>(touches) / elapsed : 0.0;
+  }
+};
+
+struct SpeOverheadResult {
+  double baseline = 0.0;  ///< one shared baseline, reused for both periods
+  double spe_1024 = 0.0;
+  double spe_64 = 0.0;
+  spe::SpeCollector::Totals totals_1024, totals_64;
+};
+
+/// Measures the uninstrumented baseline and both SPE-instrumented variants
+/// with a shared warmup pass and interleaved round-robin timing slices, and
+/// reuses the single baseline rate for both periods' overhead columns.
+/// Measuring the legs back to back used to report *negative* SPE overhead
+/// (-13.5% at period 1024): the baseline ran first and cold while the
+/// instrumented legs inherited a warmed-up process (hot caches, ramped
+/// clocks), an artifact of measurement order rather than of the SPE hook.
+SpeOverheadResult measure_spe_overhead(double budget_sec) {
+  SpeOverheadLeg baseline(0), spe_1024(1024), spe_64(64);
+  SpeOverheadLeg* legs[] = {&baseline, &spe_1024, &spe_64};
+  for (SpeOverheadLeg* leg : legs) leg->run_slice(0.05, /*record=*/false);
+  const double slice_sec = 0.02;
+  const int rounds = std::max(
+      1, static_cast<int>(budget_sec / (3.0 * slice_sec)));
+  for (int r = 0; r < rounds; ++r) {
+    for (SpeOverheadLeg* leg : legs) leg->run_slice(slice_sec, /*record=*/true);
+  }
+  SpeOverheadResult res;
+  res.baseline = baseline.rate();
+  res.spe_1024 = spe_1024.rate();
+  res.spe_64 = spe_64.rate();
+  res.totals_1024 = spe_1024.collector->totals();
+  res.totals_64 = spe_64.collector->totals();
+  return res;
 }
 
 /// Batched literal GEMM replay on `threads` host threads, accesses/sec.
 double parallel_accesses_per_sec(std::uint32_t threads, double budget_sec) {
   sim::Machine m(sim::MachineConfig::summit());
   m.set_noise_enabled(false);
-  threads = std::min(threads, m.cores_per_socket());
+  // Same [1, cores] clamp as BM_ParallelGemmReplay: threads == 0 would wrap
+  // the ThreadPool worker count below.
+  threads = std::min(std::max(threads, 1u), m.cores_per_socket());
   m.set_active_cores(0, threads);
   const std::uint64_t n = 160;
   std::vector<kernels::GemmBuffers> bufs;
@@ -313,18 +385,89 @@ double parallel_accesses_per_sec(std::uint32_t threads, double budget_sec) {
   return static_cast<double>(touches) / elapsed;
 }
 
+/// One size of the fig3 batched-GEMM sweep measured twice on fresh stacks:
+/// full replay (every Eq. 5 repetition simulated, `literal_reps`) vs
+/// SampledReplay.  Noise is off, so the traffic comparison is exact
+/// methodology error, not jitter.
+struct SampledSweepPoint {
+  std::uint64_t n = 0;
+  std::uint32_t reps = 0;
+  double full_wall_sec = 0.0, sampled_wall_sec = 0.0;
+  double full_bytes = 0.0, sampled_bytes = 0.0;
+  double err_pct = 0.0, speedup_x = 0.0;
+  std::uint32_t reps_replayed = 0, reps_extrapolated = 0;
+  std::uint32_t clusters = 0, fallbacks = 0;
+};
+
+kernels::Measurement measure_gemm_leg(std::uint64_t n, bool sampled,
+                                      double* wall_sec) {
+  sim::Machine machine(sim::MachineConfig::summit());
+  machine.set_noise_enabled(false);
+  pcp::Pmcd daemon(machine);
+  pcp::PcpClient client(daemon, machine, machine.user_credentials());
+  Library lib;
+  lib.register_component(std::make_unique<components::PcpComponent>(client));
+  kernels::KernelRunner runner(machine, lib, "pcp",
+                               machine.config().cpus_per_socket() - 1);
+  const kernels::GemmBuffers buf =
+      kernels::GemmBuffers::allocate(machine.address_space(), n);
+  kernels::RunnerOptions opt;
+  opt.reps = kernels::repetitions_for(n);
+  opt.batched = true;
+  opt.strategy = sampled ? kernels::ReplayMode::Sampled : kernels::ReplayMode::Full;
+  opt.literal_reps = !sampled;
+  const auto t0 = BenchClock::now();
+  const kernels::Measurement m = runner.measure(
+      [&](std::uint32_t core) { kernels::run_gemm(machine, 0, core, n, buf); },
+      opt);
+  *wall_sec = seconds_since(t0);
+  return m;
+}
+
+std::vector<SampledSweepPoint> sampled_replay_sweep() {
+  std::vector<SampledSweepPoint> points;
+  for (const std::uint64_t n : {std::uint64_t{64}, std::uint64_t{96},
+                                std::uint64_t{128}}) {
+    SampledSweepPoint p;
+    p.n = n;
+    p.reps = kernels::repetitions_for(n);
+    const kernels::Measurement full =
+        measure_gemm_leg(n, /*sampled=*/false, &p.full_wall_sec);
+    const kernels::Measurement sampled =
+        measure_gemm_leg(n, /*sampled=*/true, &p.sampled_wall_sec);
+    p.full_bytes = full.read_bytes + full.write_bytes;
+    p.sampled_bytes = sampled.read_bytes + sampled.write_bytes;
+    p.err_pct = p.full_bytes > 0.0
+                    ? std::abs(p.sampled_bytes - p.full_bytes) / p.full_bytes * 100.0
+                    : 0.0;
+    p.speedup_x = p.sampled_wall_sec > 0.0 ? p.full_wall_sec / p.sampled_wall_sec
+                                           : 0.0;
+    p.reps_replayed = sampled.reps_replayed;
+    p.reps_extrapolated = sampled.reps_extrapolated;
+    p.clusters = sampled.clusters;
+    p.fallbacks = sampled.resample_fallbacks;
+    points.push_back(p);
+  }
+  return points;
+}
+
 int emit_bench_json(const std::string& path) {
   const double seq = sequential_accesses_per_sec(0.25);
   const double par8 = parallel_accesses_per_sec(8, 0.5);
 
-  spe::SpeCollector::Totals spe_1024, spe_64;
-  const double seq_spe_1024 =
-      spe::kEnabled ? spe_accesses_per_sec(1024, 0.25, &spe_1024) : 0.0;
-  const double seq_spe_64 =
-      spe::kEnabled ? spe_accesses_per_sec(64, 0.25, &spe_64) : 0.0;
+  // Warmed, interleaved measurement with one shared baseline: the overhead
+  // columns can no longer go negative from measurement order alone.  Any
+  // residual scheduling noise is floored at zero.
+  SpeOverheadResult spe_res;
+  if (spe::kEnabled) spe_res = measure_spe_overhead(0.75);
   const auto overhead_pct = [&](double with_spe) {
-    return seq > 0 && with_spe > 0 ? (seq / with_spe - 1.0) * 100.0 : 0.0;
+    return spe_res.baseline > 0 && with_spe > 0
+               ? std::max(0.0, (spe_res.baseline / with_spe - 1.0) * 100.0)
+               : 0.0;
   };
+
+  std::vector<SampledSweepPoint> sampled_points;
+  if (g_sampled) sampled_points = sampled_replay_sweep();
 
   probe::ProbeOptions curated;
   const auto t_curated = BenchClock::now();
@@ -351,16 +494,48 @@ int emit_bench_json(const std::string& path) {
       << "\n  },\n";
   out << "  \"spe\": {\n";
   out << "    \"enabled\": " << (spe::kEnabled ? "true" : "false") << ",\n";
+  out << "    \"interleaved_warmed_baseline\": "
+      << static_cast<std::uint64_t>(spe_res.baseline) << ",\n";
   out << "    \"sequential_replay_period_1024\": "
-      << static_cast<std::uint64_t>(seq_spe_1024) << ",\n";
+      << static_cast<std::uint64_t>(spe_res.spe_1024) << ",\n";
   out << "    \"sequential_replay_period_64\": "
-      << static_cast<std::uint64_t>(seq_spe_64) << ",\n";
-  out << "    \"overhead_pct_period_1024\": " << overhead_pct(seq_spe_1024)
+      << static_cast<std::uint64_t>(spe_res.spe_64) << ",\n";
+  out << "    \"overhead_pct_period_1024\": " << overhead_pct(spe_res.spe_1024)
       << ",\n";
-  out << "    \"overhead_pct_period_64\": " << overhead_pct(seq_spe_64)
+  out << "    \"overhead_pct_period_64\": " << overhead_pct(spe_res.spe_64)
       << ",\n";
-  out << "    \"samples_period_64\": " << spe_64.samples << ",\n";
-  out << "    \"drops_period_64\": " << spe_64.drops << "\n  },\n";
+  out << "    \"samples_period_64\": " << spe_res.totals_64.samples << ",\n";
+  out << "    \"drops_period_64\": " << spe_res.totals_64.drops << "\n  },\n";
+  if (g_sampled) {
+    double full_wall = 0.0, sampled_wall = 0.0, max_err = 0.0;
+    for (const SampledSweepPoint& p : sampled_points) {
+      full_wall += p.full_wall_sec;
+      sampled_wall += p.sampled_wall_sec;
+      max_err = std::max(max_err, p.err_pct);
+    }
+    const double speedup = sampled_wall > 0.0 ? full_wall / sampled_wall : 0.0;
+    out << "  \"sampled_replay\": {\n";
+    out << "    \"strategy\": \"signature-clustered sampling (DESIGN.md 3i)\",\n";
+    out << "    \"noise\": false,\n";
+    out << "    \"error_bound_pct\": 2.0,\n";
+    out << "    \"sampled_speedup_x\": " << speedup << ",\n";
+    out << "    \"max_err_pct\": " << max_err << ",\n";
+    out << "    \"sweep\": [\n";
+    for (std::size_t i = 0; i < sampled_points.size(); ++i) {
+      const SampledSweepPoint& p = sampled_points[i];
+      out << "      {\"n\": " << p.n << ", \"reps\": " << p.reps
+          << ", \"full_wall_ms\": " << p.full_wall_sec * 1e3
+          << ", \"sampled_wall_ms\": " << p.sampled_wall_sec * 1e3
+          << ", \"speedup_x\": " << p.speedup_x
+          << ", \"err_pct\": " << p.err_pct
+          << ", \"reps_replayed\": " << p.reps_replayed
+          << ", \"reps_extrapolated\": " << p.reps_extrapolated
+          << ", \"clusters\": " << p.clusters
+          << ", \"resample_fallbacks\": " << p.fallbacks << "}"
+          << (i + 1 < sampled_points.size() ? "," : "") << "\n";
+    }
+    out << "    ]\n  },\n";
+  }
   out << "  \"probe_grid\": {\n";
   out << "    \"curated_wall_ms\": " << curated_ms << ",\n";
   out << "    \"curated_confirmed\": "
@@ -386,8 +561,29 @@ int emit_bench_json(const std::string& path) {
 
 }  // namespace
 
-// Custom main: strip `--threads N` / `--threads=N` and `--bench-json PATH`
-// before google-benchmark parses the remaining flags.
+// Wall cost of one complete KernelRunner measurement of a fig3 batched-GEMM
+// point (Eq. 5 repetitions): full literal replay by default, SampledReplay
+// under --sampled.  The suite-mode view of the JSON sweep's speedup column.
+static void BM_GemmMeasure(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t replayed = 0, extrapolated = 0;
+  for (auto _ : state) {
+    double wall = 0.0;
+    const kernels::Measurement m = measure_gemm_leg(n, g_sampled, &wall);
+    benchmark::DoNotOptimize(m.read_bytes);
+    replayed += m.reps_replayed;
+    extrapolated += m.reps_extrapolated;
+  }
+  state.counters["reps_replayed"] =
+      static_cast<double>(replayed) / static_cast<double>(state.iterations());
+  state.counters["reps_extrapolated"] =
+      static_cast<double>(extrapolated) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_GemmMeasure)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// Custom main: strip `--threads N` / `--threads=N`, `--sampled`, and
+// `--bench-json PATH` before google-benchmark parses the remaining flags.
 int main(int argc, char** argv) {
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
@@ -401,6 +597,10 @@ int main(int argc, char** argv) {
     if (a.starts_with("--threads=")) {
       g_threads_override =
           static_cast<std::uint32_t>(std::atoi(argv[i] + sizeof("--threads=") - 1));
+      continue;
+    }
+    if (a == "--sampled") {
+      g_sampled = true;
       continue;
     }
     if (a == "--bench-json" && i + 1 < argc) {

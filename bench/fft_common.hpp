@@ -26,17 +26,25 @@ struct ResortPoint {
 /// Measure one re-sort replay through the PCP route, `runs` times (the
 /// paper plots the min-max range of 50 runs; large problems need no
 /// repetitions).  The replay callback runs the loop nest once on core 0.
+///
+/// With `sampled` set, the `runs` executions become the repetitions of ONE
+/// sampled-replay measurement window (DESIGN.md §3i): representatives are
+/// simulated, the rest extrapolated, and the min-max range collapses onto
+/// the averaged traffic.
 inline ResortPoint measure_resort(
     SummitStack& stack, std::uint64_t n, std::uint32_t runs,
-    const std::function<sim::LoopStats(sim::Machine&)>& replay) {
+    const std::function<sim::LoopStats(sim::Machine&)>& replay,
+    bool sampled = false) {
   kernels::KernelRunner runner(stack.machine, stack.lib, "pcp",
                                stack.measure_cpu());
   ResortPoint pt;
   pt.n = n;
   pt.read_min = pt.write_min = 1e300;
-  for (std::uint32_t r = 0; r < runs; ++r) {
+  const std::uint32_t windows = sampled ? 1 : runs;
+  for (std::uint32_t r = 0; r < windows; ++r) {
     kernels::RunnerOptions opt;
-    opt.reps = 1;
+    opt.reps = sampled ? runs : 1;
+    if (sampled) opt.strategy = kernels::ReplayMode::Sampled;
     // The re-sort routines are OpenMP-parallel across the socket: every
     // core is busy and holds its contended 5 MB L3 share (paper Eq. 7).
     opt.occupy_socket = true;

@@ -35,12 +35,13 @@ inline std::uint32_t reps_for(RepPolicy policy, std::uint64_t n) {
 }
 
 /// Run the GEMM sweep on one machine stack through the given measurement
-/// route ("pcp" or "perf_nest").
+/// route ("pcp" or "perf_nest").  `strategy` selects the runner's execution
+/// strategy (--sampled on the fig benches maps to ReplayMode::Sampled).
 template <typename Stack>
-std::vector<GemmPoint> run_gemm_sweep(Stack& stack, const std::string& route,
-                                      std::uint32_t measure_cpu, RepPolicy policy,
-                                      bool batched,
-                                      std::vector<std::uint64_t> sizes = {}) {
+std::vector<GemmPoint> run_gemm_sweep(
+    Stack& stack, const std::string& route, std::uint32_t measure_cpu,
+    RepPolicy policy, bool batched, std::vector<std::uint64_t> sizes = {},
+    kernels::ReplayMode strategy = kernels::ReplayMode::Full) {
   if (sizes.empty()) sizes = gemm_sweep_sizes();
   kernels::KernelRunner runner(stack.machine, stack.lib, route, measure_cpu);
   std::vector<GemmPoint> points;
@@ -51,6 +52,7 @@ std::vector<GemmPoint> run_gemm_sweep(Stack& stack, const std::string& route,
     kernels::RunnerOptions opt;
     opt.reps = reps_for(policy, n);
     opt.batched = batched;
+    opt.strategy = strategy;
     GemmPoint p;
     p.n = n;
     p.reps = opt.reps;

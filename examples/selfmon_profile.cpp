@@ -103,12 +103,14 @@ int main() {
               static_cast<unsigned long long>(
                   snap.counter(selfmon::CounterId::PcpRequestsServed)),
               rtt.percentile(0.50), rtt.percentile(0.95), rtt.percentile(0.99));
-  std::printf("kernel reps: %llu total, %llu replayed from the recorded "
-              "fast path (Eq. 5 amortization)\n",
+  std::printf("kernel reps: %llu total, %llu fully replayed, %llu "
+              "extrapolated from recorded traffic (Eq. 5 amortization)\n",
               static_cast<unsigned long long>(
                   snap.counter(selfmon::CounterId::RunnerReps)),
               static_cast<unsigned long long>(
-                  snap.counter(selfmon::CounterId::RunnerRepsReplayed)));
+                  snap.counter(selfmon::CounterId::RunnerRepsReplayed)),
+              static_cast<unsigned long long>(
+                  snap.counter(selfmon::CounterId::RunnerRepsExtrapolated)));
 
   std::ofstream trace("selfmon_trace.json");
   write_chrome_trace(trace, sampler, {}, "selfmon-profile");

@@ -13,9 +13,19 @@ CacheBand gemm_cache_band(std::uint64_t l3_bytes) {
 }
 
 std::uint32_t repetitions_for(std::uint64_t n) {
-  if (n >= 2048) return 10;
+  // The >= 2048 branch must come first: it both implements Eq. 5's floor and
+  // keeps huge n (e.g. UINT64_MAX, inexact as a double) out of the
+  // floating-point path below.
+  if (n >= 2048) return kMinRepetitions;
   const double r = std::floor(514.0 - 0.246 * static_cast<double>(n));
-  return r < 1.0 ? 1u : static_cast<std::uint32_t>(r);
+  if (r <= static_cast<double>(kMinRepetitions)) return kMinRepetitions;
+  if (r >= static_cast<double>(kMaxRepetitions)) return kMaxRepetitions;
+  return static_cast<std::uint32_t>(r);
+}
+
+std::uint32_t sampled_replay_period(std::uint32_t reps) {
+  const std::uint32_t period = reps / kMinRepetitions;
+  return period == 0 ? 1u : period;
 }
 
 std::uint64_t s1cf_ln2_cache_bound(std::uint64_t l3_bytes, std::uint32_t ranks) {

@@ -58,9 +58,29 @@ struct CacheBand {
 
 CacheBand gemm_cache_band(std::uint64_t l3_bytes);
 
+/// Eq. 5's asymptotic repetition count (N >= 2048): the paper's judgement of
+/// how many full kernel executions suffice once the per-repetition traffic is
+/// large relative to the measurement noise floor.  SampledReplay reuses it as
+/// the default number of fully replayed representatives per measurement.
+inline constexpr std::uint32_t kMinRepetitions = 10;
+/// Eq. 5 at N = 0: the most repetitions the policy ever requests.
+inline constexpr std::uint32_t kMaxRepetitions = 514;
+
 /// Adaptive repetition count, paper Eq. 5:
 ///   reps(N) = floor(514 - 0.246*N)  for N < 2048, else 10.
+/// Hardened against the boundary edges (SampledReplay derives its sampling
+/// rate from this): n == 0 yields exactly kMaxRepetitions, any n >= 2048 --
+/// including values too large for an exact double conversion -- short-circuits
+/// to kMinRepetitions before the floating-point path, and the result is
+/// always within [kMinRepetitions, kMaxRepetitions].
 std::uint32_t repetitions_for(std::uint64_t n);
+
+/// Default SampledReplay sampling period: full-replay one representative
+/// every `period` repetitions so that a measurement of `reps` repetitions
+/// replays ~kMinRepetitions representatives -- Eq. 5's asymptotic count,
+/// reached whenever per-repetition traffic is stable enough to extrapolate.
+/// Never returns 0 (reps <= kMinRepetitions degenerates to full replay).
+std::uint32_t sampled_replay_period(std::uint32_t reps);
 
 /// S1CF loop-nest-2 L3-exhaustion bound (paper Eq. 7): the N beyond which a
 /// full cache line must be re-read per element of the strided tmp traversal.

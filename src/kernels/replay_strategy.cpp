@@ -1,0 +1,282 @@
+#include "kernels/replay_strategy.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "kernels/expected.hpp"
+#include "kernels/runner.hpp"
+#include "selfmon/metrics.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace papisim::kernels {
+
+namespace {
+
+/// Absolute floors for signature comparison: near-zero fields (a kernel with
+/// no strided streams, a window with no writes) must not trip divergence on
+/// one stray touch or line.
+constexpr std::uint64_t kTouchFloor = 64;
+constexpr std::uint64_t kByteFloor = 4096;
+
+/// Consecutive consistent representatives required to leave safe mode (every
+/// repetition simulated) after a signature divergence.
+constexpr std::uint32_t kStableRepsToResample = 3;
+
+bool field_matches(std::uint64_t a, std::uint64_t b, double tol,
+                   std::uint64_t floor) {
+  const std::uint64_t diff = a > b ? a - b : b - a;
+  if (diff <= floor) return true;
+  return static_cast<double>(diff) <=
+         tol * static_cast<double>(std::max(a, b));
+}
+
+/// Sum of the engine counters a window can touch: engines 0..threads-1 for
+/// literal batches, the representative engine 0 otherwise.
+sim::CoreCounters summed_counters(const ReplayContext& ctx) {
+  sim::CoreCounters total;
+  const std::uint32_t n = ctx.opt.literal_cores ? ctx.threads : 1;
+  for (std::uint32_t c = 0; c < n; ++c) {
+    const sim::CoreCounters& cc =
+        ctx.machine.engine(ctx.opt.socket, c).counters();
+    total.line_touches += cc.line_touches;
+    total.l3_hits += cc.l3_hits;
+    total.victim_hits += cc.victim_hits;
+    total.seq_line_touches += cc.seq_line_touches;
+    total.strided_line_touches += cc.strided_line_touches;
+  }
+  return total;
+}
+
+/// The single-repetition simulation path shared by both strategies: replay
+/// the kernel through the cache simulator, flush the socket (cold caches for
+/// the next repetition, dirty writebacks inside the window), apply
+/// symmetric-batch scaling, and record the window's per-channel delta,
+/// duration, and access-pattern signature.
+RepRecord simulate_rep(ReplayContext& ctx, sim::MemController& mem) {
+  selfmon::counter_add(selfmon::CounterId::RunnerRepsReplayed);
+  const auto snap0 = mem.snapshot();
+  const sim::CoreCounters cc0 = summed_counters(ctx);
+  const double tk0 = ctx.machine.clock().now_ns();
+  if (ctx.opt.literal_cores) {
+    // Literal per-core replay: every core of the batch runs its own kernel
+    // instance on its own engine, in deferred-time mode, then the clock
+    // advances once by the slowest core (max-merge).  The per-channel
+    // counters are commutative atomics and the L3 stripes are disjoint per
+    // core, so the totals are identical no matter how the pool interleaves
+    // the cores.
+    for (std::uint32_t c = 0; c < ctx.threads; ++c) {
+      ctx.machine.engine(ctx.opt.socket, c).set_deferred_time(true);
+    }
+    ctx.pool->parallel_for(ctx.threads,
+                           [&](std::uint32_t c) { ctx.kernel(c); });
+    double max_ns = 0.0;
+    for (std::uint32_t c = 0; c < ctx.threads; ++c) {
+      sim::AccessEngine& eng = ctx.machine.engine(ctx.opt.socket, c);
+      max_ns = std::max(max_ns, eng.take_deferred_time_ns());
+      eng.set_deferred_time(false);
+    }
+    ctx.machine.advance(max_ns);
+  } else {
+    ctx.kernel(/*core=*/0);
+  }
+  // Cold caches for the next repetition (the paper uses a fresh matrix per
+  // repetition); flushing inside the window keeps the dirty writebacks in
+  // the measured traffic where they belong.
+  ctx.machine.flush_socket(ctx.opt.socket);
+  if (ctx.threads > 1 && !ctx.opt.literal_cores) {
+    // Symmetric-batch scaling: the other cores ran identical, independent
+    // kernels on disjoint data.
+    std::uint64_t dr = 0, dw = 0;
+    const auto snap_mid = mem.snapshot();
+    for (std::uint32_t ch = 0; ch < mem.channels(); ++ch) {
+      dr += snap_mid[ch][0] - snap0[ch][0];
+      dw += snap_mid[ch][1] - snap0[ch][1];
+    }
+    mem.add_spread(dr * (ctx.threads - 1), sim::MemDir::Read);
+    mem.add_spread(dw * (ctx.threads - 1), sim::MemDir::Write);
+  }
+  const auto snap1 = mem.snapshot();
+
+  RepRecord rec;
+  rec.channel_delta.assign(mem.channels(), {0, 0});
+  std::uint64_t reads = 0, writes = 0;
+  for (std::uint32_t ch = 0; ch < mem.channels(); ++ch) {
+    rec.channel_delta[ch] = {snap1[ch][0] - snap0[ch][0],
+                             snap1[ch][1] - snap0[ch][1]};
+    reads += rec.channel_delta[ch][0];
+    writes += rec.channel_delta[ch][1];
+  }
+  rec.time_ns = ctx.machine.clock().now_ns() - tk0;
+  const sim::CoreCounters cc1 = summed_counters(ctx);
+  rec.sig.line_touches = cc1.line_touches - cc0.line_touches;
+  rec.sig.seq_line_touches = cc1.seq_line_touches - cc0.seq_line_touches;
+  rec.sig.strided_line_touches =
+      cc1.strided_line_touches - cc0.strided_line_touches;
+  rec.sig.l3_hits =
+      (cc1.l3_hits + cc1.victim_hits) - (cc0.l3_hits + cc0.victim_hits);
+  rec.sig.read_bytes = reads;
+  rec.sig.write_bytes = writes;
+  return rec;
+}
+
+/// Replay a recorded (or averaged) per-channel delta instead of
+/// re-simulating: add the traffic straight to the channel counters and
+/// advance the clock by the recorded window duration.
+void extrapolate_rep(sim::Machine& machine, sim::MemController& mem,
+                     const std::vector<std::array<std::uint64_t, 2>>& delta,
+                     double time_ns) {
+  selfmon::counter_add(selfmon::CounterId::RunnerRepsExtrapolated);
+  for (std::uint32_t ch = 0; ch < mem.channels(); ++ch) {
+    mem.add_channel_bytes(ch, sim::MemDir::Read, delta[ch][0]);
+    mem.add_channel_bytes(ch, sim::MemDir::Write, delta[ch][1]);
+  }
+  machine.advance(time_ns);
+}
+
+/// The historical runner behaviour: simulate repetition 0 (or every
+/// repetition under literal_reps) and extrapolate the rest from the recorded
+/// first-repetition delta.  Validated against literal_reps in tests.
+class FullReplay final : public ReplayStrategy {
+ public:
+  ReplayOutcome run(ReplayContext& ctx) override {
+    sim::MemController& mem = ctx.machine.memctrl(ctx.opt.socket);
+    ReplayOutcome out;
+    RepRecord rec;
+    for (std::uint32_t rep = 0; rep < ctx.opt.reps; ++rep) {
+      const selfmon::Stopwatch rep_probe(selfmon::HistId::RunnerRepNs);
+      selfmon::counter_add(selfmon::CounterId::RunnerReps);
+      ctx.machine.noise(ctx.opt.socket).repetition_overhead();
+      if (rep == 0 || ctx.opt.literal_reps) {
+        rec = simulate_rep(ctx, mem);
+        ++out.reps_replayed;
+      } else {
+        // Subsequent repetitions are deterministic replicas (fresh data,
+        // cold caches, disjoint addresses => identical traffic): replay the
+        // recorded per-channel delta instead of re-simulating.
+        extrapolate_rep(ctx.machine, mem, rec.channel_delta, rec.time_ns);
+        ++out.reps_extrapolated;
+      }
+    }
+    out.clusters = ctx.opt.reps > 0 ? 1 : 0;
+    return out;
+  }
+};
+
+/// Signature-clustered sampling (DESIGN.md §3i): fully replay one
+/// representative per `sample_period` repetitions, extrapolate the rest from
+/// the active cluster's running-mean delta, and fall back to full replay
+/// (safe mode) when a representative's signature diverges from its cluster.
+class SampledReplay final : public ReplayStrategy {
+ public:
+  ReplayOutcome run(ReplayContext& ctx) override {
+    sim::MemController& mem = ctx.machine.memctrl(ctx.opt.socket);
+    const RunnerOptions& opt = ctx.opt;
+    // literal_reps asks for every repetition to be simulated; honour it by
+    // degenerating to a period of 1 rather than silently sampling.
+    const std::uint32_t period =
+        opt.literal_reps
+            ? 1u
+            : (opt.sample_period != 0 ? opt.sample_period
+                                      : sampled_replay_period(opt.reps));
+
+    // A cluster's reference signature is its FIRST representative's: later
+    // members must stay within tolerance of the original pattern, so slow
+    // drift cannot ratchet the cluster away from what it first measured.
+    struct Cluster {
+      WindowSignature ref;
+      std::vector<std::array<std::uint64_t, 2>> delta_sum;
+      double time_sum = 0.0;
+      std::uint64_t members = 0;
+    };
+    std::vector<Cluster> clusters;
+    ReplayOutcome out;
+    out.cluster_of_rep.reserve(opt.reps);
+
+    std::uint32_t current = 0;        // active cluster index
+    std::uint32_t stable_streak = 0;  // consecutive consistent representatives
+    bool safe_mode = false;           // simulate every rep until stable
+
+    const auto fold = [](Cluster& cl, const RepRecord& rec) {
+      if (cl.members == 0) {
+        cl.ref = rec.sig;
+        cl.delta_sum.assign(rec.channel_delta.size(), {0, 0});
+      }
+      for (std::size_t ch = 0; ch < rec.channel_delta.size(); ++ch) {
+        cl.delta_sum[ch][0] += rec.channel_delta[ch][0];
+        cl.delta_sum[ch][1] += rec.channel_delta[ch][1];
+      }
+      cl.time_sum += rec.time_ns;
+      ++cl.members;
+    };
+
+    for (std::uint32_t rep = 0; rep < opt.reps; ++rep) {
+      const selfmon::Stopwatch rep_probe(selfmon::HistId::RunnerRepNs);
+      selfmon::counter_add(selfmon::CounterId::RunnerReps);
+      ctx.machine.noise(opt.socket).repetition_overhead();
+
+      if (rep % period == 0 || safe_mode || clusters.empty()) {
+        const RepRecord rec = simulate_rep(ctx, mem);
+        ++out.reps_replayed;
+        if (!clusters.empty() &&
+            rec.sig.matches(clusters[current].ref, opt.signature_tolerance)) {
+          fold(clusters[current], rec);
+          ++stable_streak;
+          if (safe_mode && stable_streak >= kStableRepsToResample) {
+            safe_mode = false;
+          }
+        } else {
+          // First repetition, or divergence: open a new cluster seeded with
+          // this window and simulate every repetition until the new pattern
+          // proves stable for kStableRepsToResample representatives.
+          if (!clusters.empty()) {
+            selfmon::counter_add(selfmon::CounterId::RunnerResampleFallbacks);
+            ++out.resample_fallbacks;
+            safe_mode = true;
+          }
+          clusters.emplace_back();
+          current = static_cast<std::uint32_t>(clusters.size() - 1);
+          fold(clusters[current], rec);
+          stable_streak = 1;
+        }
+      } else {
+        // Extrapolate from the active cluster's running mean (integer
+        // rounding keeps byte totals exact when every representative's
+        // delta is identical, i.e. in deterministic noise-off mode).
+        const Cluster& cl = clusters[current];
+        std::vector<std::array<std::uint64_t, 2>> mean(cl.delta_sum.size());
+        for (std::size_t ch = 0; ch < cl.delta_sum.size(); ++ch) {
+          mean[ch][0] = (cl.delta_sum[ch][0] + cl.members / 2) / cl.members;
+          mean[ch][1] = (cl.delta_sum[ch][1] + cl.members / 2) / cl.members;
+        }
+        extrapolate_rep(ctx.machine, mem, mean,
+                        cl.time_sum / static_cast<double>(cl.members));
+        ++out.reps_extrapolated;
+      }
+      out.cluster_of_rep.push_back(current);
+    }
+    out.clusters = static_cast<std::uint32_t>(clusters.size());
+    return out;
+  }
+};
+
+}  // namespace
+
+bool WindowSignature::matches(const WindowSignature& other, double tol) const {
+  return field_matches(line_touches, other.line_touches, tol, kTouchFloor) &&
+         field_matches(seq_line_touches, other.seq_line_touches, tol,
+                       kTouchFloor) &&
+         field_matches(strided_line_touches, other.strided_line_touches, tol,
+                       kTouchFloor) &&
+         field_matches(l3_hits, other.l3_hits, tol, kTouchFloor) &&
+         field_matches(read_bytes, other.read_bytes, tol, kByteFloor) &&
+         field_matches(write_bytes, other.write_bytes, tol, kByteFloor);
+}
+
+std::unique_ptr<ReplayStrategy> ReplayStrategy::make(const RunnerOptions& opt) {
+  if (opt.strategy == ReplayMode::Sampled) {
+    return std::make_unique<SampledReplay>();
+  }
+  return std::make_unique<FullReplay>();
+}
+
+}  // namespace papisim::kernels

@@ -1,0 +1,101 @@
+// Pluggable execution strategies for KernelRunner's repetition loop
+// (DESIGN.md §3i).
+//
+// The runner's measurement window executes `reps` repetitions of one kernel.
+// How those repetitions are *executed* -- fully simulated access by access,
+// replayed from a recorded per-channel traffic delta, or extrapolated from a
+// sampled representative -- is a strategy decision, separated here from the
+// measurement plumbing (event sets, symmetric-batch scaling, averaging) that
+// stays in KernelRunner::measure().
+//
+//  * FullReplay: the historical behaviour.  Repetition 0 is simulated and its
+//    per-channel delta recorded; later repetitions replay that delta (or are
+//    re-simulated under `literal_reps`).
+//  * SampledReplay: clusters repetition windows by access-pattern signature
+//    (stride mix, footprint, R/W ratio), fully replays one representative per
+//    `sample_period` repetitions, and extrapolates the rest from the current
+//    cluster's running mean.  A representative whose signature diverges from
+//    its cluster opens a new cluster and drops the runner into safe mode
+//    (every repetition simulated) until the new pattern proves stable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace papisim::sim {
+class ThreadPool;
+}  // namespace papisim::sim
+
+namespace papisim::kernels {
+
+struct RunnerOptions;
+
+/// Access-pattern signature of one fully simulated repetition window.
+/// Every field is an exact integer observed by the cache simulator (engine
+/// counters and channel deltas), so signature comparison -- and therefore
+/// cluster assignment -- is bit-identical across host thread counts.
+struct WindowSignature {
+  std::uint64_t line_touches = 0;     ///< footprint proxy: L3-level accesses
+  std::uint64_t seq_line_touches = 0; ///< stride mix: one-line advances
+  std::uint64_t strided_line_touches = 0;  ///< stride mix: Stride-N streams
+  std::uint64_t l3_hits = 0;          ///< locality: L3 + victim-cache hits
+  std::uint64_t read_bytes = 0;       ///< window read traffic (all channels)
+  std::uint64_t write_bytes = 0;      ///< window write traffic (all channels)
+
+  /// Field-wise relative comparison: each field must be within `tol`
+  /// (relative to the larger of the pair), with absolute floors so that
+  /// near-zero fields (e.g. no strided streams) don't trip on one stray
+  /// touch: differences of <= 64 line touches or <= 4096 bytes always match.
+  bool matches(const WindowSignature& other, double tol) const;
+};
+
+/// What one fully simulated repetition produced: the per-channel traffic
+/// delta, the window's virtual duration, and its access-pattern signature.
+struct RepRecord {
+  std::vector<std::array<std::uint64_t, 2>> channel_delta;  ///< [ch][read,write]
+  double time_ns = 0.0;
+  WindowSignature sig;
+};
+
+/// Everything a strategy needs from KernelRunner::measure().  `pool` is
+/// non-null iff `opt.literal_cores` (the pool's caller participates, so it
+/// has host_threads - 1 workers).
+struct ReplayContext {
+  sim::Machine& machine;
+  const RunnerOptions& opt;
+  const std::function<void(std::uint32_t core)>& kernel;
+  std::uint32_t threads = 1;
+  sim::ThreadPool* pool = nullptr;
+};
+
+/// Strategy accounting, surfaced on Measurement and mirrored by the
+/// runner.reps_replayed / runner.reps_extrapolated / runner.resample_fallbacks
+/// selfmon counters.
+struct ReplayOutcome {
+  std::uint32_t reps_replayed = 0;
+  std::uint32_t reps_extrapolated = 0;
+  std::uint32_t clusters = 0;
+  std::uint32_t resample_fallbacks = 0;
+  std::vector<std::uint32_t> cluster_of_rep;  ///< SampledReplay only
+};
+
+class ReplayStrategy {
+ public:
+  virtual ~ReplayStrategy() = default;
+
+  /// Execute all `ctx.opt.reps` repetitions inside the already-started
+  /// measurement window.  Per-repetition noise overhead and the RunnerReps /
+  /// RunnerRepNs selfmon probes are the strategy's responsibility (they are
+  /// per-repetition costs, identical across strategies).
+  virtual ReplayOutcome run(ReplayContext& ctx) = 0;
+
+  /// Strategy factory for RunnerOptions::strategy.
+  static std::unique_ptr<ReplayStrategy> make(const RunnerOptions& opt);
+};
+
+}  // namespace papisim::kernels

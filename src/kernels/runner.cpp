@@ -1,12 +1,11 @@
 #include "kernels/runner.hpp"
 
 #include <algorithm>
-#include <array>
 #include <memory>
 #include <stdexcept>
 
+#include "kernels/replay_strategy.hpp"
 #include "pcp/pmns.hpp"
-#include "selfmon/metrics.hpp"
 #include "sim/thread_pool.hpp"
 
 namespace papisim::kernels {
@@ -66,84 +65,27 @@ Measurement KernelRunner::measure(
   auto es = lib_.create_eventset();
   for (const std::string& name : event_names()) es->add_event(name);
 
-  sim::MemController& mem = machine_.memctrl(opt.socket);
-
   const double t0 = machine_.clock().now_sec();
   es->start();
 
-  // First repetition: replay the kernel through the cache simulator and
-  // record its per-channel traffic delta and duration.
-  std::vector<std::array<std::uint64_t, 2>> rep_delta;
-  double rep_time_ns = 0.0;
-  for (std::uint32_t rep = 0; rep < opt.reps; ++rep) {
-    const selfmon::Stopwatch rep_probe(selfmon::HistId::RunnerRepNs);
-    selfmon::counter_add(selfmon::CounterId::RunnerReps);
-    machine_.noise(opt.socket).repetition_overhead();
-    if (rep == 0 || opt.literal_reps) {
-      const auto snap0 = mem.snapshot();
-      const double tk0 = machine_.clock().now_ns();
-      if (opt.literal_cores) {
-        // Literal per-core replay: every core of the batch runs its own
-        // kernel instance on its own engine, in deferred-time mode, then
-        // the clock advances once by the slowest core (max-merge).  The
-        // per-channel counters are commutative atomics and the L3 stripes
-        // are disjoint per core, so the totals are identical no matter how
-        // the pool interleaves the cores.
-        for (std::uint32_t c = 0; c < threads; ++c) {
-          machine_.engine(opt.socket, c).set_deferred_time(true);
-        }
-        pool->parallel_for(threads, [&](std::uint32_t c) { kernel(c); });
-        double max_ns = 0.0;
-        for (std::uint32_t c = 0; c < threads; ++c) {
-          sim::AccessEngine& eng = machine_.engine(opt.socket, c);
-          max_ns = std::max(max_ns, eng.take_deferred_time_ns());
-          eng.set_deferred_time(false);
-        }
-        machine_.advance(max_ns);
-      } else {
-        kernel(/*core=*/0);
-      }
-      // Cold caches for the next repetition (the paper uses a fresh matrix
-      // per repetition); flushing inside the window keeps the dirty
-      // writebacks in the measured traffic where they belong.
-      machine_.flush_socket(opt.socket);
-      if (threads > 1 && !opt.literal_cores) {
-        // Symmetric-batch scaling: the other cores ran identical,
-        // independent kernels on disjoint data.
-        std::uint64_t dr = 0, dw = 0;
-        const auto snap_mid = mem.snapshot();
-        for (std::uint32_t ch = 0; ch < mem.channels(); ++ch) {
-          dr += snap_mid[ch][0] - snap0[ch][0];
-          dw += snap_mid[ch][1] - snap0[ch][1];
-        }
-        mem.add_spread(dr * (threads - 1), sim::MemDir::Read);
-        mem.add_spread(dw * (threads - 1), sim::MemDir::Write);
-      }
-      const auto snap1 = mem.snapshot();
-      rep_delta.assign(mem.channels(), {0, 0});
-      for (std::uint32_t ch = 0; ch < mem.channels(); ++ch) {
-        rep_delta[ch] = {snap1[ch][0] - snap0[ch][0], snap1[ch][1] - snap0[ch][1]};
-      }
-      rep_time_ns = machine_.clock().now_ns() - tk0;
-    } else {
-      // Subsequent repetitions are deterministic replicas (fresh data, cold
-      // caches, disjoint addresses => identical traffic): replay the
-      // recorded per-channel delta instead of re-simulating.  Validated
-      // against literal_reps in tests.
-      selfmon::counter_add(selfmon::CounterId::RunnerRepsReplayed);
-      for (std::uint32_t ch = 0; ch < mem.channels(); ++ch) {
-        mem.add_channel_bytes(ch, sim::MemDir::Read, rep_delta[ch][0]);
-        mem.add_channel_bytes(ch, sim::MemDir::Write, rep_delta[ch][1]);
-      }
-      machine_.advance(rep_time_ns);
-    }
-  }
+  // The repetition loop itself is a pluggable strategy (DESIGN.md §3i):
+  // FullReplay records repetition 0 and extrapolates the rest, SampledReplay
+  // clusters windows by access-pattern signature and extrapolates between
+  // sampled representatives.
+  ReplayContext ctx{machine_, opt, kernel, threads, pool.get()};
+  const ReplayOutcome outcome = ReplayStrategy::make(opt)->run(ctx);
+
   const std::vector<long long> values = es->read();
   es->stop();
 
   Measurement m;
   m.reps = opt.reps;
   m.threads = threads;
+  m.reps_replayed = outcome.reps_replayed;
+  m.reps_extrapolated = outcome.reps_extrapolated;
+  m.clusters = outcome.clusters;
+  m.resample_fallbacks = outcome.resample_fallbacks;
+  m.cluster_of_rep = outcome.cluster_of_rep;
   m.elapsed_sec = machine_.clock().now_sec() - t0;
   const std::uint32_t channels = machine_.config().mem_channels;
   double reads = 0, writes = 0;

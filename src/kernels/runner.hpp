@@ -8,13 +8,30 @@
 // and keeps dirty writebacks inside the measurement window).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "core/library.hpp"
 #include "sim/machine.hpp"
 
 namespace papisim::kernels {
+
+/// How the runner executes the repetitions of one measurement window
+/// (DESIGN.md §3i).  The replay loop is a pluggable strategy so new execution
+/// tiers (e.g. profile-guided region memoization) slot in beside these two.
+enum class ReplayMode : std::uint8_t {
+  /// Record the first repetition's per-channel traffic and extrapolate the
+  /// rest (or literally re-simulate every repetition with `literal_reps`).
+  Full,
+  /// Cluster repetition windows by access-pattern signature (stride mix,
+  /// footprint, R/W ratio), fully replay one representative per
+  /// `sample_period` repetitions, and extrapolate the rest from the current
+  /// cluster's running mean -- falling back to full replay when a
+  /// representative's signature diverges from its cluster.
+  Sampled,
+};
 
 struct RunnerOptions {
   std::uint32_t socket = 0;
@@ -43,6 +60,17 @@ struct RunnerOptions {
   /// Host threads replaying the literal batch: 1 = serial (still via the
   /// same deferred/max-merge path), 0 = one thread per simulated core.
   std::uint32_t host_threads = 1;
+  /// Execution strategy for the repetition loop (DESIGN.md §3i).
+  ReplayMode strategy = ReplayMode::Full;
+  /// SampledReplay: fully replay one representative every `sample_period`
+  /// repetitions.  0 derives the period from the Eq. 5 adaptive-repetition
+  /// count (sampled_replay_period: ~kMinRepetitions representatives per
+  /// measurement); `literal_reps` forces a period of 1 (i.e. full replay).
+  std::uint32_t sample_period = 0;
+  /// SampledReplay: maximum relative per-field difference between a new
+  /// representative's window signature and its cluster's reference before
+  /// the runner declares divergence and falls back to full replay.
+  double signature_tolerance = 0.02;
 };
 
 struct Measurement {
@@ -51,6 +79,14 @@ struct Measurement {
   double elapsed_sec = 0;  ///< virtual time of the whole measurement window
   std::uint32_t reps = 1;
   std::uint32_t threads = 1;
+  // Execution-strategy accounting (mirrors the runner.* selfmon counters).
+  std::uint32_t reps_replayed = 0;      ///< fully replayed through the simulator
+  std::uint32_t reps_extrapolated = 0;  ///< extrapolated from recorded traffic
+  std::uint32_t clusters = 0;           ///< signature clusters seen (1 for Full)
+  std::uint32_t resample_fallbacks = 0; ///< divergences that forced full replay
+  /// Per-repetition cluster assignment (SampledReplay only; empty for Full).
+  /// Bit-identical across host thread counts in deterministic mode.
+  std::vector<std::uint32_t> cluster_of_rep;
 };
 
 /// Runs kernels under a chosen measurement route ("pcp" on Summit,

@@ -37,7 +37,11 @@ constexpr MetricInfo kCounterInfo[kNumCounters] = {
     {"sampler.rows", "timeline rows recorded by Sampler::sample()", "rows"},
     {"runner.reps", "kernel repetitions executed by KernelRunner", "reps"},
     {"runner.reps_replayed",
-     "repetitions served from the recorded traffic fast path", "reps"},
+     "repetitions fully replayed through the cache simulator", "reps"},
+    {"runner.reps_extrapolated",
+     "repetitions extrapolated from recorded per-channel traffic", "reps"},
+    {"runner.resample_fallbacks",
+     "sampled-replay signature divergences that forced full replay", "fallbacks"},
     {"spe.samples", "precise-event samples recorded into per-core SPE rings",
      "samples"},
     {"spe.drops",

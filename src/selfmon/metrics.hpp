@@ -60,8 +60,10 @@ enum class CounterId : std::uint16_t {
   PcpCacheMisses,          ///< fetches that consulted the cache and read the PMU
   PcpOverloadShed,         ///< requests rejected at admission (fair-share backpressure)
   SamplerRows,             ///< timeline rows recorded by Sampler::sample()
-  RunnerReps,              ///< kernel repetitions executed (simulated or replayed)
-  RunnerRepsReplayed,      ///< repetitions served from the recorded fast path
+  RunnerReps,              ///< kernel repetitions executed (replayed or extrapolated)
+  RunnerRepsReplayed,      ///< repetitions fully replayed through the simulator
+  RunnerRepsExtrapolated,  ///< repetitions extrapolated from recorded traffic
+  RunnerResampleFallbacks, ///< sampled-replay signature divergences (fallback to full)
   SpeSamples,              ///< precise-event samples recorded into per-core rings
   SpeDrops,                ///< SPE samples dropped by a full ring (backpressure)
   kCount,

@@ -13,6 +13,8 @@ LoopStats& LoopStats::operator+=(const LoopStats& o) {
   victim_hits += o.victim_hits;
   bypassed_store_lines += o.bypassed_store_lines;
   allocated_store_lines += o.allocated_store_lines;
+  seq_line_touches += o.seq_line_touches;
+  strided_line_touches += o.strided_line_touches;
   time_ns += o.time_ns;
   flops += o.flops;
   return *this;
@@ -103,6 +105,7 @@ LoopStats AccessEngine::execute(const LoopDesc& loop) {
   // the detector from the hot loop.
   bool strided_capable[16];
   std::uint64_t touch_count[16];
+  std::uint64_t stream_touches[16] = {};  // per-stream totals for the stride mix
   std::uint32_t strided_active = 0;
   const std::int64_t line = cfg_.line_bytes;
   for (std::size_t k = 0; k < n; ++k) {
@@ -166,6 +169,7 @@ LoopStats AccessEngine::execute(const LoopDesc& loop) {
       ++strided_active;
     }
     ++stats.line_touches;
+    ++stream_touches[k];
 
     L3Fabric::Source src = L3Fabric::Source::Memory;
     bool bypassed = false;
@@ -223,6 +227,13 @@ LoopStats AccessEngine::execute(const LoopDesc& loop) {
   stats.mem_read_bytes = traffic.read_lines * cfg_.line_bytes;
   stats.mem_write_bytes = traffic.write_lines * cfg_.line_bytes;
   stats.flops = static_cast<double>(loop.iterations) * loop.flops_per_iter;
+  // Stride mix (StreamDetector taxonomy): a non-zero stride below two lines
+  // advances line-by-line (sequential); strided_capable streams are Stride-N.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (loop.streams[k].stride == 0) continue;
+    (strided_capable[k] ? stats.strided_line_touches : stats.seq_line_touches) +=
+        stream_touches[k];
+  }
 
   // Coarse virtual-time model: the loop is limited by the slowest of
   // compute, memory bandwidth, and cache throughput.
@@ -245,6 +256,8 @@ LoopStats AccessEngine::execute(const LoopDesc& loop) {
   counters_.line_touches += stats.line_touches;
   counters_.l3_hits += stats.l3_hits;
   counters_.victim_hits += stats.victim_hits;
+  counters_.seq_line_touches += stats.seq_line_touches;
+  counters_.strided_line_touches += stats.strided_line_touches;
   counters_.busy_ns += stats.time_ns;
   return stats;
 }

@@ -46,6 +46,13 @@ struct LoopStats {
   std::uint64_t victim_hits = 0;
   std::uint64_t bypassed_store_lines = 0;
   std::uint64_t allocated_store_lines = 0;
+  /// Stride-mix split of line_touches, using the StreamDetector taxonomy
+  /// (stream_detect.hpp): touches from streams advancing by exactly one line
+  /// are sequential, touches from Stride-N streams (constant delta of >= 2
+  /// lines) are strided.  Scalar accesses count as neither.  The split is
+  /// the raw material of the sampled-replay window signature (DESIGN.md §3i).
+  std::uint64_t seq_line_touches = 0;
+  std::uint64_t strided_line_touches = 0;
   double time_ns = 0.0;
   double flops = 0.0;
 
@@ -58,6 +65,8 @@ struct CoreCounters {
   std::uint64_t line_touches = 0;  ///< L3-level accesses
   std::uint64_t l3_hits = 0;
   std::uint64_t victim_hits = 0;
+  std::uint64_t seq_line_touches = 0;      ///< stride-mix: one-line advances
+  std::uint64_t strided_line_touches = 0;  ///< stride-mix: Stride-N streams
   double busy_ns = 0.0;            ///< time this core spent executing
 
   std::uint64_t l3_misses() const { return line_touches - l3_hits - victim_hits; }

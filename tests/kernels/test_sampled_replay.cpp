@@ -1,0 +1,269 @@
+// Acceptance suite for the sampled-replay execution strategy (DESIGN.md §3i):
+//  * sampled traffic within the 2% error bound of full (literal) replay
+//    across the fig2-fig10 kernel sweep, noise off -- with deterministic
+//    windows the extrapolation must in fact be exact, so any warmup or
+//    clustering bug trips the bound immediately;
+//  * bit-identical cluster assignment across host thread counts;
+//  * fallback to full replay on signature divergence;
+//  * Eq. 5 boundary hardening of repetitions_for / sampled_replay_period.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "components/pcp_component.hpp"
+#include "components/perf_nest_component.hpp"
+#include "fft/resort.hpp"
+#include "kernels/blas_sim.hpp"
+#include "kernels/expected.hpp"
+#include "kernels/runner.hpp"
+#include "pcp/client.hpp"
+#include "pcp/pmcd.hpp"
+
+namespace papisim::kernels {
+namespace {
+
+struct SummitStack {
+  SummitStack()
+      : machine(sim::MachineConfig::summit()),
+        daemon(machine),
+        client(daemon, machine, machine.user_credentials()) {
+    machine.set_noise_enabled(false);
+    lib.register_component(std::make_unique<components::PcpComponent>(client));
+  }
+  sim::Machine machine;
+  pcp::Pmcd daemon;
+  pcp::PcpClient client;
+  Library lib;
+};
+
+/// One kernel of the fig sweep: `make` binds buffers to a fresh machine and
+/// returns the runner kernel.
+struct SweepCase {
+  const char* name;
+  std::uint32_t reps;
+  bool batched;
+  bool occupy_socket;
+  std::function<std::function<void(std::uint32_t)>(sim::Machine&)> make;
+};
+
+std::function<std::function<void(std::uint32_t)>(sim::Machine&)> gemm_case(
+    std::uint64_t n) {
+  return [n](sim::Machine& m) -> std::function<void(std::uint32_t)> {
+    const GemmBuffers buf = GemmBuffers::allocate(m.address_space(), n);
+    return [&m, n, buf](std::uint32_t core) { run_gemm(m, 0, core, n, buf); };
+  };
+}
+
+std::vector<SweepCase> fig_sweep() {
+  std::vector<SweepCase> cases;
+  // fig2/3-style GEMM points, single-threaded and batched.
+  cases.push_back({"gemm48_batched", 24, true, false, gemm_case(48)});
+  cases.push_back({"gemm64_batched", 24, true, false, gemm_case(64)});
+  cases.push_back({"gemm96_single", 24, false, false, gemm_case(96)});
+  // fig5-style capped GEMV, batched.
+  cases.push_back(
+      {"gemv2048_capped", 24, true, false,
+       [](sim::Machine& m) -> std::function<void(std::uint32_t)> {
+         const std::uint64_t M = 2048, N = 1280, P = 1280;
+         const GemvBuffers buf = GemvBuffers::allocate(m.address_space(), M, N, P);
+         return [&m, buf](std::uint32_t core) {
+           run_capped_gemv(m, 0, core, 2048, 1280, 1280, buf);
+         };
+       }});
+  // fig6-10-style re-sort loop nests, socket-occupying.
+  const auto resort = [](auto replay) {
+    return [replay](sim::Machine& m) -> std::function<void(std::uint32_t)> {
+      const fft::RankDims dims = fft::RankDims::of(128, mpi::Grid{2, 4});
+      const fft::ResortBuffers buf =
+          fft::ResortBuffers::allocate(m.address_space(), dims.bytes());
+      return [&m, dims, buf, replay](std::uint32_t) { replay(m, dims, buf); };
+    };
+  };
+  cases.push_back({"s1cf_nest1", 24, false, true,
+                   resort([](sim::Machine& m, const fft::RankDims& d,
+                             const fft::ResortBuffers& b) {
+                     fft::s1cf_nest1_replay(m, 0, 0, d, b, false);
+                   })});
+  cases.push_back({"s1cf_nest2", 24, false, true,
+                   resort([](sim::Machine& m, const fft::RankDims& d,
+                             const fft::ResortBuffers& b) {
+                     fft::s1cf_nest2_replay(m, 0, 0, d, b, false);
+                   })});
+  cases.push_back({"s1cf_combined", 24, false, true,
+                   resort([](sim::Machine& m, const fft::RankDims& d,
+                             const fft::ResortBuffers& b) {
+                     fft::s1cf_combined_replay(m, 0, 0, d, b, false);
+                   })});
+  cases.push_back({"s2cf", 24, false, true,
+                   resort([](sim::Machine& m, const fft::RankDims& d,
+                             const fft::ResortBuffers& b) {
+                     const fft::S2Dims s2 = fft::S2Dims::of(d, mpi::Grid{2, 4});
+                     fft::s2cf_replay(m, 0, 0, s2, b, false);
+                   })});
+  return cases;
+}
+
+Measurement run_leg(const SweepCase& c, bool sampled) {
+  SummitStack s;
+  KernelRunner runner(s.machine, s.lib, "pcp", 87);
+  const auto kernel = c.make(s.machine);
+  RunnerOptions opt;
+  opt.reps = c.reps;
+  opt.batched = c.batched;
+  opt.occupy_socket = c.occupy_socket;
+  if (sampled) {
+    opt.strategy = ReplayMode::Sampled;
+  } else {
+    opt.literal_reps = true;  // the ground truth: simulate every repetition
+  }
+  return runner.measure(kernel, opt);
+}
+
+TEST(SampledReplay, TrafficWithinErrorBoundAcrossFigSweep) {
+  for (const SweepCase& c : fig_sweep()) {
+    SCOPED_TRACE(c.name);
+    const Measurement full = run_leg(c, /*sampled=*/false);
+    const Measurement sampled = run_leg(c, /*sampled=*/true);
+    ASSERT_GT(full.read_bytes, 0.0);
+    EXPECT_NEAR(sampled.read_bytes, full.read_bytes, 0.02 * full.read_bytes);
+    EXPECT_NEAR(sampled.write_bytes, full.write_bytes,
+                0.02 * (full.write_bytes > 0.0 ? full.write_bytes : 1.0));
+    // Strategy accounting must cover every repetition exactly once, and
+    // sampling must actually have skipped work.
+    EXPECT_EQ(sampled.reps_replayed + sampled.reps_extrapolated, c.reps);
+    EXPECT_LT(sampled.reps_replayed, c.reps);
+    EXPECT_EQ(sampled.resample_fallbacks, 0u);
+    EXPECT_EQ(sampled.clusters, 1u);
+    EXPECT_EQ(sampled.cluster_of_rep.size(), c.reps);
+    EXPECT_EQ(full.reps_replayed, c.reps);
+  }
+}
+
+TEST(SampledReplay, DefaultPeriodFollowsEq5AsymptoticCount) {
+  // reps = repetitions_for(64) = 498 -> period 49 -> representatives at
+  // 0, 49, ..., 490: eleven fully replayed windows, the rest extrapolated.
+  SweepCase c{"gemm64", repetitions_for(64), true, false, gemm_case(64)};
+  ASSERT_EQ(c.reps, 498u);
+  const Measurement m = run_leg(c, /*sampled=*/true);
+  EXPECT_EQ(m.reps_replayed, 11u);
+  EXPECT_EQ(m.reps_extrapolated, 487u);
+  EXPECT_EQ(m.clusters, 1u);
+}
+
+TEST(SampledReplay, LiteralRepsDegeneratesToFullReplay) {
+  SummitStack s;
+  KernelRunner runner(s.machine, s.lib, "pcp", 87);
+  const GemmBuffers buf = GemmBuffers::allocate(s.machine.address_space(), 64);
+  RunnerOptions opt;
+  opt.reps = 5;
+  opt.strategy = ReplayMode::Sampled;
+  opt.literal_reps = true;  // forces a sampling period of 1
+  const Measurement m = runner.measure(
+      [&](std::uint32_t core) { run_gemm(s.machine, 0, core, 64, buf); }, opt);
+  EXPECT_EQ(m.reps_replayed, 5u);
+  EXPECT_EQ(m.reps_extrapolated, 0u);
+}
+
+TEST(SampledReplay, ClusterAssignmentBitIdenticalAcrossHostThreads) {
+  // Literal per-core batch under the sampled strategy: the signature is
+  // integer arithmetic over commutative engine counters, so the cluster
+  // assignment (and the traffic) must not depend on how many host threads
+  // replay the batch.
+  const auto run_with = [](std::uint32_t host_threads) {
+    sim::MachineConfig cfg = sim::MachineConfig::tellico();
+    cfg.cores_per_socket = 4;
+    cfg.physical_cores_per_socket = 4;
+    sim::Machine machine(cfg);
+    machine.set_noise_enabled(false);
+    Library lib;
+    lib.register_component(std::make_unique<components::PerfNestComponent>(
+        machine, machine.user_credentials()));
+    KernelRunner runner(machine, lib, "perf_nest", 0);
+    std::vector<GemmBuffers> bufs;
+    for (std::uint32_t c = 0; c < 4; ++c) {
+      bufs.push_back(GemmBuffers::allocate(machine.address_space(), 96));
+    }
+    RunnerOptions opt;
+    opt.reps = 12;
+    opt.literal_cores = true;
+    opt.host_threads = host_threads;
+    opt.strategy = ReplayMode::Sampled;
+    opt.sample_period = 3;
+    return runner.measure(
+        [&](std::uint32_t core) { run_gemm(machine, 0, core, 96, bufs[core]); },
+        opt);
+  };
+  const Measurement serial = run_with(1);
+  EXPECT_EQ(serial.cluster_of_rep.size(), 12u);
+  for (const std::uint32_t host : {2u, 4u}) {
+    SCOPED_TRACE(host);
+    const Measurement parallel = run_with(host);
+    EXPECT_EQ(parallel.cluster_of_rep, serial.cluster_of_rep);
+    EXPECT_EQ(parallel.reps_replayed, serial.reps_replayed);
+    EXPECT_EQ(parallel.resample_fallbacks, serial.resample_fallbacks);
+    EXPECT_DOUBLE_EQ(parallel.read_bytes, serial.read_bytes);
+    EXPECT_DOUBLE_EQ(parallel.write_bytes, serial.write_bytes);
+  }
+}
+
+TEST(SampledReplay, FallsBackToFullReplayOnSignatureDivergence) {
+  SummitStack s;
+  KernelRunner runner(s.machine, s.lib, "pcp", 87);
+  const GemmBuffers small = GemmBuffers::allocate(s.machine.address_space(), 64);
+  const GemmBuffers large = GemmBuffers::allocate(s.machine.address_space(), 160);
+  // The kernel changes its access pattern at its third *simulated*
+  // invocation, i.e. at the representative of repetition 6 (period 3): the
+  // signature diverges there, which must open a new cluster and drop the
+  // runner into safe mode (every repetition simulated) until three
+  // consecutive representatives agree.
+  std::uint32_t calls = 0;
+  const auto kernel = [&](std::uint32_t) {
+    if (calls++ < 2) {
+      run_gemm(s.machine, 0, 0, 64, small);
+    } else {
+      run_gemm(s.machine, 0, 0, 160, large);
+    }
+  };
+  RunnerOptions opt;
+  opt.reps = 30;
+  opt.strategy = ReplayMode::Sampled;
+  opt.sample_period = 3;
+  const Measurement m = runner.measure(kernel, opt);
+  EXPECT_EQ(m.resample_fallbacks, 1u);
+  EXPECT_EQ(m.clusters, 2u);
+  // Representatives at 0,3,...,27 plus the two safe-mode repetitions 7-8.
+  EXPECT_EQ(m.reps_replayed, 12u);
+  EXPECT_EQ(m.reps_extrapolated, 18u);
+  ASSERT_EQ(m.cluster_of_rep.size(), 30u);
+  for (std::uint32_t rep = 0; rep < 30; ++rep) {
+    EXPECT_EQ(m.cluster_of_rep[rep], rep < 6 ? 0u : 1u) << "rep " << rep;
+  }
+}
+
+TEST(RepetitionPolicy, Eq5BoundariesArePinned) {
+  EXPECT_EQ(repetitions_for(0), kMaxRepetitions);  // floor(514 - 0) = 514
+  EXPECT_EQ(repetitions_for(1), 513u);
+  EXPECT_EQ(repetitions_for(64), 498u);
+  EXPECT_EQ(repetitions_for(2047), kMinRepetitions);  // floor(10.4) = 10
+  EXPECT_EQ(repetitions_for(2048), kMinRepetitions);
+  // Huge n must short-circuit before the floating-point path (an exact
+  // double conversion does not exist for these).
+  EXPECT_EQ(repetitions_for(std::uint64_t{1} << 63), kMinRepetitions);
+  EXPECT_EQ(repetitions_for(~std::uint64_t{0}), kMinRepetitions);
+}
+
+TEST(RepetitionPolicy, SampledPeriodNeverZero) {
+  EXPECT_EQ(sampled_replay_period(0), 1u);
+  EXPECT_EQ(sampled_replay_period(1), 1u);
+  EXPECT_EQ(sampled_replay_period(kMinRepetitions - 1), 1u);
+  EXPECT_EQ(sampled_replay_period(kMinRepetitions), 1u);
+  EXPECT_EQ(sampled_replay_period(100), 10u);
+  EXPECT_EQ(sampled_replay_period(498), 49u);
+  EXPECT_EQ(sampled_replay_period(kMaxRepetitions), 51u);
+}
+
+}  // namespace
+}  // namespace papisim::kernels

@@ -279,10 +279,14 @@ TEST(SelfmonInstrumentation, KernelRunnerCountsSimulatedAndReplayedReps) {
   EXPECT_EQ(after.counter(selfmon::CounterId::RunnerReps) -
                 before.counter(selfmon::CounterId::RunnerReps),
             4u);
-  // Rep 0 simulates; reps 1-3 ride the recorded fast path (Eq. 5
-  // amortization), which selfmon separates out.
+  // Rep 0 is fully replayed through the simulator; reps 1-3 are
+  // extrapolated from its recorded traffic (Eq. 5 amortization), which
+  // selfmon separates out.
   EXPECT_EQ(after.counter(selfmon::CounterId::RunnerRepsReplayed) -
                 before.counter(selfmon::CounterId::RunnerRepsReplayed),
+            1u);
+  EXPECT_EQ(after.counter(selfmon::CounterId::RunnerRepsExtrapolated) -
+                before.counter(selfmon::CounterId::RunnerRepsExtrapolated),
             3u);
   const selfmon::HistSnapshot reps =
       after.hist(selfmon::HistId::RunnerRepNs)

@@ -14,3 +14,9 @@ if(test_pcp_scale_TESTS)
   set_tests_properties(${test_pcp_scale_TESTS}
     PROPERTIES LABELS "tier1;pcp-stress")
 endif()
+# And for the sampled-replay acceptance suite: the nightly error-bound leg
+# runs exactly these via `ctest -L sampled-replay`.
+if(test_sampled_replay_TESTS)
+  set_tests_properties(${test_sampled_replay_TESTS}
+    PROPERTIES LABELS "tier1;sampled-replay")
+endif()
