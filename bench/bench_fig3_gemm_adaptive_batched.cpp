@@ -5,13 +5,25 @@
 // gradual divergence at larger in-cache sizes (lateral cast-out);
 // (b) matches the expectation tightly until each core's matrices exceed its
 // 5 MB L3 share (N ~ 467), where the traffic jumps drastically.
+// --quick limits the sweep to three sizes (the CI span-validation leg);
+// --spans PATH writes a causal span dump (trace/export.hpp) after the sweep
+// for papisim-analyze --spans.
+#include <fstream>
+
 #include "gemm_common.hpp"
+#include "trace/export.hpp"
+#include "trace/recorder.hpp"
 
 using namespace papisim;
 using namespace papisim::benchutil;
 
 int main(int argc, char** argv) {
   const bool csv = has_flag(argc, argv, "--csv");
+  const bool quick = has_flag(argc, argv, "--quick");
+  const std::string spans_path = flag_value(argc, argv, "--spans");
+  const std::vector<std::uint64_t> sizes =
+      quick ? std::vector<std::uint64_t>{64, 96, 128}
+            : std::vector<std::uint64_t>{};
   const kernels::ReplayMode strategy = has_flag(argc, argv, "--sampled")
                                            ? kernels::ReplayMode::Sampled
                                            : kernels::ReplayMode::Full;
@@ -23,17 +35,23 @@ int main(int argc, char** argv) {
   std::thread single_thread([&] {
     SummitStack stack;
     single_points = run_gemm_sweep(stack, "pcp", stack.measure_cpu(),
-                                   RepPolicy::Adaptive, /*batched=*/false, {},
-                                   strategy);
+                                   RepPolicy::Adaptive, /*batched=*/false,
+                                   sizes, strategy);
   });
   std::thread batched_thread([&] {
     SummitStack stack;
     batched_points = run_gemm_sweep(stack, "pcp", stack.measure_cpu(),
-                                    RepPolicy::Adaptive, /*batched=*/true, {},
-                                    strategy);
+                                    RepPolicy::Adaptive, /*batched=*/true,
+                                    sizes, strategy);
   });
   single_thread.join();
   batched_thread.join();
+
+  if (!spans_path.empty()) {
+    std::ofstream out(spans_path);
+    trace::dump_all(out, "bench_fig3");
+    std::cout << "span dump -> " << spans_path << "\n";
+  }
 
   print_gemm_panel("(a) single-threaded GEMM, repetitions per Eq. 5",
                    single_points, 5ull << 20, csv);

@@ -10,6 +10,7 @@
 #include "kernels/blas_sim.hpp"
 #include "selfmon/metrics.hpp"
 #include "spe/collector.hpp"
+#include "trace/recorder.hpp"
 
 using namespace papisim;
 using namespace papisim::benchutil;
@@ -273,6 +274,113 @@ int run_spe_mode(bool csv) {
   return 0;
 }
 
+// --trace mode: the papi_cost question pointed at causal span tracing
+// (DESIGN.md §3j).  Micro-times one span record, one id mint, and one
+// ScopedTrace push/pop, counts how many spans one real GEMM replay emits
+// (via the trace.spans selfmon counter), and reports the estimated overhead
+// fraction against the <=1% budget that gates PAPISIM_TRACE=ON.  Exits
+// non-zero when the estimate busts the budget so CI can gate on it.
+int run_trace_mode(bool csv) {
+  print_header("Causal tracing cost",
+               "what span tracing costs: per-span recorder latency and the "
+               "per-replay overhead fraction (budget: <= 1%)");
+  if (!trace::kEnabled) {
+    std::cout << "tracing was compiled out (-DPAPISIM_TRACE=OFF): every "
+                 "recorder call is an empty inline\nfunction, overhead is "
+                 "exactly zero.  Rebuild with PAPISIM_TRACE=ON to "
+                 "quantify it.\n";
+    return 0;
+  }
+
+  using HostClock = std::chrono::steady_clock;
+  constexpr int kOps = 1'000'000;
+
+  const auto time_per_op_ns = [](auto&& body) {
+    const auto t0 = HostClock::now();
+    for (int i = 0; i < kOps; ++i) body(i);
+    const auto dt = HostClock::now() - t0;
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                   .count()) /
+           kOps;
+  };
+
+  // Keep the micro-loop from flooding the rings: spans past capacity are
+  // reject-and-count, which is exactly the overflow path we also want timed.
+  trace::reset_for_testing();
+  const trace::TraceContext bench_ctx = trace::mint();
+  const double record_ns = time_per_op_ns([&](int i) {
+    const std::uint64_t t = static_cast<std::uint64_t>(i);
+    trace::record({bench_ctx.trace_id, t + 1, bench_ctx.span_id, t, t + 100, 0,
+                   0, trace::Stage::QueueWait, trace::SpanStatus::Ok});
+  });
+  const double mint_ns = time_per_op_ns([](int) { (void)trace::mint(); });
+  const double scope_ns = time_per_op_ns(
+      [](int) { const trace::ScopedTrace s(trace::ScopedTrace::Mode::Fresh); });
+  trace::reset_for_testing();
+
+  Table ops({"operation", "ns_per_op"});
+  ops.add_row({"record (64B span, ring push)", fmt(record_ns, 1)});
+  ops.add_row({"mint (trace_id + span_id)", fmt(mint_ns, 1)});
+  ops.add_row({"ScopedTrace push/pop", fmt(scope_ns, 1)});
+
+  // One real replay: how many spans does it emit, and what fraction of its
+  // host wall time do they cost?  Every span pays roughly two clock reads
+  // plus one record; pricing all of them at (record + mint) is the bound.
+  SummitStack summit;
+  summit.machine.set_noise_enabled(false);
+  kernels::KernelRunner runner(summit.machine, summit.lib, "pcp",
+                               summit.measure_cpu());
+  const std::uint64_t n = 384;
+  const kernels::GemmBuffers buf =
+      kernels::GemmBuffers::allocate(summit.machine.address_space(), n);
+
+  const selfmon::Snapshot before = selfmon::snapshot();
+  const auto w0 = HostClock::now();
+  kernels::RunnerOptions opt;
+  opt.reps = 3;
+  (void)runner.measure(
+      [&](std::uint32_t core) {
+        kernels::run_gemm(summit.machine, 0, core, n, buf);
+      },
+      opt);
+  const double replay_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(HostClock::now() -
+                                                           w0)
+          .count());
+  const selfmon::Snapshot after = selfmon::snapshot();
+
+  const std::uint64_t span_ops =
+      after.counter(selfmon::CounterId::TraceSpans) -
+      before.counter(selfmon::CounterId::TraceSpans);
+  const double est_ns =
+      static_cast<double>(span_ops) * (record_ns + mint_ns);
+  const double fraction = replay_ns > 0 ? est_ns / replay_ns : 0.0;
+  const bool within_budget = fraction <= 0.01;
+
+  Table replay({"metric", "value"});
+  replay.add_row({"replay host time (ms)", fmt(replay_ns / 1e6, 3)});
+  replay.add_row({"spans recorded", std::to_string(span_ops)});
+  replay.add_row({"estimated tracing time (us)", fmt(est_ns / 1e3, 2)});
+  replay.add_row({"estimated overhead", fmt(fraction * 100.0, 3) + " %"});
+  replay.add_row({"within 1% budget", within_budget ? "yes" : "NO"});
+
+  if (csv) {
+    ops.print_csv(std::cout);
+    replay.print_csv(std::cout);
+  } else {
+    ops.print();
+    std::cout << '\n';
+    replay.print();
+  }
+  std::cout << "\nBudget: tracing must stay under 1% of replay wall time "
+               "(the trace-off parity leg of bench_sim_throughput is the "
+               "end-to-end check; this\nestimate is spans x per-span cost, "
+               "an upper bound since per-op timing includes loop "
+               "overhead).\n";
+  return within_budget ? 0 : 1;
+}
+
 // --faults mode: fetch cost and resilience under an injected fault schedule.
 // The paper's trust argument assumes the PMCD round trip either completes or
 // fails visibly; this mode quantifies what the retry/deadline layer costs
@@ -376,6 +484,7 @@ int main(int argc, char** argv) {
   const bool csv = has_flag(argc, argv, "--csv");
   if (has_flag(argc, argv, "--selfmon")) return run_selfmon_mode(csv);
   if (has_flag(argc, argv, "--spe")) return run_spe_mode(csv);
+  if (has_flag(argc, argv, "--trace")) return run_trace_mode(csv);
   if (has_flag(argc, argv, "--faults")) return run_faults_mode(csv);
   print_header("Measurement cost (papi_cost analogue)",
                "the PCP indirection layer the paper quantifies (Sec. I): "

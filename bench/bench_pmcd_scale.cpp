@@ -18,6 +18,11 @@
 //   bench_pmcd_scale --bench-json PATH   also write the machine-readable
 //                                        BENCH_pmcd.json (parsed by the
 //                                        nightly CI leg)
+//   bench_pmcd_scale --spans PATH        dump the scale sweep's causal spans
+//                                        (papisim-analyze --spans ingests it)
+//   bench_pmcd_scale --flight PATH       arm the flight recorder for the
+//                                        crash leg; "%r" in PATH expands to
+//                                        the trigger reason
 //
 // Exit status: 0 when the crash scenario resolved every request typed AND
 // coalescing/caching were observed; 1 otherwise -- the binary is the
@@ -37,6 +42,8 @@
 #include "pcp/fault.hpp"
 #include "pcp/pmcd.hpp"
 #include "selfmon/metrics.hpp"
+#include "trace/export.hpp"
+#include "trace/recorder.hpp"
 
 using namespace papisim;
 using benchutil::Table;
@@ -260,8 +267,17 @@ CrashRun run_crash_while_saturated(int clients) {
 int main(int argc, char** argv) {
   const std::string json_path =
       benchutil::flag_value(argc, argv, "--bench-json");
+  const std::string spans_path = benchutil::flag_value(argc, argv, "--spans");
+  const std::string flight_path = benchutil::flag_value(argc, argv, "--flight");
   const bool quick = benchutil::has_flag(argc, argv, "--quick");
   const int iters = quick ? 50 : 200;
+
+  if (!spans_path.empty()) {
+    // The 64-client point pushes thousands of requests through each shard
+    // worker; larger rings keep the sweep's traces complete for the
+    // critical-path reconciliation check.
+    papisim::trace::set_ring_capacity_for_testing(1u << 15);
+  }
 
   std::cout << "PMCD scale: throughput and fetch latency vs client count\n\n";
   const std::vector<int> counts{1, 4, 16, 64};
@@ -283,6 +299,16 @@ int main(int argc, char** argv) {
   }
   table.print();
 
+  if (!spans_path.empty()) {
+    std::ofstream out(spans_path);
+    if (!out) {
+      std::cerr << "cannot open '" << spans_path << "' for writing\n";
+      return 1;
+    }
+    trace::dump_all(out, "bench_pmcd_scale");
+    std::cout << "\nwrote causal span dump to " << spans_path << "\n";
+  }
+
   std::cout << "\nCoalesce burst (1 shard, stalled leaders, 16 clients, "
                "one key)\n\n";
   const CoalesceBurst burst = run_coalesce_burst();
@@ -297,7 +323,15 @@ int main(int argc, char** argv) {
   const int crash_clients = 64;
   std::cout << "\nCrash while saturated (" << crash_clients
             << " clients, seeded crash plan, shutdown mid-burst)\n\n";
+  if (!flight_path.empty()) {
+    trace::arm_flight_recorder(flight_path);
+  }
   const CrashRun crash = run_crash_while_saturated(crash_clients);
+  if (!flight_path.empty()) {
+    trace::disarm_flight_recorder();
+    std::cout << "flight recorder: " << trace::flight_dumps()
+              << " dump(s) written\n\n";
+  }
   Table crash_table(
       {"served", "typed errors", "untyped", "restarts", "shed"});
   crash_table.add_row({std::to_string(crash.served),

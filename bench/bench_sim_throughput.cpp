@@ -15,6 +15,13 @@
 //                      headline throughput numbers plus the refutation-probe
 //                      grid wall time and write them as JSON (the checked-in
 //                      BENCH_sim.json at the repo root).
+//   --traffic-fingerprint
+//                      skip the suite; replay a fixed deterministic workload
+//                      (noise off) through the full PCP stack and print the
+//                      exact simulated byte totals.  The trace-off CI parity
+//                      leg diffs this output between PAPISIM_TRACE=ON and
+//                      OFF builds: tracing must never perturb the simulated
+//                      traffic, so the lines are bit-identical.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -559,6 +566,48 @@ int emit_bench_json(const std::string& path) {
              : 1;
 }
 
+/// --traffic-fingerprint: exact simulated traffic of a fixed workload.
+/// Everything printed is a deterministic function of the simulation (noise
+/// off, fixed sizes/reps/seeds) -- no wall-clock times, no rates -- so two
+/// builds that simulate identically print identical bytes.  Used by CI to
+/// prove the tracing layer (PAPISIM_TRACE) never perturbs traffic.
+int emit_traffic_fingerprint() {
+  std::cout << "traffic-fingerprint v1\n";
+  for (const std::uint64_t n :
+       {std::uint64_t{64}, std::uint64_t{128}, std::uint64_t{256}}) {
+    for (const bool sampled : {false, true}) {
+      double wall = 0.0;  // measured but deliberately not printed
+      const kernels::Measurement m = measure_gemm_leg(n, sampled, &wall);
+      std::cout << "gemm n=" << n << " mode=" << (sampled ? "sampled" : "full")
+                << " reps=" << kernels::repetitions_for(n)
+                << " threads=" << m.threads << " read="
+                << static_cast<std::uint64_t>(std::llround(m.read_bytes))
+                << " write="
+                << static_cast<std::uint64_t>(std::llround(m.write_bytes))
+                << " replayed=" << m.reps_replayed
+                << " extrapolated=" << m.reps_extrapolated
+                << " clusters=" << m.clusters
+                << " fallbacks=" << m.resample_fallbacks << "\n";
+    }
+  }
+  {
+    sim::Machine m(sim::MachineConfig::summit());
+    m.set_noise_enabled(false);
+    sim::LoopDesc loop;
+    loop.iterations = 1 << 16;
+    loop.streams = {{1 << 20, 8, 8, sim::AccessKind::Load},
+                    {1 << 26, 8, 8, sim::AccessKind::Store}};
+    std::uint64_t touches = 0;
+    for (int i = 0; i < 8; ++i) touches += m.engine(0, 0).execute(loop).line_touches;
+    m.flush_socket(0);
+    std::cout << "loop touches=" << touches
+              << " read=" << m.memctrl(0).total_bytes(sim::MemDir::Read)
+              << " write=" << m.memctrl(0).total_bytes(sim::MemDir::Write)
+              << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 // Wall cost of one complete KernelRunner measurement of a fig3 batched-GEMM
@@ -602,6 +651,9 @@ int main(int argc, char** argv) {
     if (a == "--sampled") {
       g_sampled = true;
       continue;
+    }
+    if (a == "--traffic-fingerprint") {
+      return emit_traffic_fingerprint();
     }
     if (a == "--bench-json" && i + 1 < argc) {
       bench_json = argv[++i];

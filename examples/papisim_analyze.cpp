@@ -17,6 +17,15 @@
 //     [--period N]                         sampling period (default 1024)
 //     [--trace out.json]                   also write a Chrome trace with
 //                                          footprint rank tracks
+//   papisim-analyze --spans dump.json      ingest a causal span dump (from
+//                                          bench_fig3 --spans, bench_pmcd_scale
+//                                          --spans, or a flight-recorder
+//                                          trigger) and print the per-RPC
+//                                          critical-path breakdown
+//     [--reconcile-tol PCT]                fail (exit 1) when per-stage
+//                                          self-time sums diverge from the
+//                                          measured end-to-end latency by
+//                                          more than PCT percent
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -26,6 +35,7 @@
 
 #include "analysis/footprint.hpp"
 #include "analysis/report.hpp"
+#include "analysis/span_report.hpp"
 #include "components/nvml_component.hpp"
 #include "components/pcp_component.hpp"
 #include "components/spe_component.hpp"
@@ -219,6 +229,38 @@ int analyze_footprint(bool json, std::uint64_t period,
   return 0;
 }
 
+/// The --spans mode: ingest a span dump, print the critical-path breakdown,
+/// and (when asked) gate on the reconciliation error -- the CI check that
+/// per-stage attribution accounts for the latency clients actually saw.
+int analyze_spans(const std::string& path, double reconcile_tol_pct) {
+  const analysis::SpanDump dump = analysis::load_span_dump(path);
+  const analysis::CriticalPath cp = analysis::critical_path(dump);
+  analysis::write_critical_path_text(std::cout, dump, cp);
+  if (reconcile_tol_pct >= 0) {
+    const double tol = reconcile_tol_pct / 100.0;
+    bool ok = true;
+    if (cp.rpc_roots != 0 && cp.rpc_reconcile_error() > tol) {
+      std::cerr << "FAIL: rpc reconciliation error "
+                << cp.rpc_reconcile_error() * 100 << "% exceeds "
+                << reconcile_tol_pct << "%\n";
+      ok = false;
+    }
+    if (cp.replay_roots != 0 && cp.replay_reconcile_error() > tol) {
+      std::cerr << "FAIL: replay reconciliation error "
+                << cp.replay_reconcile_error() * 100 << "% exceeds "
+                << reconcile_tol_pct << "%\n";
+      ok = false;
+    }
+    if (cp.rpc_roots == 0 && cp.replay_roots == 0) {
+      std::cerr << "FAIL: no complete traces to reconcile\n";
+      ok = false;
+    }
+    if (!ok) return 1;
+    std::cout << "reconciliation within " << reconcile_tol_pct << "%\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -226,7 +268,8 @@ int main(int argc, char** argv) {
   bool json = false;
   bool footprint = false;
   std::uint64_t period = 1024;
-  std::string record_path, archive_path, trace_path;
+  double reconcile_tol_pct = -1;
+  std::string record_path, archive_path, trace_path, spans_path;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--json") {
       json = true;
@@ -251,12 +294,27 @@ int main(int argc, char** argv) {
         return 2;
       }
       record_path = args[++i];
+    } else if (args[i] == "--spans") {
+      if (i + 1 >= args.size()) {
+        std::cerr << "--spans needs a path\n";
+        return 2;
+      }
+      spans_path = args[++i];
+    } else if (args[i] == "--reconcile-tol") {
+      if (i + 1 >= args.size()) {
+        std::cerr << "--reconcile-tol needs a percentage\n";
+        return 2;
+      }
+      reconcile_tol_pct = std::strtod(args[++i].c_str(), nullptr);
     } else {
       archive_path = args[i];
     }
   }
 
   try {
+    if (!spans_path.empty()) {
+      return analyze_spans(spans_path, reconcile_tol_pct);
+    }
     if (footprint) {
       return analyze_footprint(json, period, trace_path);
     }

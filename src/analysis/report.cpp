@@ -130,27 +130,35 @@ void write_report_text(std::ostream& os,
 void write_report_json(std::ostream& os, const Timeline& tl,
                        std::span<const PhaseAttribution> report,
                        const FootprintReport* footprint) {
-  os << "{\"schema_version\":" << kReportSchemaVersion << ",\n\"columns\":[";
-  for (std::size_t c = 0; c < tl.columns.size(); ++c) {
-    if (c) os << ',';
-    os << '"' << json_escape(tl.columns[c]) << '"';
+  JsonWriter w(os);
+  w.begin_object().kv("schema_version", kReportSchemaVersion).newline();
+  w.key("columns").begin_array();
+  for (const std::string& col : tl.columns) w.value(col);
+  w.end_array().newline();
+  w.key("segments").begin_array();
+  for (const PhaseAttribution& a : report) {
+    w.newline()
+        .begin_object()
+        .kv("label", a.label)
+        .kv("t0_sec", a.t0_sec)
+        .kv("t1_sec", a.t1_sec)
+        .kv("read_bytes", a.read_bytes)
+        .kv("write_bytes", a.write_bytes)
+        .kv("rw_ratio", a.rw_ratio)
+        .kv("net_bytes", a.net_bytes)
+        .kv("energy_j", a.energy_j)
+        .kv("selfmon_share", a.selfmon_share)
+        .end_object();
   }
-  os << "],\n\"segments\":[\n";
-  for (std::size_t s = 0; s < report.size(); ++s) {
-    const PhaseAttribution& a = report[s];
-    if (s) os << ",\n";
-    os << "{\"label\":\"" << json_escape(a.label) << "\",\"t0_sec\":" << a.t0_sec
-       << ",\"t1_sec\":" << a.t1_sec << ",\"read_bytes\":" << a.read_bytes
-       << ",\"write_bytes\":" << a.write_bytes << ",\"rw_ratio\":" << a.rw_ratio
-       << ",\"net_bytes\":" << a.net_bytes << ",\"energy_j\":" << a.energy_j
-       << ",\"selfmon_share\":" << a.selfmon_share << "}";
-  }
-  os << "\n]";
+  w.newline().end_array();
   if (footprint != nullptr) {
-    os << ",\n\"footprint\":";
+    // The footprint writer predates JsonWriter and emits its object straight
+    // to the stream; key() has already placed the separator and colon.
+    w.newline().key("footprint");
     write_footprint_json(os, *footprint);
   }
-  os << "}\n";
+  w.end_object();
+  os << '\n';
 }
 
 }  // namespace papisim::analysis

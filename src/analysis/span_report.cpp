@@ -1,0 +1,339 @@
+#include "analysis/span_report.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/error.hpp"
+#include "core/json_parse.hpp"
+#include "selfmon/metrics.hpp"
+#include "trace/export.hpp"
+
+namespace papisim::analysis {
+
+namespace {
+
+[[noreturn]] void schema_fail(const std::string& why) {
+  throw Error(Status::InvalidArgument, "span dump: " + why);
+}
+
+std::uint64_t require_u64(const json::Value& obj, std::string_view key,
+                          const char* where) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) {
+    schema_fail(std::string(where) + " is missing numeric '" +
+                std::string(key) + "'");
+  }
+  return v->u64_or(0);
+}
+
+std::string_view require_str(const json::Value& obj, std::string_view key,
+                             const char* where) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr || !v->is_string()) {
+    schema_fail(std::string(where) + " is missing string '" +
+                std::string(key) + "'");
+  }
+  return v->str;
+}
+
+/// The same power-of-two latency bucketing as selfmon::hist_record_ns and
+/// the recorder's exemplar table.
+std::uint64_t bucket_of(std::uint64_t ns) {
+  return ns == 0
+             ? 0
+             : std::min<std::uint64_t>(selfmon::kHistBuckets - 1,
+                                       std::bit_width(ns));
+}
+
+struct TraceAgg {
+  std::size_t root = SIZE_MAX;  ///< index into dump.spans of the parent-0 span
+  std::vector<std::size_t> members;
+};
+
+std::string pct(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f%%", v * 100.0);
+  return buf;
+}
+
+std::string ns_str(std::uint64_t ns) {
+  char buf[32];
+  if (ns >= 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(ns) / 1e6);
+  } else if (ns >= 1'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluns",
+                  static_cast<unsigned long long>(ns));
+  }
+  return buf;
+}
+
+void write_stage_table(std::ostream& os, const char* title,
+                       const std::vector<StageBreakdown>& stages,
+                       std::uint64_t roots, std::uint64_t e2e_ns,
+                       std::uint64_t stage_sum_ns, double reconcile_error) {
+  os << title << " (" << roots << " roots, end-to-end "
+     << ns_str(e2e_ns) << ")\n";
+  os << "  stage             spans      self-time   share\n";
+  os << "  ------------------------------------------------\n";
+  for (const StageBreakdown& row : stages) {
+    const double share =
+        e2e_ns == 0 ? 0.0
+                    : static_cast<double>(row.self_ns) /
+                          static_cast<double>(e2e_ns);
+    char line[128];
+    std::snprintf(line, sizeof(line), "  %-16s %6llu %14s  %s\n",
+                  std::string(trace::to_string(row.stage)).c_str(),
+                  static_cast<unsigned long long>(row.count),
+                  ns_str(row.self_ns).c_str(), pct(share).c_str());
+    os << line;
+  }
+  os << "  stage sum " << ns_str(stage_sum_ns) << " vs end-to-end "
+     << ns_str(e2e_ns) << "  (reconciliation error " << pct(reconcile_error)
+     << ")\n";
+}
+
+}  // namespace
+
+SpanDump parse_span_dump(std::string_view text) {
+  const json::Value root = json::parse(text);
+  if (!root.is_object()) schema_fail("top level is not an object");
+  if (require_str(root, "kind", "dump") != "papisim_span_dump") {
+    schema_fail("kind is not papisim_span_dump");
+  }
+  const std::uint64_t version = require_u64(root, "schema_version", "dump");
+  if (version != trace::kSpanDumpSchemaVersion) {
+    schema_fail("unsupported schema_version " + std::to_string(version));
+  }
+  SpanDump out;
+  out.reason = require_str(root, "reason", "dump");
+  out.dropped = require_u64(root, "dropped", "dump");
+
+  const json::Value* exemplars = root.find("exemplars");
+  if (exemplars != nullptr) {
+    if (!exemplars->is_array()) schema_fail("'exemplars' is not an array");
+    for (const json::Value& e : exemplars->arr) {
+      trace::Exemplar ex;
+      ex.bucket = require_u64(e, "bucket", "exemplar");
+      ex.trace_id = require_u64(e, "trace_id", "exemplar");
+      ex.ns = require_u64(e, "ns", "exemplar");
+      ex.count = require_u64(e, "count", "exemplar");
+      out.exemplars.push_back(ex);
+    }
+  }
+
+  const json::Value* spans = root.find("spans");
+  if (spans == nullptr || !spans->is_array()) {
+    schema_fail("'spans' is missing or not an array");
+  }
+  out.spans.reserve(spans->arr.size());
+  for (const json::Value& sv : spans->arr) {
+    trace::Span s;
+    s.trace_id = require_u64(sv, "trace_id", "span");
+    s.span_id = require_u64(sv, "span_id", "span");
+    s.parent_id = require_u64(sv, "parent_id", "span");
+    s.t0_ns = require_u64(sv, "t0_ns", "span");
+    s.t1_ns = require_u64(sv, "t1_ns", "span");
+    s.a = require_u64(sv, "a", "span");
+    s.b = require_u64(sv, "b", "span");
+    const std::string_view stage = require_str(sv, "stage", "span");
+    if (!trace::stage_from_name(stage, s.stage)) {
+      schema_fail("unknown stage '" + std::string(stage) + "'");
+    }
+    const std::string_view status = require_str(sv, "status", "span");
+    if (!trace::status_from_name(status, s.status)) {
+      schema_fail("unknown status '" + std::string(status) + "'");
+    }
+    out.spans.push_back(s);
+  }
+  return out;
+}
+
+SpanDump load_span_dump(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw Error(Status::InvalidArgument,
+                "span dump: cannot read '" + path + "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_span_dump(text.str());
+}
+
+double CriticalPath::rpc_reconcile_error() const {
+  if (rpc_e2e_ns == 0) return 0.0;
+  const std::uint64_t diff = rpc_stage_sum_ns > rpc_e2e_ns
+                                 ? rpc_stage_sum_ns - rpc_e2e_ns
+                                 : rpc_e2e_ns - rpc_stage_sum_ns;
+  return static_cast<double>(diff) / static_cast<double>(rpc_e2e_ns);
+}
+
+double CriticalPath::replay_reconcile_error() const {
+  if (replay_e2e_ns == 0) return 0.0;
+  const std::uint64_t diff = replay_stage_sum_ns > replay_e2e_ns
+                                 ? replay_stage_sum_ns - replay_e2e_ns
+                                 : replay_e2e_ns - replay_stage_sum_ns;
+  return static_cast<double>(diff) / static_cast<double>(replay_e2e_ns);
+}
+
+CriticalPath critical_path(const SpanDump& dump) {
+  CriticalPath cp;
+
+  // Self-time: each span's duration minus its direct children's durations
+  // (unclipped children; the difference clamped at zero).  Children link by
+  // parent span id; span ids are globally unique so one flat map suffices.
+  std::unordered_map<std::uint64_t, std::uint64_t> child_ns;
+  child_ns.reserve(dump.spans.size());
+  for (const trace::Span& s : dump.spans) {
+    if (s.parent_id != 0) child_ns[s.parent_id] += s.dur_ns();
+  }
+  const auto self_ns = [&](const trace::Span& s) {
+    const auto it = child_ns.find(s.span_id);
+    const std::uint64_t kids = it == child_ns.end() ? 0 : it->second;
+    const std::uint64_t dur = s.dur_ns();
+    return dur > kids ? dur - kids : 0;
+  };
+
+  // Group spans into traces and find each trace's root.
+  std::unordered_map<std::uint64_t, TraceAgg> traces;
+  for (std::size_t i = 0; i < dump.spans.size(); ++i) {
+    TraceAgg& agg = traces[dump.spans[i].trace_id];
+    agg.members.push_back(i);
+    if (dump.spans[i].parent_id == 0) agg.root = i;
+  }
+
+  StageBreakdown rpc_rows[trace::kNumStages];
+  StageBreakdown replay_rows[trace::kNumStages];
+  std::vector<std::uint64_t> rpc_durations;
+  std::vector<std::uint64_t> rpc_trace_of_duration;
+
+  for (const auto& [trace_id, agg] : traces) {
+    if (agg.root == SIZE_MAX) {
+      cp.orphan_spans += agg.members.size();
+      continue;
+    }
+    const trace::Span& root = dump.spans[agg.root];
+    StageBreakdown* rows = nullptr;
+    if (root.stage == trace::Stage::Rpc) {
+      rows = rpc_rows;
+      ++cp.rpc_roots;
+      cp.rpc_e2e_ns += root.dur_ns();
+      rpc_durations.push_back(root.dur_ns());
+      rpc_trace_of_duration.push_back(trace_id);
+    } else if (root.stage == trace::Stage::Measure) {
+      rows = replay_rows;
+      ++cp.replay_roots;
+      cp.replay_e2e_ns += root.dur_ns();
+    } else {
+      continue;  // orphan-root traces (e.g. rebaseline markers)
+    }
+    for (const std::size_t i : agg.members) {
+      const trace::Span& s = dump.spans[i];
+      StageBreakdown& row = rows[static_cast<std::size_t>(s.stage)];
+      row.stage = s.stage;
+      ++row.count;
+      row.self_ns += self_ns(s);
+    }
+  }
+
+  for (std::size_t st = 0; st < trace::kNumStages; ++st) {
+    if (rpc_rows[st].count != 0) {
+      cp.rpc_stage_sum_ns += rpc_rows[st].self_ns;
+      cp.rpc_stages.push_back(rpc_rows[st]);
+    }
+    if (replay_rows[st].count != 0) {
+      cp.replay_stage_sum_ns += replay_rows[st].self_ns;
+      cp.replay_stages.push_back(replay_rows[st]);
+    }
+  }
+  std::stable_sort(cp.rpc_stages.begin(), cp.rpc_stages.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.self_ns > b.self_ns;
+                   });
+  std::stable_sort(cp.replay_stages.begin(), cp.replay_stages.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.self_ns > b.self_ns;
+                   });
+
+  // p99 of rpc root durations, exemplar-linked: prefer the dump's exemplar
+  // table cell for the p99's latency bucket (the recorder noted a concrete
+  // trace there), falling back to the root at the p99 rank.
+  if (!rpc_durations.empty()) {
+    std::vector<std::size_t> order(rpc_durations.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return rpc_durations[a] < rpc_durations[b];
+    });
+    const std::size_t rank = static_cast<std::size_t>(
+        0.99 * static_cast<double>(order.size() - 1) + 0.5);
+    cp.p99_ns = rpc_durations[order[rank]];
+    cp.p99_trace_id = rpc_trace_of_duration[order[rank]];
+    const std::uint64_t want = bucket_of(cp.p99_ns);
+    for (const trace::Exemplar& e : dump.exemplars) {
+      if (e.bucket == want && e.trace_id != 0) {
+        cp.p99_trace_id = e.trace_id;
+        break;
+      }
+    }
+  }
+  return cp;
+}
+
+void write_critical_path_text(std::ostream& os, const SpanDump& dump,
+                              const CriticalPath& cp) {
+  os << "span dump: reason=" << dump.reason << " spans=" << dump.spans.size()
+     << " dropped=" << dump.dropped << " orphans=" << cp.orphan_spans << "\n\n";
+  if (cp.rpc_roots != 0) {
+    write_stage_table(os, "RPC critical path", cp.rpc_stages, cp.rpc_roots,
+                      cp.rpc_e2e_ns, cp.rpc_stage_sum_ns,
+                      cp.rpc_reconcile_error());
+    os << "  p99 " << ns_str(cp.p99_ns) << ", exemplar trace "
+       << cp.p99_trace_id << "\n\n";
+  }
+  if (cp.replay_roots != 0) {
+    write_stage_table(os, "Replay critical path", cp.replay_stages,
+                      cp.replay_roots, cp.replay_e2e_ns,
+                      cp.replay_stage_sum_ns, cp.replay_reconcile_error());
+    os << '\n';
+  }
+  if (cp.rpc_roots == 0 && cp.replay_roots == 0) {
+    os << "no complete traces in the dump\n";
+    return;
+  }
+
+  // The exemplar trace, as a tree: every span of that trace in start order,
+  // indented by parent depth.
+  if (cp.p99_trace_id != 0) {
+    std::vector<const trace::Span*> members;
+    for (const trace::Span& s : dump.spans) {
+      if (s.trace_id == cp.p99_trace_id) members.push_back(&s);
+    }
+    if (!members.empty()) {
+      std::sort(members.begin(), members.end(),
+                [](const trace::Span* a, const trace::Span* b) {
+                  return a->t0_ns != b->t0_ns ? a->t0_ns < b->t0_ns
+                                              : a->span_id < b->span_id;
+                });
+      std::unordered_map<std::uint64_t, int> depth;
+      os << "exemplar trace " << cp.p99_trace_id << ":\n";
+      for (const trace::Span* s : members) {
+        int d = 0;
+        const auto it = depth.find(s->parent_id);
+        if (it != depth.end()) d = it->second + 1;
+        depth[s->span_id] = d;
+        os << "  " << std::string(static_cast<std::size_t>(d) * 2, ' ')
+           << trace::to_string(s->stage) << " [" << trace::to_string(s->status)
+           << "] " << ns_str(s->dur_ns()) << " (t0+" << ns_str(s->t0_ns)
+           << ", a=" << s->a << ", b=" << s->b << ")\n";
+      }
+    }
+  }
+}
+
+}  // namespace papisim::analysis

@@ -1,0 +1,81 @@
+// Causal span-dump ingestion and per-RPC critical-path analysis
+// (papisim-analyze --spans; DESIGN.md §3j).
+//
+// A span dump (trace/export.hpp) is a flat list of spans from many traces.
+// This module rebuilds the trees and answers the question the selfmon
+// histograms cannot: *where* the time of one request went.  Attribution is
+// by self-time -- a span's duration minus its direct children's durations,
+// clamped at zero -- so summing every stage's self-time over a trace
+// reproduces the root's end-to-end duration exactly when the tree nests
+// cleanly, and the residual (the reconciliation error) is itself a health
+// check: the fig3/bench_pmcd_scale CI legs require it within a few percent.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/recorder.hpp"
+#include "trace/span.hpp"
+
+namespace papisim::analysis {
+
+/// A parsed span dump (the strict-JSON schema of trace/export.hpp).
+struct SpanDump {
+  std::string reason;
+  std::uint64_t dropped = 0;
+  std::vector<trace::Span> spans;
+  std::vector<trace::Exemplar> exemplars;
+};
+
+/// Parse a dump from JSON text / load one from a file.
+/// @throws Error(Status::InvalidArgument) on malformed JSON, a schema
+/// mismatch, or an unreadable file.
+SpanDump parse_span_dump(std::string_view text);
+SpanDump load_span_dump(const std::string& path);
+
+/// One row of the time-in-stage table: how much self-time a causal stage
+/// accounts for across every trace of one side (RPC or replay).
+struct StageBreakdown {
+  trace::Stage stage = trace::Stage::Rpc;
+  std::uint64_t count = 0;    ///< spans of this stage
+  std::uint64_t self_ns = 0;  ///< total self-time (duration minus children)
+};
+
+/// The critical-path summary of one dump.
+struct CriticalPath {
+  // RPC side: traces rooted in a client-visible rpc span.
+  std::uint64_t rpc_roots = 0;
+  std::uint64_t rpc_e2e_ns = 0;        ///< sum of rpc root durations
+  std::uint64_t rpc_stage_sum_ns = 0;  ///< sum of StageBreakdown::self_ns
+  std::vector<StageBreakdown> rpc_stages;
+
+  // Replay side: traces rooted in a KernelRunner measure span.
+  std::uint64_t replay_roots = 0;
+  std::uint64_t replay_e2e_ns = 0;
+  std::uint64_t replay_stage_sum_ns = 0;
+  std::vector<StageBreakdown> replay_stages;
+
+  std::uint64_t orphan_spans = 0;  ///< spans whose trace has no root in the dump
+
+  // Tail exemplar: the p99 of rpc root durations and a concrete trace to
+  // blame -- the dump's exemplar table cell for the matching latency bucket
+  // when present, else the root at the p99 rank.
+  std::uint64_t p99_ns = 0;
+  std::uint64_t p99_trace_id = 0;
+
+  /// |stage_sum - e2e| / e2e (0 when there are no roots).
+  double rpc_reconcile_error() const;
+  double replay_reconcile_error() const;
+};
+
+CriticalPath critical_path(const SpanDump& dump);
+
+/// Human-readable report: time-in-stage tables with reconciliation, the p99
+/// exemplar, and that exemplar's span tree.
+void write_critical_path_text(std::ostream& os, const SpanDump& dump,
+                              const CriticalPath& cp);
+
+}  // namespace papisim::analysis

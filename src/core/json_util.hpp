@@ -1,13 +1,22 @@
-// Minimal JSON string escaping shared by every JSON emitter in the tree
-// (Chrome trace export, analysis reports).  Escapes the two structural
-// characters, the named control escapes, and any other control byte as
-// \u00XX, so arbitrary span/track/column names survive a round trip through
-// a strict parser.
+// Shared JSON emission utilities used by every JSON writer in the tree
+// (Chrome trace export, analysis reports, causal-span dumps).
+//
+//  * json_escape: escapes the two structural characters, the named control
+//    escapes, and any other control byte as \u00XX, so arbitrary
+//    span/track/column names survive a round trip through a strict parser.
+//  * JsonWriter: a streaming writer with a comma-tracking container stack,
+//    so the three emitters (core/trace_export.cpp, analysis/report.cpp,
+//    trace/export.cpp) share one strictness contract instead of each
+//    hand-rolling separators and quoting.
 #pragma once
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <ostream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace papisim {
 
@@ -36,5 +45,118 @@ inline std::string json_escape(std::string_view s) {
   }
   return out;
 }
+
+/// Streaming strict-JSON writer.  The writer tracks, per open container,
+/// whether a separating comma is due, so callers only state structure:
+///
+///   JsonWriter w(os);
+///   w.begin_object().key("spans").begin_array();
+///   for (...) w.begin_object().key("id").value(id).end_object();
+///   w.end_array().end_object();
+///
+/// Numbers are emitted with enough precision to round-trip through a strict
+/// parser; non-finite doubles (never produced by a correct caller) degrade
+/// to 0 rather than emitting invalid JSON.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& begin_object() {
+    sep();
+    os_ << '{';
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    first_.pop_back();
+    os_ << '}';
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    sep();
+    os_ << '[';
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    first_.pop_back();
+    os_ << ']';
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view k) {
+    sep();
+    os_ << '"' << json_escape(k) << "\":";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    sep();
+    os_ << '"' << json_escape(v) << '"';
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    sep();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    sep();
+    if (!std::isfinite(v)) v = 0.0;
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    os_ << buf;
+    // Keep doubles visibly typed: "%.12g" prints 1000.0 as "1000", which
+    // downstream tooling (and the trace-export tests) would read as an int.
+    if (std::string_view(buf).find_first_of(".eE") == std::string_view::npos) {
+      os_ << ".0";
+    }
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    sep();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    sep();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T&& v) {
+    return key(k).value(std::forward<T>(v));
+  }
+
+  /// Cosmetic newline between sibling values (emitted *before* the next
+  /// separator is due, so the output stays valid and line-diffable).
+  JsonWriter& newline() {
+    os_ << '\n';
+    return *this;
+  }
+
+ private:
+  void sep() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!first_.empty()) {
+      if (!first_.back()) os_ << ',';
+      first_.back() = false;
+    }
+  }
+
+  std::ostream& os_;
+  std::vector<bool> first_;
+  bool pending_value_ = false;
+};
 
 }  // namespace papisim

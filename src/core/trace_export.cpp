@@ -1,52 +1,72 @@
 #include "core/trace_export.hpp"
 
+#include <cstddef>
+#include <vector>
+
 #include "core/json_util.hpp"
 
 namespace papisim {
 
-void write_chrome_trace(std::ostream& os, const Sampler& sampler,
-                        std::span<const TraceSpan> spans,
-                        const std::string& process_name) {
-  os << "{\"traceEvents\":[\n";
-  bool first = true;
-  auto emit = [&](const std::string& json) {
-    if (!first) os << ",\n";
-    first = false;
-    os << json;
-  };
+namespace {
 
-  emit("{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"" +
-       json_escape(process_name) + "\"}}");
+/// Emits one Chrome trace event per call: an object inside the caller's
+/// open "traceEvents" array, newline-separated so the file stays diffable.
+class EventWriter {
+ public:
+  explicit EventWriter(JsonWriter& w) : w_(w) {}
 
+  /// "M" metadata event naming a process or thread.
+  void name(int pid, int tid, std::string_view what, std::string_view value) {
+    w_.newline().begin_object().kv("ph", "M").kv("pid", pid);
+    if (tid != 0) w_.kv("tid", tid);
+    w_.kv("name", what).key("args").begin_object().kv("name", value)
+        .end_object().end_object();
+  }
+
+  /// "X" complete event: begin the object; the caller may add args before
+  /// close().
+  JsonWriter& complete(int pid, int tid, std::string_view name, double ts_us,
+                       double dur_us) {
+    w_.newline().begin_object().kv("ph", "X").kv("pid", pid).kv("tid", tid)
+        .kv("name", name).kv("ts", ts_us).kv("dur", dur_us);
+    return w_;
+  }
+
+  /// "C" counter event.
+  void counter(int pid, std::string_view name, double ts_us, double value) {
+    w_.newline().begin_object().kv("ph", "C").kv("pid", pid).kv("name", name)
+        .kv("ts", ts_us).key("args").begin_object().kv("value", value)
+        .end_object().end_object();
+  }
+
+ private:
+  JsonWriter& w_;
+};
+
+void write_sampler_events(EventWriter& ev, const Sampler& sampler,
+                          std::span<const TraceSpan> spans) {
   // Spans: pid 1, one tid per distinct track (thread names as metadata).
   std::vector<std::string> tracks;
-  auto tid_of = [&](const std::string& track) {
+  const auto tid_of = [&](const std::string& track) {
     for (std::size_t i = 0; i < tracks.size(); ++i) {
-      if (tracks[i] == track) return i + 1;
+      if (tracks[i] == track) return static_cast<int>(i + 1);
     }
     tracks.push_back(track);
-    emit("{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(tracks.size()) +
-         ",\"name\":\"thread_name\",\"args\":{\"name\":\"" + json_escape(track) +
-         "\"}}");
-    return tracks.size();
+    const int tid = static_cast<int>(tracks.size());
+    ev.name(1, tid, "thread_name", track);
+    return tid;
   };
   for (const TraceSpan& span : spans) {
-    const std::size_t tid = tid_of(span.track);
-    const double us = span.t0_sec * 1e6;
-    const double dur = (span.t1_sec - span.t0_sec) * 1e6;
-    emit("{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(tid) +
-         ",\"name\":\"" + json_escape(span.name) + "\",\"ts\":" +
-         std::to_string(us) + ",\"dur\":" + std::to_string(dur) + "}");
+    const int tid = tid_of(span.track);
+    ev.complete(1, tid, span.name, span.t0_sec * 1e6,
+                (span.t1_sec - span.t0_sec) * 1e6)
+        .end_object();
   }
 
   // Counter tracks: rates for counters, raw values for gauges.
-  const std::vector<RateRow> rates = sampler.rates();
-  for (const RateRow& r : rates) {
+  for (const RateRow& r : sampler.rates()) {
     for (std::size_t c = 0; c < sampler.columns().size(); ++c) {
-      emit("{\"ph\":\"C\",\"pid\":1,\"name\":\"" +
-           json_escape(sampler.columns()[c]) + "\",\"ts\":" +
-           std::to_string(r.t0_sec * 1e6) + ",\"args\":{\"value\":" +
-           std::to_string(r.values[c]) + "}}");
+      ev.counter(1, sampler.columns()[c], r.t0_sec * 1e6, r.values[c]);
     }
   }
 
@@ -56,14 +76,63 @@ void write_chrome_trace(std::ostream& os, const Sampler& sampler,
     for (std::size_t j = 0; j < sampler.hist_columns().size(); ++j) {
       const std::string& col = sampler.columns()[sampler.hist_columns()[j]];
       for (std::size_t q = 0; q < kTracePercentiles.size(); ++q) {
-        emit("{\"ph\":\"C\",\"pid\":1,\"name\":\"" + json_escape(col) + "." +
-             kTracePercentileNames[q] + "\",\"ts\":" +
-             std::to_string(row.t_sec * 1e6) + ",\"args\":{\"value\":" +
-             std::to_string(row.hist[j][q]) + "}}");
+        ev.counter(1, col + "." + std::string(kTracePercentileNames[q]),
+                   row.t_sec * 1e6, row.hist[j][q]);
       }
     }
   }
-  os << "\n]}\n";
+}
+
+void write_causal_events(EventWriter& ev, std::span<const trace::Span> causal) {
+  if (causal.empty()) return;
+  ev.name(2, 0, "process_name", "causal traces");
+  bool stage_named[trace::kNumStages] = {};
+  for (const trace::Span& s : causal) {
+    const auto stage = static_cast<std::size_t>(s.stage);
+    if (stage >= trace::kNumStages) continue;
+    const int tid = static_cast<int>(stage) + 1;
+    if (!stage_named[stage]) {
+      stage_named[stage] = true;
+      ev.name(2, tid, "thread_name", trace::to_string(s.stage));
+    }
+    // Host ns -> trace µs.  Instant spans get a sliver of width so they stay
+    // visible (ph "X" with dur 0 renders as nothing in some viewers).
+    const double dur_us = static_cast<double>(s.dur_ns()) / 1e3;
+    JsonWriter& w =
+        ev.complete(2, tid, trace::to_string(s.stage),
+                    static_cast<double>(s.t0_ns) / 1e3,
+                    dur_us > 0.001 ? dur_us : 0.001);
+    w.key("args").begin_object()
+        .kv("trace_id", s.trace_id)
+        .kv("span_id", s.span_id)
+        .kv("parent_id", s.parent_id)
+        .kv("status", trace::to_string(s.status))
+        .kv("a", s.a)
+        .kv("b", s.b)
+        .end_object().end_object();
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const Sampler& sampler,
+                        std::span<const TraceSpan> spans,
+                        const std::string& process_name) {
+  write_chrome_trace(os, sampler, spans, {}, process_name);
+}
+
+void write_chrome_trace(std::ostream& os, const Sampler& sampler,
+                        std::span<const TraceSpan> spans,
+                        std::span<const trace::Span> causal,
+                        const std::string& process_name) {
+  JsonWriter w(os);
+  w.begin_object().key("traceEvents").begin_array();
+  EventWriter ev(w);
+  ev.name(1, 0, "process_name", process_name);
+  write_sampler_events(ev, sampler, spans);
+  write_causal_events(ev, causal);
+  w.newline().end_array().end_object();
+  os << '\n';
 }
 
 }  // namespace papisim

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "core/sampler.hpp"
+#include "trace/span.hpp"
 
 namespace papisim {
 
@@ -30,6 +31,16 @@ struct TraceSpan {
 /// of recorded samples per second.
 void write_chrome_trace(std::ostream& os, const Sampler& sampler,
                         std::span<const TraceSpan> spans,
+                        const std::string& process_name = "papisim");
+
+/// Same trace plus the causal span layer: every trace::Span drawn as an "X"
+/// event under a second process ("causal traces", pid 2) with one row per
+/// stage, carrying trace_id/span_id/parent_id/status in args -- so the
+/// client-side RPC, the daemon-side stages, and the replay engine's windows
+/// appear on one causally-linked timeline next to the sampled counters.
+void write_chrome_trace(std::ostream& os, const Sampler& sampler,
+                        std::span<const TraceSpan> spans,
+                        std::span<const trace::Span> causal,
                         const std::string& process_name = "papisim");
 
 }  // namespace papisim

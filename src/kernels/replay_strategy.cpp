@@ -7,10 +7,21 @@
 #include "kernels/runner.hpp"
 #include "selfmon/metrics.hpp"
 #include "sim/thread_pool.hpp"
+#include "trace/recorder.hpp"
 
 namespace papisim::kernels {
 
 namespace {
+
+/// Emit one replay-side span under the measurement window's trace.  Host
+/// time only; a no-op when the caller passed no trace context.
+void rep_span(const ReplayContext& ctx, trace::Stage stage, std::uint64_t t0,
+              std::uint64_t rep, std::uint64_t cluster) {
+  if (!ctx.trace_ctx.valid()) return;
+  trace::record({ctx.trace_ctx.trace_id, trace::next_span_id(),
+                 ctx.trace_ctx.span_id, t0, trace::now_ns(), rep, cluster,
+                 stage, trace::SpanStatus::Ok});
+}
 
 /// Absolute floors for signature comparison: near-zero fields (a kernel with
 /// no strided streams, a window with no writes) must not trip divergence on
@@ -146,14 +157,17 @@ class FullReplay final : public ReplayStrategy {
       const selfmon::Stopwatch rep_probe(selfmon::HistId::RunnerRepNs);
       selfmon::counter_add(selfmon::CounterId::RunnerReps);
       ctx.machine.noise(ctx.opt.socket).repetition_overhead();
+      const std::uint64_t span_t0 = trace::now_ns();
       if (rep == 0 || ctx.opt.literal_reps) {
         rec = simulate_rep(ctx, mem);
+        rep_span(ctx, trace::Stage::RepSimulate, span_t0, rep, 0);
         ++out.reps_replayed;
       } else {
         // Subsequent repetitions are deterministic replicas (fresh data,
         // cold caches, disjoint addresses => identical traffic): replay the
         // recorded per-channel delta instead of re-simulating.
         extrapolate_rep(ctx.machine, mem, rec.channel_delta, rec.time_ns);
+        rep_span(ctx, trace::Stage::RepExtrapolate, span_t0, rep, 0);
         ++out.reps_extrapolated;
       }
     }
@@ -215,6 +229,7 @@ class SampledReplay final : public ReplayStrategy {
       ctx.machine.noise(opt.socket).repetition_overhead();
 
       if (rep % period == 0 || safe_mode || clusters.empty()) {
+        const std::uint64_t span_t0 = trace::now_ns();
         const RepRecord rec = simulate_rep(ctx, mem);
         ++out.reps_replayed;
         if (!clusters.empty() &&
@@ -232,16 +247,22 @@ class SampledReplay final : public ReplayStrategy {
             selfmon::counter_add(selfmon::CounterId::RunnerResampleFallbacks);
             ++out.resample_fallbacks;
             safe_mode = true;
+            // Instant marker: the divergence itself, pointing at the cluster
+            // about to be opened.
+            rep_span(ctx, trace::Stage::RepFallback, trace::now_ns(), rep,
+                     clusters.size());
           }
           clusters.emplace_back();
           current = static_cast<std::uint32_t>(clusters.size() - 1);
           fold(clusters[current], rec);
           stable_streak = 1;
         }
+        rep_span(ctx, trace::Stage::RepSimulate, span_t0, rep, current);
       } else {
         // Extrapolate from the active cluster's running mean (integer
         // rounding keeps byte totals exact when every representative's
         // delta is identical, i.e. in deterministic noise-off mode).
+        const std::uint64_t span_t0 = trace::now_ns();
         const Cluster& cl = clusters[current];
         std::vector<std::array<std::uint64_t, 2>> mean(cl.delta_sum.size());
         for (std::size_t ch = 0; ch < cl.delta_sum.size(); ++ch) {
@@ -250,6 +271,7 @@ class SampledReplay final : public ReplayStrategy {
         }
         extrapolate_rep(ctx.machine, mem, mean,
                         cl.time_sum / static_cast<double>(cl.members));
+        rep_span(ctx, trace::Stage::RepExtrapolate, span_t0, rep, current);
         ++out.reps_extrapolated;
       }
       out.cluster_of_rep.push_back(current);

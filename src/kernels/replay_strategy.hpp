@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "sim/machine.hpp"
+#include "trace/span.hpp"
 
 namespace papisim::sim {
 class ThreadPool;
@@ -71,6 +72,10 @@ struct ReplayContext {
   const std::function<void(std::uint32_t core)>& kernel;
   std::uint32_t threads = 1;
   sim::ThreadPool* pool = nullptr;
+  /// The measurement window's causal trace (minted by KernelRunner); {0,0}
+  /// when the caller does not trace.  Strategies emit per-repetition
+  /// rep_simulate / rep_extrapolate / rep_fallback spans under it.
+  trace::TraceContext trace_ctx{};
 };
 
 /// Strategy accounting, surfaced on Measurement and mirrored by the

@@ -7,6 +7,7 @@
 #include "kernels/replay_strategy.hpp"
 #include "pcp/pmns.hpp"
 #include "sim/thread_pool.hpp"
+#include "trace/recorder.hpp"
 
 namespace papisim::kernels {
 
@@ -65,6 +66,12 @@ Measurement KernelRunner::measure(
   auto es = lib_.create_eventset();
   for (const std::string& name : event_names()) es->add_event(name);
 
+  // Each measurement window is the root of its own causal trace: the
+  // strategy's per-repetition spans (and any event-set reads routed through
+  // PcpClient, which mint their own RPC traces) happen inside it.
+  const trace::ScopedTrace measure_trace(trace::ScopedTrace::Mode::Fresh);
+  const std::uint64_t measure_t0 = trace::now_ns();
+
   const double t0 = machine_.clock().now_sec();
   es->start();
 
@@ -72,11 +79,16 @@ Measurement KernelRunner::measure(
   // FullReplay records repetition 0 and extrapolates the rest, SampledReplay
   // clusters windows by access-pattern signature and extrapolates between
   // sampled representatives.
-  ReplayContext ctx{machine_, opt, kernel, threads, pool.get()};
+  ReplayContext ctx{machine_,  opt,        kernel,
+                    threads,   pool.get(), measure_trace.context()};
   const ReplayOutcome outcome = ReplayStrategy::make(opt)->run(ctx);
 
   const std::vector<long long> values = es->read();
   es->stop();
+  trace::record({measure_trace.context().trace_id,
+                 measure_trace.context().span_id, 0, measure_t0,
+                 trace::now_ns(), opt.reps, outcome.clusters,
+                 trace::Stage::Measure, trace::SpanStatus::Ok});
 
   Measurement m;
   m.reps = opt.reps;

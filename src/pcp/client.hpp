@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "pcp/pmcd.hpp"
+#include "trace/recorder.hpp"
 
 namespace papisim::pcp {
 
@@ -38,18 +39,24 @@ class PcpClient {
 
   /// pmLookupName.
   std::optional<PmId> lookup(const std::string& name) {
+    // Each RPC is the root of its own causal trace (even when issued under a
+    // KernelRunner measurement trace): the daemon's attempt/queue/service
+    // spans all hang off this context.
+    const trace::ScopedTrace rpc(trace::ScopedTrace::Mode::Fresh);
     pay_round_trip();
     return daemon_.lookup(name, id_).pmid;
   }
 
   /// Traverse the namespace under a prefix.
   std::vector<std::string> names_under(const std::string& prefix) {
+    const trace::ScopedTrace rpc(trace::ScopedTrace::Mode::Fresh);
     pay_round_trip();
     return daemon_.names_under(prefix, id_).names;
   }
 
   /// pmFetch for instance `cpu`.  One round trip regardless of metric count.
   FetchReply fetch(const std::vector<PmId>& pmids, std::uint32_t cpu) {
+    const trace::ScopedTrace rpc(trace::ScopedTrace::Mode::Fresh);
     pay_round_trip();
     return daemon_.fetch(pmids, cpu, id_);
   }

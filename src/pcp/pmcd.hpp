@@ -65,6 +65,7 @@
 #include "pcp/fault.hpp"
 #include "pcp/pmns.hpp"
 #include "sim/machine.hpp"
+#include "trace/span.hpp"
 
 namespace papisim::pcp {
 
@@ -196,27 +197,36 @@ class Pmcd {
   std::uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
 
  private:
+  // Every request carries its attempt's TraceContext (DESIGN.md §3j) so the
+  // shard worker can attribute queue wait, coalescing, cache consults and
+  // the PMU read to the causal trace the client minted.
   struct LookupReq {
     std::string name;
+    trace::TraceContext ctx;
     std::promise<LookupReply> reply;
   };
   struct NamesReq {
     std::string prefix;
+    trace::TraceContext ctx;
     std::promise<NamesReply> reply;
   };
   struct FetchReq {
     std::vector<PmId> pmids;
     std::uint32_t cpu = 0;
     std::string key;  ///< coalescing/cache key: cpu + pmids, built at post
+    trace::TraceContext ctx;
     std::promise<FetchReply> reply;
   };
   using Request = std::variant<LookupReq, NamesReq, FetchReq>;
 
   /// A queued request plus its tenant's pending-count cell (decremented at
-  /// dequeue, lock-free, so workers never touch the admission mutex).
+  /// dequeue, lock-free, so workers never touch the admission mutex), its
+  /// trace context and enqueue timestamp (for the queue-wait span).
   struct Queued {
     Request req;
     std::atomic<std::uint32_t>* tenant = nullptr;
+    trace::TraceContext ctx;
+    std::uint64_t enqueue_ns = 0;
   };
 
   /// One worker's mailbox plus its reply cache.  The cache is touched only
@@ -266,10 +276,12 @@ class Pmcd {
   void serve_control(Request& req);
 
   /// Serve a fetch through the shard cache (TTL + generation checks).
-  FetchReply serve_fetch_cached(Shard& shard, const FetchReq& req);
+  /// `svc` is the worker's service span (parent of cache/counter spans).
+  FetchReply serve_fetch_cached(Shard& shard, const FetchReq& req,
+                                const trace::TraceContext& svc);
 
   /// Read the PMU for one fetch (no cache).
-  FetchReply compute_fetch(const FetchReq& req);
+  FetchReply compute_fetch(const FetchReq& req, const trace::TraceContext& svc);
 
   /// Pull every queued fetch on `shard` with `key` out of the queue.
   std::vector<Queued> extract_coalescable(Shard& shard, const std::string& key);

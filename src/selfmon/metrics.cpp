@@ -47,6 +47,13 @@ constexpr MetricInfo kCounterInfo[kNumCounters] = {
     {"spe.drops",
      "precise-event samples dropped because a per-core SPE ring was full",
      "samples"},
+    {"trace.spans", "causal spans recorded into per-thread trace rings",
+     "spans"},
+    {"trace.spans_dropped",
+     "causal spans rejected because a trace ring was full", "spans"},
+    {"trace.flight_dumps",
+     "flight-recorder dumps written on crash/overload/deadline triggers",
+     "dumps"},
 };
 
 constexpr MetricInfo kGaugeInfo[kNumGauges] = {

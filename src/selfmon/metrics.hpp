@@ -66,6 +66,9 @@ enum class CounterId : std::uint16_t {
   RunnerResampleFallbacks, ///< sampled-replay signature divergences (fallback to full)
   SpeSamples,              ///< precise-event samples recorded into per-core rings
   SpeDrops,                ///< SPE samples dropped by a full ring (backpressure)
+  TraceSpans,              ///< causal spans recorded into per-thread trace rings
+  TraceSpansDropped,       ///< spans rejected by a full trace ring (backpressure)
+  TraceFlightDumps,        ///< flight-recorder dumps written (crash/overload/deadline)
   kCount,
 };
 

@@ -1,0 +1,55 @@
+#include "trace/export.hpp"
+
+#include <vector>
+
+#include "core/json_util.hpp"
+
+namespace papisim::trace {
+
+void write_span_dump(std::ostream& os, std::span<const Span> spans,
+                     std::string_view reason, std::uint64_t dropped,
+                     std::span<const Exemplar> exemplars) {
+  JsonWriter w(os);
+  w.begin_object()
+      .kv("schema_version", kSpanDumpSchemaVersion)
+      .kv("kind", "papisim_span_dump")
+      .kv("reason", reason)
+      .kv("dropped", dropped)
+      .kv("exemplar_hist", "pcp.fetch_rtt_ns")
+      .newline();
+  w.key("exemplars").begin_array();
+  for (const Exemplar& e : exemplars) {
+    w.begin_object()
+        .kv("bucket", e.bucket)
+        .kv("trace_id", e.trace_id)
+        .kv("ns", e.ns)
+        .kv("count", e.count)
+        .end_object();
+  }
+  w.end_array().newline();
+  w.key("spans").begin_array();
+  for (const Span& s : spans) {
+    w.newline()
+        .begin_object()
+        .kv("trace_id", s.trace_id)
+        .kv("span_id", s.span_id)
+        .kv("parent_id", s.parent_id)
+        .kv("stage", to_string(s.stage))
+        .kv("status", to_string(s.status))
+        .kv("t0_ns", s.t0_ns)
+        .kv("t1_ns", s.t1_ns)
+        .kv("a", s.a)
+        .kv("b", s.b)
+        .end_object();
+  }
+  w.newline().end_array().end_object();
+  os << '\n';
+}
+
+void dump_all(std::ostream& os, std::string_view reason) {
+  const std::vector<Span> spans = drain();
+  const std::vector<Exemplar> ex = exemplars();
+  write_span_dump(os, spans, reason, dropped(), ex);
+}
+
+}  // namespace papisim::trace

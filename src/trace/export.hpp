@@ -1,0 +1,29 @@
+// Strict-JSON serialization of causal span dumps (DESIGN.md §3j).  One
+// schema serves both producers -- explicit drains (`bench --spans`) and
+// flight-recorder triggers -- and one consumer, `papisim-analyze --spans`.
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <string_view>
+
+#include "trace/recorder.hpp"
+#include "trace/span.hpp"
+
+namespace papisim::trace {
+
+inline constexpr int kSpanDumpSchemaVersion = 1;
+
+/// Serialize a span set.  `reason` records why the dump exists ("drain" for
+/// an explicit dump, the trigger reason for a flight dump); `dropped` is
+/// the recorder's overflow count at dump time, so a reader can tell a
+/// complete dump from a truncated one.
+void write_span_dump(std::ostream& os, std::span<const Span> spans,
+                     std::string_view reason, std::uint64_t dropped,
+                     std::span<const Exemplar> exemplars);
+
+/// Drain every recorded span and serialize it with the current exemplar
+/// table.  The convenience path for `bench ... --spans PATH`.
+void dump_all(std::ostream& os, std::string_view reason = "drain");
+
+}  // namespace papisim::trace

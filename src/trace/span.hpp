@@ -1,0 +1,139 @@
+// Causal span tracing: the request-scoped data model (DESIGN.md §3j).
+//
+// The selfmon histograms say *how slow* the PMCD tail is; they cannot say
+// *why* one fetch was slow (queue wait? coalesce-follower wait? cache miss?
+// retry storm?).  A span is the unit of that explanation: a timed interval
+// attributed to one causal stage of one request, linked to its parent by
+// span id, so a trace (all spans sharing one trace_id) is a tree whose root
+// covers the client-visible RPC and whose leaves are the daemon-side stages.
+//
+// Contracts:
+//  * Host time only.  Span timestamps come from the host steady clock
+//    (trace::now_ns), never the virtual SimClock, and recording never
+//    advances virtual time -- so simulated traffic is bit-identical with
+//    tracing ON and OFF (the trace-off CI parity leg enforces this).
+//  * Plain data.  A Span is a fixed-size POD (no strings) so the per-thread
+//    rings hold them inline and recording never allocates.
+//  * Compile-out.  -DPAPISIM_TRACE=OFF turns every recording call into an
+//    empty inline (kEnabled == false), mirroring selfmon/SPE.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#ifndef PAPISIM_TRACE_ENABLED
+#define PAPISIM_TRACE_ENABLED 1
+#endif
+
+namespace papisim::trace {
+
+inline constexpr bool kEnabled = PAPISIM_TRACE_ENABLED != 0;
+
+/// The causal stage a span measures.  Order must match kStageNames.
+enum class Stage : std::uint8_t {
+  Rpc,             ///< client-visible round trip (root; all attempts + backoffs)
+  Attempt,         ///< one post + reply wait (a = attempt index, b = backoff ns)
+  Backoff,         ///< retry backoff sleep (a = attempt index, b = planned ns)
+  Admission,       ///< fair-share admission decision (a = shard, b = queue depth)
+  QueueWait,       ///< enqueue to dequeue on the shard mailbox (a = shard)
+  Service,         ///< dequeue to reply-ready on the worker (a = FaultKind, b = followers)
+  CacheLookup,     ///< shard fetch-cache consult (instant; status Hit/Miss)
+  CounterRead,     ///< the PMU read itself (a = pmid count)
+  CoalesceFollow,  ///< follower adopted by a leader (a = leader service span id)
+  Rebaseline,      ///< supervisor restart: counter re-baselining (a = new generation)
+  Measure,         ///< one KernelRunner measurement window (a = reps, b = clusters)
+  RepSimulate,     ///< fully simulated repetition window (a = rep, b = cluster)
+  RepExtrapolate,  ///< extrapolated repetition (a = rep, b = cluster)
+  RepFallback,     ///< signature divergence -> safe mode (instant; a = rep, b = new cluster)
+  kCount,
+};
+
+inline constexpr std::size_t kNumStages = static_cast<std::size_t>(Stage::kCount);
+
+/// How the spanned stage concluded.  Order must match kStatusNames.
+enum class SpanStatus : std::uint8_t {
+  Ok,
+  Shed,      ///< rejected by fair-share admission (Status::Overloaded)
+  Shutdown,  ///< failed by daemon shutdown
+  Timeout,   ///< attempt missed the client deadline
+  Fault,     ///< failed by an injected transient fault (or typed error)
+  Crash,     ///< the daemon crashed serving this request
+  Dropped,   ///< swallowed by a Drop fault (client sees silence)
+  Hit,       ///< cache lookup hit
+  Miss,      ///< cache lookup miss
+  kCount,
+};
+
+namespace detail {
+inline constexpr std::string_view kStageNames[kNumStages] = {
+    "rpc",          "attempt",      "backoff",         "admission",
+    "queue_wait",   "service",      "cache_lookup",    "counter_read",
+    "coalesce_follow", "rebaseline", "measure",        "rep_simulate",
+    "rep_extrapolate", "rep_fallback",
+};
+inline constexpr std::string_view kStatusNames[static_cast<std::size_t>(
+    SpanStatus::kCount)] = {
+    "ok",    "shed",  "shutdown", "timeout", "fault",
+    "crash", "dropped", "hit",    "miss",
+};
+}  // namespace detail
+
+inline std::string_view to_string(Stage s) {
+  const auto i = static_cast<std::size_t>(s);
+  return i < kNumStages ? detail::kStageNames[i] : "?";
+}
+inline std::string_view to_string(SpanStatus s) {
+  const auto i = static_cast<std::size_t>(s);
+  return i < static_cast<std::size_t>(SpanStatus::kCount)
+             ? detail::kStatusNames[i]
+             : "?";
+}
+
+inline bool stage_from_name(std::string_view name, Stage& out) {
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    if (detail::kStageNames[i] == name) {
+      out = static_cast<Stage>(i);
+      return true;
+    }
+  }
+  return false;
+}
+inline bool status_from_name(std::string_view name, SpanStatus& out) {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(SpanStatus::kCount); ++i) {
+    if (detail::kStatusNames[i] == name) {
+      out = static_cast<SpanStatus>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The causal identity carried across layer boundaries: which trace a piece
+/// of work belongs to and which span is its parent.  Minted per RPC in
+/// PcpClient (and per measurement window in KernelRunner); propagated
+/// through the request structs into the shard workers.
+struct TraceContext {
+  std::uint64_t trace_id = 0;  ///< 0 = no active trace
+  std::uint64_t span_id = 0;   ///< the span new children should link to
+
+  constexpr bool valid() const { return trace_id != 0; }
+};
+
+/// One completed span.  64 bytes, no heap: rings hold these inline.
+struct Span {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  ///< 0 for a trace root
+  std::uint64_t t0_ns = 0;      ///< host steady ns since process trace epoch
+  std::uint64_t t1_ns = 0;
+  std::uint64_t a = 0;          ///< stage-specific detail (see Stage comments)
+  std::uint64_t b = 0;
+  Stage stage = Stage::Rpc;
+  SpanStatus status = SpanStatus::Ok;
+
+  std::uint64_t dur_ns() const { return t1_ns >= t0_ns ? t1_ns - t0_ns : 0; }
+
+  friend bool operator==(const Span&, const Span&) = default;
+};
+
+}  // namespace papisim::trace

@@ -1,0 +1,159 @@
+// papisim-analyze --spans ingestion tests (DESIGN.md §3j): strict-schema
+// parsing with typed errors, the self-time critical-path math, orphan
+// accounting, reconciliation, and the p99 exemplar linkage.  These build
+// dumps by hand (JSON text or SpanDump structs), so they run identically
+// with tracing compiled in or out.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/span_report.hpp"
+#include "core/error.hpp"
+
+namespace papisim {
+namespace {
+
+using analysis::CriticalPath;
+using analysis::SpanDump;
+
+trace::Span span(std::uint64_t trace_id, std::uint64_t span_id,
+                 std::uint64_t parent, std::uint64_t t0, std::uint64_t t1,
+                 trace::Stage stage,
+                 trace::SpanStatus status = trace::SpanStatus::Ok) {
+  return trace::Span{trace_id, span_id, parent, t0, t1, 0, 0, stage, status};
+}
+
+TEST(SpanDumpParse, RoundTripsTheExportSchema) {
+  const char* text = R"({
+    "schema_version": 1, "kind": "papisim_span_dump", "reason": "crash",
+    "dropped": 3, "exemplar_hist": "pcp.fetch_rtt_ns",
+    "exemplars": [{"bucket": 10, "trace_id": 7, "ns": 900, "count": 2}],
+    "spans": [
+      {"trace_id": 7, "span_id": 7, "parent_id": 0, "stage": "rpc",
+       "status": "ok", "t0_ns": 0, "t1_ns": 1000, "a": 0, "b": 0}
+    ]
+  })";
+  const SpanDump dump = analysis::parse_span_dump(text);
+  EXPECT_EQ(dump.reason, "crash");
+  EXPECT_EQ(dump.dropped, 3u);
+  ASSERT_EQ(dump.exemplars.size(), 1u);
+  EXPECT_EQ(dump.exemplars[0].trace_id, 7u);
+  ASSERT_EQ(dump.spans.size(), 1u);
+  EXPECT_EQ(dump.spans[0].stage, trace::Stage::Rpc);
+  EXPECT_EQ(dump.spans[0].dur_ns(), 1000u);
+}
+
+TEST(SpanDumpParse, RejectsMalformedInputWithTypedErrors) {
+  const auto expect_invalid = [](const char* text) {
+    try {
+      (void)analysis::parse_span_dump(text);
+      FAIL() << "expected Error for: " << text;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.status(), Status::InvalidArgument) << e.what();
+    }
+  };
+  expect_invalid("not json at all");
+  expect_invalid(R"({"schema_version": 1})");  // missing kind
+  expect_invalid(
+      R"({"schema_version": 99, "kind": "papisim_span_dump",
+          "reason": "x", "dropped": 0, "spans": []})");
+  expect_invalid(
+      R"({"schema_version": 1, "kind": "wrong_kind",
+          "reason": "x", "dropped": 0, "spans": []})");
+  expect_invalid(
+      R"({"schema_version": 1, "kind": "papisim_span_dump",
+          "reason": "x", "dropped": 0, "spans": [
+            {"trace_id": 1, "span_id": 1, "parent_id": 0,
+             "stage": "no_such_stage", "status": "ok",
+             "t0_ns": 0, "t1_ns": 1, "a": 0, "b": 0}]})");
+  EXPECT_THROW((void)analysis::load_span_dump("/no/such/file.json"), Error);
+}
+
+TEST(SpanCriticalPath, SelfTimeReconcilesExactlyOnACleanTree) {
+  SpanDump dump;
+  // rpc [0,1000] -> attempt [100,900] -> service [200,800]: self-times are
+  // 200 (rpc), 200 (attempt), 600 (service); they sum back to the root.
+  dump.spans.push_back(span(1, 1, 0, 0, 1000, trace::Stage::Rpc));
+  dump.spans.push_back(span(1, 2, 1, 100, 900, trace::Stage::Attempt));
+  dump.spans.push_back(span(1, 3, 2, 200, 800, trace::Stage::Service));
+  const CriticalPath cp = analysis::critical_path(dump);
+  EXPECT_EQ(cp.rpc_roots, 1u);
+  EXPECT_EQ(cp.rpc_e2e_ns, 1000u);
+  EXPECT_EQ(cp.rpc_stage_sum_ns, 1000u);
+  EXPECT_DOUBLE_EQ(cp.rpc_reconcile_error(), 0.0);
+  ASSERT_EQ(cp.rpc_stages.size(), 3u);
+  // Rows sorted by self-time, biggest first: service owns the trace.
+  EXPECT_EQ(cp.rpc_stages[0].stage, trace::Stage::Service);
+  EXPECT_EQ(cp.rpc_stages[0].self_ns, 600u);
+  EXPECT_EQ(cp.orphan_spans, 0u);
+  EXPECT_EQ(cp.replay_roots, 0u);
+}
+
+TEST(SpanCriticalPath, SplitsRpcAndReplaySidesAndCountsOrphans) {
+  SpanDump dump;
+  dump.spans.push_back(span(1, 1, 0, 0, 400, trace::Stage::Rpc));
+  dump.spans.push_back(span(2, 20, 0, 0, 1000, trace::Stage::Measure));
+  dump.spans.push_back(span(2, 21, 20, 100, 600, trace::Stage::RepSimulate));
+  // Trace 3 has no root span in the dump (its client thread's ring rolled
+  // over): every member is an orphan, in neither table.
+  dump.spans.push_back(span(3, 31, 99, 0, 50, trace::Stage::QueueWait));
+  const CriticalPath cp = analysis::critical_path(dump);
+  EXPECT_EQ(cp.rpc_roots, 1u);
+  EXPECT_EQ(cp.rpc_e2e_ns, 400u);
+  EXPECT_EQ(cp.replay_roots, 1u);
+  EXPECT_EQ(cp.replay_e2e_ns, 1000u);
+  EXPECT_EQ(cp.replay_stage_sum_ns, 1000u);  // 500 measure self + 500 sim
+  EXPECT_EQ(cp.orphan_spans, 1u);
+}
+
+TEST(SpanCriticalPath, ReconciliationErrorMeasuresOverhang) {
+  SpanDump dump;
+  // A child overhanging its parent: rpc [0,1000], service [0,1100].  The
+  // child's 1100 of direct duration exceeds the root's own 1000; root self
+  // clamps at 0 and the stage sum (1100) overshoots e2e by 10%.
+  dump.spans.push_back(span(1, 1, 0, 0, 1000, trace::Stage::Rpc));
+  dump.spans.push_back(span(1, 2, 1, 0, 1100, trace::Stage::Service));
+  const CriticalPath cp = analysis::critical_path(dump);
+  EXPECT_EQ(cp.rpc_stage_sum_ns, 1100u);
+  EXPECT_NEAR(cp.rpc_reconcile_error(), 0.10, 1e-9);
+}
+
+TEST(SpanCriticalPath, P99PrefersTheExemplarTableCell) {
+  SpanDump dump;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    // Root durations 100..1000: the p99 rank lands on the 1000 ns root.
+    dump.spans.push_back(
+        span(i + 1, (i + 1) * 10, 0, 0, (i + 1) * 100, trace::Stage::Rpc));
+  }
+  CriticalPath no_ex = analysis::critical_path(dump);
+  EXPECT_EQ(no_ex.p99_ns, 1000u);
+  EXPECT_EQ(no_ex.p99_trace_id, 10u);  // the root at the p99 rank
+
+  // An exemplar cell in the matching latency bucket names the trace to
+  // blame instead (fresher than the rank heuristic).
+  trace::Exemplar ex;
+  ex.ns = 1000;
+  ex.bucket = 10;  // bit_width(1000)
+  ex.trace_id = 777;
+  ex.count = 1;
+  dump.exemplars.push_back(ex);
+  const CriticalPath with_ex = analysis::critical_path(dump);
+  EXPECT_EQ(with_ex.p99_ns, 1000u);
+  EXPECT_EQ(with_ex.p99_trace_id, 777u);
+}
+
+TEST(SpanCriticalPath, TextReportNamesStagesAndReconciliation) {
+  SpanDump dump;
+  dump.reason = "unit";
+  dump.spans.push_back(span(1, 1, 0, 0, 1000, trace::Stage::Rpc));
+  dump.spans.push_back(span(1, 2, 1, 100, 900, trace::Stage::QueueWait));
+  const CriticalPath cp = analysis::critical_path(dump);
+  std::ostringstream os;
+  analysis::write_critical_path_text(os, dump, cp);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("queue_wait"), std::string::npos) << text;
+  EXPECT_NE(text.find("reconciliation error"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace papisim

@@ -294,6 +294,55 @@ TEST(SelfmonInstrumentation, KernelRunnerCountsSimulatedAndReplayedReps) {
   EXPECT_EQ(reps.count, 4u);
 }
 
+// Percentile edge cases on hand-built snapshots (no registry involved, so
+// these run with selfmon compiled in or out).
+TEST(SelfmonHistogramEdges, EmptyHistogramIsZeroAtEveryQuantile) {
+  const selfmon::HistSnapshot empty;
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(empty.percentile(q), 0.0) << q;
+  }
+  EXPECT_DOUBLE_EQ(empty.mean_ns(), 0.0);
+}
+
+TEST(SelfmonHistogramEdges, QuantileZeroAndOneStayInsideASingleBucket) {
+  selfmon::HistSnapshot h;
+  h.count = 10;
+  h.sum_ns = 10 * 700;
+  h.buckets[10] = 10;  // [512, 1024)
+  const double p0 = h.percentile(0.0);
+  const double p100 = h.percentile(1.0);
+  EXPECT_GE(p0, 512.0);
+  EXPECT_LE(p100, 1024.0);
+  EXPECT_LE(p0, p100);
+  // Out-of-range q clamps to the endpoints rather than extrapolating.
+  EXPECT_DOUBLE_EQ(h.percentile(-0.5), p0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.5), p100);
+}
+
+TEST(SelfmonHistogramEdges, SingleSampleIsTheSameAtEveryQuantile) {
+  selfmon::HistSnapshot h;
+  h.count = 1;
+  h.sum_ns = 700;
+  h.buckets[10] = 1;
+  const double v = h.percentile(0.5);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), v);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), v);
+}
+
+TEST(SelfmonHistogramEdges, BucketZeroIsExactlyZeroAndOverflowSaturates) {
+  selfmon::HistSnapshot zeros;
+  zeros.count = 5;
+  zeros.buckets[0] = 5;  // bucket 0 is exactly {0}
+  EXPECT_DOUBLE_EQ(zeros.percentile(0.99), 0.0);
+
+  selfmon::HistSnapshot top;
+  top.count = 1;
+  top.buckets[selfmon::kHistBuckets - 1] = 1;
+  const double cap = static_cast<double>(1ull << (selfmon::kHistBuckets - 1));
+  EXPECT_GT(top.percentile(0.5), 0.0);
+  EXPECT_LE(top.percentile(1.0), cap);
+}
+
 TEST(SelfmonDisabled, ComponentRejectsEventsWhenCompiledOut) {
   if (selfmon::kEnabled) GTEST_SKIP() << "selfmon compiled in";
   Library lib;

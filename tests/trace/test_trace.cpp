@@ -1,0 +1,240 @@
+// Causal span recorder tests (DESIGN.md §3j): ring FIFO + reject-and-count
+// overflow, ScopedTrace propagation, drain ordering, the exemplar table,
+// the flight recorder's trigger discipline, and the span-dump JSON schema.
+// Every recorder-side test skips itself when tracing is compiled out
+// (-DPAPISIM_TRACE=OFF), mirroring the selfmon/spe disabled legs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/json_parse.hpp"
+#include "trace/export.hpp"
+#include "trace/recorder.hpp"
+#include "trace/span.hpp"
+
+namespace papisim {
+namespace {
+
+trace::Span make_span(std::uint64_t trace_id, std::uint64_t span_id,
+                      std::uint64_t parent, std::uint64_t t0,
+                      std::uint64_t t1) {
+  return trace::Span{trace_id, span_id,  parent,
+                     t0,       t1,       0,
+                     0,        trace::Stage::Service, trace::SpanStatus::Ok};
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!trace::kEnabled) GTEST_SKIP() << "tracing compiled out";
+    trace::reset_for_testing();
+  }
+  void TearDown() override {
+    if (trace::kEnabled) trace::reset_for_testing();
+  }
+};
+
+TEST_F(TraceTest, MintProducesDistinctValidRoots) {
+  const trace::TraceContext a = trace::mint();
+  const trace::TraceContext b = trace::mint();
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(a.trace_id, a.span_id);  // a root is its own span
+  EXPECT_NE(a.trace_id, b.trace_id);
+}
+
+TEST_F(TraceTest, DrainReturnsSpansSortedByStartTime) {
+  trace::record(make_span(1, 13, 1, 300, 400));
+  trace::record(make_span(1, 12, 1, 100, 150));
+  trace::record(make_span(1, 14, 1, 200, 250));
+  const std::vector<trace::Span> spans = trace::drain();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_LE(spans[0].t0_ns, spans[1].t0_ns);
+  EXPECT_LE(spans[1].t0_ns, spans[2].t0_ns);
+  EXPECT_EQ(spans[0].span_id, 12u);
+  // drain() consumes: a second drain sees nothing.
+  EXPECT_TRUE(trace::drain().empty());
+}
+
+TEST_F(TraceTest, RingOverflowRejectsAndCountsNeverBlocks) {
+  trace::set_ring_capacity_for_testing(8);
+  // A fresh thread gets a fresh (8-slot) ring; the ring is retired into the
+  // registry backlog when the thread exits, so drain() still sees the spans.
+  std::thread t([] {
+    for (std::uint64_t i = 0; i < 12; ++i) {
+      trace::record(make_span(1, 100 + i, 1, i, i + 1));
+    }
+  });
+  t.join();
+  trace::set_ring_capacity_for_testing(0);  // restore default for later rings
+  const std::vector<trace::Span> spans = trace::drain();
+  ASSERT_EQ(spans.size(), 8u);
+  // FIFO: the *first* 8 spans survive, the late ones are the rejects.
+  EXPECT_EQ(spans.front().span_id, 100u);
+  EXPECT_EQ(spans.back().span_id, 107u);
+  EXPECT_EQ(trace::dropped(), 4u);
+}
+
+TEST_F(TraceTest, ScopedTraceAdoptsAndRestores) {
+  EXPECT_FALSE(trace::current().valid());
+  {
+    const trace::ScopedTrace outer(trace::ScopedTrace::Mode::Fresh);
+    EXPECT_EQ(trace::current().trace_id, outer.context().trace_id);
+    {
+      // AdoptOrMint joins the active trace rather than minting a new root.
+      const trace::ScopedTrace inner;
+      EXPECT_EQ(inner.context().trace_id, outer.context().trace_id);
+      EXPECT_EQ(inner.context().span_id, outer.context().span_id);
+    }
+    {
+      // Fresh always mints, and restores the outer context on destruction.
+      const trace::ScopedTrace fresh(trace::ScopedTrace::Mode::Fresh);
+      EXPECT_NE(fresh.context().trace_id, outer.context().trace_id);
+    }
+    EXPECT_EQ(trace::current().trace_id, outer.context().trace_id);
+  }
+  EXPECT_FALSE(trace::current().valid());
+}
+
+TEST_F(TraceTest, ScopedTraceIsPerThread) {
+  const trace::ScopedTrace outer(trace::ScopedTrace::Mode::Fresh);
+  trace::TraceContext seen;
+  std::thread t([&] { seen = trace::current(); });
+  t.join();
+  EXPECT_FALSE(seen.valid());  // the child thread starts traceless
+}
+
+TEST_F(TraceTest, ExemplarTableKeepsOnePerLatencyBucket) {
+  trace::note_rpc_exemplar(41, 900);    // bit_width(900) == 10
+  trace::note_rpc_exemplar(42, 1000);   // same bucket: replaces, count += 1
+  trace::note_rpc_exemplar(43, 70000);  // bit_width(70000) == 17
+  const std::vector<trace::Exemplar> ex = trace::exemplars();
+  ASSERT_EQ(ex.size(), 2u);
+  EXPECT_EQ(ex[0].bucket, 10u);
+  EXPECT_EQ(ex[0].trace_id, 42u);
+  EXPECT_EQ(ex[0].count, 2u);
+  EXPECT_EQ(ex[1].bucket, 17u);
+  EXPECT_EQ(ex[1].trace_id, 43u);
+}
+
+TEST_F(TraceTest, FlightRecorderFirstTriggerPerReasonWins) {
+  const std::string pattern = ::testing::TempDir() + "papisim_flight_%r.json";
+  const std::string crash_path =
+      ::testing::TempDir() + "papisim_flight_crash.json";
+  std::remove(crash_path.c_str());
+
+  // Flight snapshots only keep spans that finished before the trigger, so
+  // stamp the span with the recorder's own clock (hand-picked constants can
+  // land after the trigger when this test initialises the clock epoch).
+  const std::uint64_t t1 = trace::now_ns();
+  trace::record(make_span(7, 70, 7, t1 / 2, t1));
+  const std::uint64_t dumps0 = trace::flight_dumps();
+  trace::arm_flight_recorder(pattern, /*last_n=*/16);
+  trace::flight_dump("crash");
+  EXPECT_EQ(trace::flight_dumps(), dumps0 + 1);
+  // The same reason again is a no-op until re-armed; a different reason
+  // still fires.
+  trace::flight_dump("crash");
+  EXPECT_EQ(trace::flight_dumps(), dumps0 + 1);
+  trace::flight_dump("overloaded");
+  EXPECT_EQ(trace::flight_dumps(), dumps0 + 2);
+  trace::disarm_flight_recorder();
+  trace::flight_dump("deadline");
+  EXPECT_EQ(trace::flight_dumps(), dumps0 + 2);
+
+  // The dump is strict JSON with the reason expanded into the path, and the
+  // snapshot *peeked* the ring: the span is still there for drain().
+  const json::Value dump = json::parse(slurp(crash_path));
+  EXPECT_EQ(dump.find("kind")->str, "papisim_span_dump");
+  EXPECT_EQ(dump.find("reason")->str, "crash");
+  ASSERT_EQ(dump.find("spans")->arr.size(), 1u);
+  EXPECT_EQ(dump.find("spans")->arr[0].find("span_id")->u64_or(0), 70u);
+  EXPECT_EQ(trace::drain().size(), 1u);
+}
+
+TEST_F(TraceTest, FlightSnapshotKeepsOnlyTheLastN) {
+  const std::string path = ::testing::TempDir() + "papisim_flight_lastn.json";
+  // End times must precede the trigger (see the cutoff note above); spin the
+  // recorder clock past the offsets used below before stamping.
+  std::uint64_t base = trace::now_ns();
+  while (base < 1000) base = trace::now_ns();
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    trace::record(make_span(3, 30 + i, 3, i * 10, base - 9 + i));
+  }
+  trace::arm_flight_recorder(path, /*last_n=*/4);
+  trace::flight_dump("deadline");
+  trace::disarm_flight_recorder();
+  const json::Value dump = json::parse(slurp(path));
+  const json::Value* spans = dump.find("spans");
+  ASSERT_EQ(spans->arr.size(), 4u);
+  // The most recent 4 by end time, re-sorted by start time.
+  EXPECT_EQ(spans->arr[0].find("span_id")->u64_or(0), 36u);
+  EXPECT_EQ(spans->arr[3].find("span_id")->u64_or(0), 39u);
+}
+
+TEST_F(TraceTest, FlightSnapshotExcludesSpansEndingAfterTheTrigger) {
+  // Under load, other threads keep recording while the snapshot peeks the
+  // rings; spans that finish after the trigger must not evict the incident
+  // span from the last-N window.  A span stamped in the far future stands in
+  // for that post-trigger traffic.
+  const std::string path = ::testing::TempDir() + "papisim_flight_cutoff.json";
+  const std::uint64_t now = trace::now_ns();
+  trace::record(make_span(8, 80, 8, now / 2, now));
+  trace::record(make_span(8, 81, 8, now, now + 3'600'000'000'000ull));
+  trace::arm_flight_recorder(path, /*last_n=*/16);
+  trace::flight_dump("crash");
+  trace::disarm_flight_recorder();
+  const json::Value dump = json::parse(slurp(path));
+  const json::Value* spans = dump.find("spans");
+  ASSERT_EQ(spans->arr.size(), 1u);
+  EXPECT_EQ(spans->arr[0].find("span_id")->u64_or(0), 80u);
+  EXPECT_EQ(trace::drain().size(), 2u);  // peeked, not consumed
+}
+
+TEST_F(TraceTest, SpanDumpJsonIsStrictAndComplete) {
+  trace::record(make_span(5, 51, 5, 10, 30));
+  trace::note_rpc_exemplar(5, 20);
+  std::ostringstream out;
+  trace::dump_all(out, "unit-test");
+  const json::Value dump = json::parse(out.str());
+  EXPECT_EQ(dump.find("schema_version")->u64_or(0),
+            trace::kSpanDumpSchemaVersion);
+  EXPECT_EQ(dump.find("reason")->str, "unit-test");
+  EXPECT_EQ(dump.find("dropped")->u64_or(99), 0u);
+  ASSERT_EQ(dump.find("exemplars")->arr.size(), 1u);
+  const json::Value& s = dump.find("spans")->arr.at(0);
+  EXPECT_EQ(s.find("stage")->str, "service");
+  EXPECT_EQ(s.find("status")->str, "ok");
+  EXPECT_EQ(s.find("t0_ns")->u64_or(0), 10u);
+  EXPECT_EQ(s.find("t1_ns")->u64_or(0), 30u);
+}
+
+TEST(TraceDisabled, EverythingIsANoOpWhenCompiledOut) {
+  if (trace::kEnabled) GTEST_SKIP() << "tracing compiled in";
+  EXPECT_EQ(trace::now_ns(), 0u);
+  EXPECT_FALSE(trace::mint().valid());
+  const trace::ScopedTrace scope(trace::ScopedTrace::Mode::Fresh);
+  EXPECT_FALSE(scope.context().valid());
+  trace::record(trace::Span{});
+  trace::note_rpc_exemplar(1, 1);
+  trace::flight_dump("crash");
+  EXPECT_TRUE(trace::drain().empty());
+  EXPECT_TRUE(trace::exemplars().empty());
+  EXPECT_EQ(trace::dropped(), 0u);
+  EXPECT_EQ(trace::flight_dumps(), 0u);
+}
+
+}  // namespace
+}  // namespace papisim
